@@ -1,0 +1,68 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it runs the
+experiment on the simulated systems, prints the same rows/series the
+paper reports (via ``repro.reporting``), asserts the qualitative shape,
+and times the experiment through pytest-benchmark.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+from repro.core import FrequencyPolicy
+from repro.sph import SimulationResult, run_instrumented
+from repro.systems import Cluster, SystemConfig
+
+#: Time-steps per measured run. The paper uses 100 (-s 100); benches use
+#: a shorter window and extrapolate linear totals where absolute values
+#: are compared, which is exact for the steady-state model workloads.
+BENCH_STEPS = 10
+
+#: The paper's full step count, used to extrapolate MJ totals.
+PAPER_STEPS = 100
+
+
+def run_simulation(
+    system: SystemConfig,
+    n_ranks: int,
+    workload: str,
+    n_per_rank: float,
+    policy: "FrequencyPolicy | None" = None,
+    steps: int = BENCH_STEPS,
+) -> SimulationResult:
+    """Build a cluster, run the instrumented simulation, tear down."""
+    cluster = Cluster(system, n_ranks)
+    try:
+        return run_instrumented(
+            cluster, workload, n_per_rank, steps, policy=policy
+        )
+    finally:
+        cluster.detach_management_library()
+
+
+def run_simulation_with_cluster(
+    system: SystemConfig,
+    n_ranks: int,
+    workload: str,
+    n_per_rank: float,
+    policy: "FrequencyPolicy | None" = None,
+    steps: int = BENCH_STEPS,
+):
+    """Like :func:`run_simulation` but also returns the (detached)
+    cluster so benches can read node-level counters afterwards."""
+    cluster = Cluster(system, n_ranks)
+    try:
+        result = run_instrumented(
+            cluster, workload, n_per_rank, steps, policy=policy
+        )
+    finally:
+        cluster.detach_management_library()
+    return result, cluster
+
+
+def to_paper_scale(joules: float, steps: int = BENCH_STEPS) -> float:
+    """Extrapolate a ``steps``-step energy total to the paper's 100."""
+    return joules * PAPER_STEPS / steps

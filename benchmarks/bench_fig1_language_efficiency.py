@@ -1,0 +1,56 @@
+"""Fig. 1 — programming-language energy efficiency vs time-to-solution.
+
+Background figure (reproduced in the paper from Portegies Zwart 2020):
+equivalent direct N-body implementations across languages and devices.
+The bench runs the real reference N-body integration to fix the work,
+maps it onto the simulated hardware, and prints the scatter series;
+CUDA implementations must come out roughly an order of magnitude more
+energy-efficient than compiled CPU languages.
+"""
+
+from __future__ import annotations
+
+from repro.langbench import language_efficiency, nbody_reference_work
+from repro.reporting import render_table
+
+
+def bench_fig1_language_efficiency(benchmark):
+    def experiment():
+        # Fix the work with a real (small) integration, then scale to a
+        # production-sized run as in the original study.
+        unit_work = nbody_reference_work(n_bodies=256, steps=10)
+        total_flops = unit_work * 2.0e7
+        return language_efficiency(total_flops)
+
+    results = benchmark(experiment)
+
+    rows = [
+        [
+            r.language,
+            r.device,
+            f"{r.time_s / 3600.0:.3f}",
+            f"{r.kwh:.3f}",
+        ]
+        for r in sorted(results, key=lambda r: r.energy_j)
+    ]
+    print()
+    print(
+        render_table(
+            ["implementation", "device", "time-to-solution [h]",
+             "energy [kWh]"],
+            rows,
+            title="Fig. 1: N-body language efficiency (energy vs time)",
+        )
+    )
+
+    by_name = {r.language: r for r in results}
+    cpp, cuda = by_name["C++"], by_name["CUDA"]
+    python = by_name["Python (pure)"]
+    # CUDA ~ an order of magnitude more energy-efficient than C++.
+    assert 5.0 < cpp.energy_j / cuda.energy_j < 50.0
+    # Interpreted Python is the worst on both axes.
+    assert python.energy_j == max(r.energy_j for r in results)
+    assert python.time_s == max(r.time_s for r in results)
+    # GPU implementations are the most energy-efficient overall.
+    best = min(results, key=lambda r: r.energy_j)
+    assert best.device == "gpu"

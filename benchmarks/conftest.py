@@ -1,0 +1,16 @@
+"""Fixtures for the benchmark harness (see _harness.py for helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import levelzero, nvml, rocm
+
+
+@pytest.fixture(autouse=True)
+def clean_registries():
+    """Detach NVML/ROCm device registries around every bench."""
+    yield
+    nvml.detach_devices()
+    rocm.detach_devices()
+    levelzero.detach_devices()

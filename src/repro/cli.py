@@ -1,0 +1,419 @@
+"""Command-line interface.
+
+Gives downstream users the paper's workflow without writing Python::
+
+    python -m repro run --system miniHPC --workload turbulence \
+        --particles 91125000 --steps 10 --policy mandyn
+    python -m repro tune --system miniHPC --particles 91125000
+    python -m repro compare --system miniHPC --particles 91125000
+    python -m repro systems
+    python -m repro sacct --system CSCS-A100 --ranks 8 --steps 5
+
+Every subcommand prints the same report tables the benchmarks use.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from . import nvml
+from .core import (
+    DvfsPolicy,
+    FrequencyPolicy,
+    ManDynPolicy,
+    StaticFrequencyPolicy,
+    baseline_policy,
+    device_breakdown_percent,
+    function_share_percent,
+)
+from .reporting import render_breakdown, render_table
+from .slurm import JobSpec, SlurmController
+from .sph import run_instrumented
+from .systems import Cluster, all_system_names, by_name
+from .tuner import tune_all_sph_functions
+from .units import format_energy, format_time, to_mhz
+
+WORKLOAD_ALIASES = {
+    "turbulence": "SubsonicTurbulence",
+    "turb": "SubsonicTurbulence",
+    "subsonicturbulence": "SubsonicTurbulence",
+    "evrard": "EvrardCollapse",
+    "evrardcollapse": "EvrardCollapse",
+    "sedov": "SedovBlast",
+    "sedovblast": "SedovBlast",
+}
+
+
+def _workload(name: str) -> str:
+    try:
+        return WORKLOAD_ALIASES[name.lower()]
+    except KeyError:
+        known = ", ".join(sorted(set(WORKLOAD_ALIASES.values())))
+        raise SystemExit(f"unknown workload {name!r} (known: {known})")
+
+
+def _policy(
+    name: str, freq: Optional[float], freq_map: Optional[str], max_mhz: float
+) -> FrequencyPolicy:
+    key = name.lower()
+    if key == "baseline":
+        return baseline_policy(max_mhz)
+    if key == "static":
+        if freq is None:
+            raise SystemExit("--freq is required with --policy static")
+        return StaticFrequencyPolicy(freq)
+    if key == "dvfs":
+        return DvfsPolicy()
+    if key == "mandyn":
+        mapping: Dict[str, float] = {}
+        if freq_map:
+            mapping = {
+                k: float(v)
+                for k, v in (json.loads(freq_map)).items()
+            }
+        else:
+            # The Fig. 2 outcome as a sensible default.
+            mapping = {
+                "MomentumEnergy": max_mhz,
+                "IADVelocityDivCurl": max_mhz,
+            }
+        default = freq if freq is not None else 1005.0
+        return ManDynPolicy(mapping, default_mhz=default)
+    raise SystemExit(
+        f"unknown policy {name!r} (known: baseline, static, dvfs, mandyn)"
+    )
+
+
+def _run_once(args, policy: FrequencyPolicy):
+    cluster = Cluster(by_name(args.system), args.ranks)
+    try:
+        result = run_instrumented(
+            cluster,
+            _workload(args.workload),
+            args.particles,
+            args.steps,
+            policy=policy,
+        )
+    finally:
+        cluster.detach_management_library()
+    return result, cluster
+
+
+def cmd_systems(args) -> int:
+    rows = []
+    for name in all_system_names():
+        system = by_name(name)
+        gpu = system.gpu_spec()
+        rows.append(
+            [
+                name,
+                f"{system.ranks_per_node}x {gpu.name}",
+                f"{to_mhz(gpu.max_clock_hz):.0f}",
+                system.pmt_backend,
+                system.slurm_energy_plugin,
+                "yes" if system.allow_user_freq_control else "no",
+            ]
+        )
+    print(
+        render_table(
+            ["system", "GPUs per node", "max clock [MHz]", "PMT backend",
+             "Slurm energy plugin", "user clock control"],
+            rows,
+            title="available Table-I systems",
+        )
+    )
+    return 0
+
+
+def cmd_run(args) -> int:
+    system = by_name(args.system)
+    max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+    policy = _policy(args.policy, args.freq, args.freq_map, max_mhz)
+    result, cluster = _run_once(args, policy)
+
+    print(
+        f"workload={_workload(args.workload)} system={args.system} "
+        f"ranks={args.ranks} particles/rank={args.particles:g} "
+        f"steps={args.steps} policy={policy.name}"
+    )
+    print(
+        f"time-to-solution : {format_time(result.elapsed_s)}\n"
+        f"GPU energy       : {format_energy(result.gpu_energy_j)}\n"
+        f"total energy     : {format_energy(result.report.total_j())}\n"
+        f"EDP (GPU)        : {result.edp:.1f} J*s\n"
+        f"clock changes    : {result.clock_set_calls}"
+    )
+    print()
+    print(
+        render_breakdown(
+            device_breakdown_percent(result.report),
+            title="energy per device class [%]",
+        )
+    )
+    print()
+    print(
+        render_breakdown(
+            function_share_percent(result.report, "GPU"),
+            title="GPU energy per function [%]",
+        )
+    )
+    if args.report:
+        result.report.save(args.report)
+        print(f"\nper-rank report written to {args.report}")
+    return 0
+
+
+def cmd_tune(args) -> int:
+    system = by_name(args.system)
+    cluster = Cluster(system, 1)
+    try:
+        gpu = cluster.gpus[0]
+        lo = args.min_freq
+        hi = int(to_mhz(gpu.spec.max_clock_hz))
+        if gpu.spec.vendor == "nvidia":
+            handle = nvml.nvmlDeviceGetHandleByIndex(0)
+            freqs: Sequence[float] = nvml.supported_clock_window_mhz(
+                handle, lo, hi
+            )[:: args.stride]
+        else:
+            step = int(to_mhz(gpu.spec.clock_step_hz)) * args.stride
+            freqs = list(range(hi, lo - 1, -step))
+        with_gravity = _workload(args.workload) == "EvrardCollapse"
+        best = tune_all_sph_functions(
+            gpu, int(args.particles), freqs, with_gravity=with_gravity,
+            iterations=args.iterations,
+        )
+    finally:
+        cluster.detach_management_library()
+    print(
+        render_table(
+            ["function", "best-EDP clock [MHz]"],
+            sorted(best.items(), key=lambda kv: -kv[1]),
+            title=f"tuned frequencies on {args.system} "
+                  f"({len(freqs)} clocks in [{lo}, {hi}] MHz)",
+        )
+    )
+    print("\nManDyn frequency map (pass via `run --policy mandyn "
+          "--freq-map '<json>'`):")
+    print(json.dumps(best))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    system = by_name(args.system)
+    max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+    policies = {
+        "baseline": baseline_policy(max_mhz),
+        f"static {args.freq:.0f}": StaticFrequencyPolicy(args.freq),
+        "dvfs": DvfsPolicy(),
+        "mandyn": _policy("mandyn", args.freq, args.freq_map, max_mhz),
+    }
+    runs = {}
+    for label, policy in policies.items():
+        runs[label], _ = _run_once(args, policy)
+    base = runs["baseline"]
+    rows = []
+    for label, res in runs.items():
+        t = res.elapsed_s / base.elapsed_s
+        e = res.gpu_energy_j / base.gpu_energy_j
+        rows.append([label, f"{t:.4f}", f"{e:.4f}", f"{t * e:.4f}"])
+    print(
+        render_table(
+            ["policy", "time", "GPU energy", "EDP"],
+            rows,
+            title=f"normalized policy comparison on {args.system}",
+        )
+    )
+    return 0
+
+
+def cmd_report(args) -> int:
+    """Post-hoc analysis of a saved energy report (run --report ...)."""
+    from .core import EnergyReport, run_metrics
+
+    report = EnergyReport.load(args.path)
+    metrics = run_metrics(report)
+    gpu_metrics = run_metrics(report, gpu_only=True)
+    print(
+        f"ranks            : {len(report.ranks)}\n"
+        f"window time      : {format_time(metrics.time_s)}\n"
+        f"total energy     : {format_energy(metrics.energy_j)}\n"
+        f"GPU energy       : {format_energy(gpu_metrics.energy_j)}\n"
+        f"EDP (total)      : {metrics.edp:.1f} J*s"
+    )
+    print()
+    print(
+        render_breakdown(
+            device_breakdown_percent(report),
+            title="energy per device class [%]",
+        )
+    )
+    for device in ("GPU", "CPU"):
+        print()
+        print(
+            render_breakdown(
+                function_share_percent(report, device),
+                title=f"{device} energy per function [%]",
+            )
+        )
+    return 0
+
+
+def cmd_diff(args) -> int:
+    """Compare two saved energy reports (B vs baseline A)."""
+    from .core import EnergyReport, diff_reports
+
+    a = EnergyReport.load(args.baseline)
+    b = EnergyReport.load(args.candidate)
+    diff = diff_reports(a, b)
+    print(
+        f"time        : x{diff.time_ratio:.4f}\n"
+        f"total energy: x{diff.total_energy_ratio:.4f}\n"
+        f"GPU energy  : x{diff.gpu_energy_ratio:.4f}\n"
+        f"EDP (GPU)   : x{diff.edp_ratio:.4f}"
+    )
+    rows = [
+        [d.function, f"{d.time_ratio:.4f}", f"{d.gpu_energy_ratio:.4f}",
+         f"{d.edp_ratio:.4f}"]
+        for d in diff.functions
+    ]
+    print()
+    print(
+        render_table(
+            ["function", "time", "GPU energy", "EDP"],
+            rows,
+            title="per-function ratios (candidate / baseline)",
+        )
+    )
+    return 0
+
+
+def cmd_sacct(args) -> int:
+    cluster = Cluster(by_name(args.system), args.ranks)
+    controller = SlurmController()
+    controller.accounting.enable_energy_accounting()
+
+    def app(cl, job):
+        return run_instrumented(
+            cl, _workload(args.workload), args.particles, args.steps
+        )
+
+    try:
+        job = controller.submit(
+            JobSpec(
+                name=args.job_name,
+                n_nodes=cluster.n_nodes,
+                n_tasks=args.ranks,
+            ),
+            cluster,
+            app,
+        )
+    finally:
+        cluster.detach_management_library()
+    rows = controller.accounting.sacct(
+        job.job_id,
+        fields=("JobID", "JobName", "State", "Elapsed", "NNodes",
+                "NTasks", "ConsumedEnergy", "ConsumedEnergyRaw"),
+    )
+    print(render_table(list(rows[0]), [list(r.values()) for r in rows]))
+    pmt_j = job.result.report.total_j()
+    print(
+        f"\ninstrumented (PMT) window: {format_energy(pmt_j)} "
+        f"({pmt_j / job.consumed_energy_j:.1%} of ConsumedEnergy)"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "GPU frequency scaling for astrophysics simulations "
+            "(SC 2024 reproduction)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("systems", help="list the Table-I system presets")
+
+    def common(p):
+        p.add_argument("--system", default="miniHPC",
+                       help="system preset name (see `systems`)")
+        p.add_argument("--workload", default="turbulence",
+                       help="turbulence | evrard | sedov")
+        p.add_argument("--particles", type=float, default=float(450**3),
+                       help="particles per rank")
+        p.add_argument("--steps", type=int, default=10,
+                       help="time-steps to run")
+        p.add_argument("--ranks", type=int, default=1,
+                       help="MPI ranks (= GPUs/GCDs)")
+
+    run_p = sub.add_parser("run", help="run one instrumented simulation")
+    common(run_p)
+    run_p.add_argument("--policy", default="baseline",
+                       help="baseline | static | dvfs | mandyn")
+    run_p.add_argument("--freq", type=float, default=None,
+                       help="static clock / ManDyn default clock [MHz]")
+    run_p.add_argument("--freq-map", default=None,
+                       help="JSON {function: MHz} for ManDyn")
+    run_p.add_argument("--report", default=None,
+                       help="write the gathered energy report JSON here")
+
+    tune_p = sub.add_parser("tune", help="find per-function sweet spots")
+    common(tune_p)
+    tune_p.add_argument("--min-freq", type=int, default=1005,
+                        help="lower end of the clock window [MHz]")
+    tune_p.add_argument("--stride", type=int, default=3,
+                        help="evaluate every Nth supported clock bin")
+    tune_p.add_argument("--iterations", type=int, default=3,
+                        help="benchmark repetitions per configuration")
+
+    cmp_p = sub.add_parser("compare",
+                           help="baseline vs static vs DVFS vs ManDyn")
+    common(cmp_p)
+    cmp_p.add_argument("--freq", type=float, default=1005.0,
+                       help="static/ManDyn-default clock [MHz]")
+    cmp_p.add_argument("--freq-map", default=None,
+                       help="JSON {function: MHz} for ManDyn")
+
+    report_p = sub.add_parser(
+        "report", help="analyze a saved energy-report JSON"
+    )
+    report_p.add_argument("path", help="report file from `run --report`")
+
+    diff_p = sub.add_parser(
+        "diff", help="compare two saved energy reports (A/B)"
+    )
+    diff_p.add_argument("baseline", help="baseline report JSON")
+    diff_p.add_argument("candidate", help="candidate report JSON")
+
+    sacct_p = sub.add_parser("sacct",
+                             help="run under Slurm accounting and query it")
+    common(sacct_p)
+    sacct_p.add_argument("--job-name", default="sphexa",
+                         help="Slurm job name")
+
+    return parser
+
+
+COMMANDS = {
+    "systems": cmd_systems,
+    "report": cmd_report,
+    "diff": cmd_diff,
+    "run": cmd_run,
+    "tune": cmd_tune,
+    "compare": cmd_compare,
+    "sacct": cmd_sacct,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

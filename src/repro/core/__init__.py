@@ -1,0 +1,82 @@
+"""The paper's contribution: instrumentation for energy measurement and
+dynamic GPU frequency scaling (DESIGN.md §3, row ``repro.core``)."""
+
+from .analysis import (
+    device_breakdown_mj,
+    device_breakdown_percent,
+    function_share_percent,
+    normalize_series,
+    per_function_metrics,
+    run_metrics,
+    top_functions,
+)
+from .characterize import (
+    KernelCharacter,
+    characterize_functions,
+    recommend_frequencies,
+)
+from .controller import FrequencyController
+from .edp import Metrics, NormalizedMetrics, energy_delay_product
+from .energy import (
+    DEVICE_CLASSES,
+    CardShareGpuSource,
+    EnergyProfiler,
+    EnergyReport,
+    FunctionEnergyRecord,
+    GpuEnergySource,
+    RankEnergyReport,
+    make_gpu_sources,
+    make_profiler,
+)
+from .freq_policy import (
+    DvfsPolicy,
+    FrequencyPolicy,
+    ManDynPolicy,
+    StaticFrequencyPolicy,
+    baseline_policy,
+)
+from .hooks import FunctionHook, HookRegistry
+from .online_tuning import OnlineTuningPolicy
+from .pareto import ParetoPoint, knee_point, pareto_analysis, pareto_front
+from .report_diff import FunctionDiff, ReportDiff, diff_reports
+
+__all__ = [
+    "device_breakdown_mj",
+    "device_breakdown_percent",
+    "function_share_percent",
+    "normalize_series",
+    "per_function_metrics",
+    "run_metrics",
+    "top_functions",
+    "KernelCharacter",
+    "characterize_functions",
+    "recommend_frequencies",
+    "FrequencyController",
+    "Metrics",
+    "NormalizedMetrics",
+    "energy_delay_product",
+    "DEVICE_CLASSES",
+    "CardShareGpuSource",
+    "EnergyProfiler",
+    "EnergyReport",
+    "FunctionEnergyRecord",
+    "GpuEnergySource",
+    "RankEnergyReport",
+    "make_gpu_sources",
+    "make_profiler",
+    "DvfsPolicy",
+    "FrequencyPolicy",
+    "ManDynPolicy",
+    "StaticFrequencyPolicy",
+    "baseline_policy",
+    "FunctionHook",
+    "HookRegistry",
+    "OnlineTuningPolicy",
+    "ParetoPoint",
+    "knee_point",
+    "pareto_analysis",
+    "pareto_front",
+    "FunctionDiff",
+    "ReportDiff",
+    "diff_reports",
+]

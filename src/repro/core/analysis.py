@@ -1,0 +1,102 @@
+"""Post-hoc analysis of gathered energy reports (§III-B, Figs. 4-5).
+
+The paper's analysis scripts take the system's hardware configuration
+and MPI rank-to-GPU assignment into account when turning raw counter
+readings into per-device and per-function breakdowns. These helpers do
+the same over :class:`~repro.core.energy.EnergyReport` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..units import megajoules
+from .edp import Metrics
+from .energy import DEVICE_CLASSES, EnergyReport, FunctionEnergyRecord
+
+
+def device_breakdown_percent(report: EnergyReport) -> Dict[str, float]:
+    """Share of total energy per device class, percent (Fig. 4)."""
+    totals = report.total_device_j()
+    total = sum(totals.values())
+    if total <= 0:
+        return {d: 0.0 for d in DEVICE_CLASSES}
+    return {d: 100.0 * totals[d] / total for d in DEVICE_CLASSES}
+
+
+def device_breakdown_mj(report: EnergyReport) -> Dict[str, float]:
+    """Per-device energy in megajoules."""
+    return {d: megajoules(j) for d, j in report.total_device_j().items()}
+
+
+def function_share_percent(
+    report: EnergyReport, device: str = "GPU"
+) -> Dict[str, float]:
+    """Per-function share of one device's energy, percent (Fig. 5)."""
+    if device not in DEVICE_CLASSES:
+        raise ValueError(f"unknown device class {device!r}")
+    functions = report.aggregate_functions()
+    total = sum(rec.device_j[device] for rec in functions.values())
+    if total <= 0:
+        return {name: 0.0 for name in functions}
+    return {
+        name: 100.0 * rec.device_j[device] / total
+        for name, rec in functions.items()
+    }
+
+
+def top_functions(
+    report: EnergyReport, k: int = 5, device: Optional[str] = None
+) -> List[Tuple[str, FunctionEnergyRecord]]:
+    """The k most energy-hungry functions (total or one device class)."""
+    functions = report.aggregate_functions()
+
+    def key(item):
+        _, rec = item
+        return rec.device_j[device] if device else rec.total_j
+
+    return sorted(functions.items(), key=key, reverse=True)[:k]
+
+
+def run_metrics(report: EnergyReport, gpu_only: bool = False) -> Metrics:
+    """Time-to-solution and energy-to-solution of a gathered run.
+
+    ``gpu_only=True`` restricts energy to the GPUs — the basis of the
+    paper's per-GPU savings numbers (up to 7.82 %).
+    """
+    energy = (
+        report.total_device_j()["GPU"] if gpu_only else report.total_j()
+    )
+    return Metrics(time_s=report.max_window_time_s(), energy_j=energy)
+
+
+def per_function_metrics(
+    report: EnergyReport, device: str = "GPU"
+) -> Dict[str, Metrics]:
+    """Per-function (time, device energy) pairs — the Fig. 8 inputs."""
+    out = {}
+    n_ranks = max(len(report.ranks), 1)
+    for name, rec in report.aggregate_functions().items():
+        out[name] = Metrics(
+            # Average per-rank time: ranks run the functions concurrently.
+            time_s=rec.time_s / n_ranks,
+            energy_j=rec.device_j[device],
+        )
+    return out
+
+
+def normalize_series(
+    series: Dict[str, Metrics], baseline_key: str
+) -> Dict[str, "tuple"]:
+    """Normalize a {label: Metrics} series to one baseline entry.
+
+    Returns ``{label: (time_ratio, energy_ratio, edp_ratio)}``.
+    """
+    if baseline_key not in series:
+        raise KeyError(f"baseline {baseline_key!r} not in series")
+    base = series[baseline_key]
+    out = {}
+    for label, metrics in series.items():
+        norm = metrics.normalized_to(base)
+        out[label] = (norm.time, norm.energy, norm.edp)
+    return out

@@ -1,0 +1,128 @@
+"""Two-run kernel characterization: developer knowledge, measured.
+
+The paper argues the developer "has prior knowledge about the
+computational kernels, hence can select the best frequency" (§III-B).
+This module extracts that knowledge *from measurements*: given the
+per-function reports of two runs at different static clocks, it
+estimates each function's
+
+* compute-bound fraction ``kappa`` from the time response
+  ``t(f2)/t(f1) = 1 + kappa (f1/f2 - 1)``, and
+* dynamic-power share from the energy response,
+
+then predicts the whole EDP-vs-frequency curve per function and
+recommends the best clock analytically — two production runs replace a
+full KernelTuner sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from .analysis import per_function_metrics
+from .energy import EnergyReport
+
+
+@dataclass(frozen=True)
+class KernelCharacter:
+    """Measured frequency response of one function.
+
+    ``kappa`` is the fraction of runtime scaling with the clock;
+    ``idle_fraction`` is the share of the function's power at the
+    reference clock that does not scale with frequency;
+    ``alpha`` is the dynamic-power exponent assumed for prediction.
+    """
+
+    function: str
+    kappa: float
+    idle_fraction: float
+    alpha: float
+    ref_freq_mhz: float
+    ref_time_s: float
+    ref_energy_j: float
+
+    def predict_time(self, freq_mhz: float) -> float:
+        """Predicted duration at ``freq_mhz``."""
+        if freq_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        return self.ref_time_s * (
+            1.0 + self.kappa * (self.ref_freq_mhz / freq_mhz - 1.0)
+        )
+
+    def predict_energy(self, freq_mhz: float) -> float:
+        """Predicted energy at ``freq_mhz``."""
+        ratio = freq_mhz / self.ref_freq_mhz
+        power_scale = self.idle_fraction + (
+            1.0 - self.idle_fraction
+        ) * ratio**self.alpha
+        ref_power = self.ref_energy_j / self.ref_time_s
+        return ref_power * power_scale * self.predict_time(freq_mhz)
+
+    def predict_edp(self, freq_mhz: float) -> float:
+        return self.predict_time(freq_mhz) * self.predict_energy(freq_mhz)
+
+    def best_clock(self, candidates_mhz: Sequence[float]) -> float:
+        """Candidate clock minimizing the predicted EDP."""
+        if not candidates_mhz:
+            raise ValueError("need candidate clocks")
+        return min(candidates_mhz, key=self.predict_edp)
+
+
+def characterize_functions(
+    report_ref: EnergyReport,
+    report_low: EnergyReport,
+    freq_ref_mhz: float,
+    freq_low_mhz: float,
+    alpha: float = 1.7,
+) -> Dict[str, KernelCharacter]:
+    """Fit per-function characters from two static-clock runs.
+
+    ``report_ref`` must be the higher-clock run. Estimates are clamped
+    to physical ranges ([0, 1] for kappa and the idle fraction).
+    """
+    if freq_low_mhz >= freq_ref_mhz:
+        raise ValueError("the second run must use a lower clock")
+    m_ref = per_function_metrics(report_ref)
+    m_low = per_function_metrics(report_low)
+    ratio = freq_ref_mhz / freq_low_mhz
+    out: Dict[str, KernelCharacter] = {}
+    for fn in m_ref:
+        if fn not in m_low:
+            continue
+        t1, e1 = m_ref[fn].time_s, m_ref[fn].energy_j
+        t2, e2 = m_low[fn].time_s, m_low[fn].energy_j
+        if t1 <= 0 or e1 <= 0:
+            continue
+        kappa = (t2 / t1 - 1.0) / (ratio - 1.0)
+        kappa = min(max(kappa, 0.0), 1.0)
+        # Power scale at the low clock from the energy/time responses:
+        # P2/P1 = idle + (1 - idle) (f2/f1)^alpha.
+        p_scale = (e2 / e1) / (t2 / t1)
+        f_term = (freq_low_mhz / freq_ref_mhz) ** alpha
+        idle = (p_scale - f_term) / (1.0 - f_term)
+        idle = min(max(idle, 0.0), 1.0)
+        out[fn] = KernelCharacter(
+            function=fn,
+            kappa=kappa,
+            idle_fraction=idle,
+            alpha=alpha,
+            ref_freq_mhz=freq_ref_mhz,
+            ref_time_s=t1,
+            ref_energy_j=e1,
+        )
+    return out
+
+
+def recommend_frequencies(
+    characters: Dict[str, KernelCharacter],
+    candidates_mhz: Sequence[float],
+) -> Dict[str, float]:
+    """Per-function best-EDP clocks from the fitted characters.
+
+    The output plugs straight into
+    :meth:`repro.core.ManDynPolicy.from_tuning`.
+    """
+    return {
+        fn: ch.best_clock(candidates_mhz) for fn, ch in characters.items()
+    }

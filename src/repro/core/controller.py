@@ -1,0 +1,116 @@
+"""Frequency controller: the NVML instrumentation of §III-D.
+
+The controller is a :class:`~repro.core.hooks.FunctionHook` registered
+*before* the energy profiler, mirroring the paper's instrumentation:
+
+    nvmlDevice_t nvmlDeviceId;
+    getNvmlDevice(&nvmlDeviceId);
+    nvmlDeviceSetApplicationsClocks(nvmlDeviceId, memClk, gfxClk);
+
+Each MPI rank is bound to one GPU, so the rank's device handle is its
+device index. Clock changes go through the management library (NVML on
+Nvidia systems, ROCm SMI on AMD systems) and cost simulated latency;
+the controller skips the call when the device is already at the
+requested bin, as the real instrumentation does.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .. import nvml, rocm
+from ..hardware.gpu import SimulatedGpu
+from ..units import to_mhz
+from .freq_policy import FrequencyPolicy
+
+
+class FrequencyController:
+    """Applies a :class:`FrequencyPolicy` around step functions."""
+
+    def __init__(
+        self, gpus: List[SimulatedGpu], policy: FrequencyPolicy
+    ) -> None:
+        if not gpus:
+            raise ValueError("controller needs at least one device")
+        self._gpus = gpus
+        self.policy = policy
+        self._vendor = gpus[0].spec.vendor
+        self.clock_set_calls = 0
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def apply_initial_mode(self) -> None:
+        """Set every device to the policy's starting mode (run start)."""
+        initial = self.policy.initial_mode()
+        for rank in range(len(self._gpus)):
+            if initial is None:
+                self._reset(rank)
+            else:
+                self._set(rank, initial)
+
+    def restore_defaults(self) -> None:
+        """Pin every device back to its default clock (run end)."""
+        for rank, gpu in enumerate(self._gpus):
+            self._set(rank, to_mhz(gpu.spec.default_clock_hz))
+
+    # -- hook interface --------------------------------------------------------
+
+    def before_function(self, function: str, rank: int) -> None:
+        target = self.policy.frequency_for(function)
+        if target is not None:
+            self._set(rank, target)
+
+    def after_function(self, function: str, rank: int) -> None:
+        # ManDyn resets happen via the *next* function's before-call;
+        # nothing to do here.
+        return
+
+    # -- device access through the management library ---------------------------
+
+    def _set(self, rank: int, freq_mhz: float) -> None:
+        from .. import levelzero
+
+        gpu = self._gpus[rank]
+        quantized_hz = gpu.spec.quantize_clock_hz(freq_mhz * 1e6)
+        if gpu.application_clock_hz == quantized_hz:
+            return  # already there: skip the (costly) library call
+        self.clock_set_calls += 1
+        if self._vendor == "nvidia":
+            handle = nvml.nvmlDeviceGetHandleByIndex(rank)
+            mem_mhz = nvml.nvmlDeviceGetSupportedMemoryClocks(handle)[0]
+            nvml.nvmlDeviceSetApplicationsClocks(
+                handle, mem_mhz, int(round(to_mhz(quantized_hz)))
+            )
+        elif self._vendor == "amd":
+            rocm.rsmi_dev_gpu_clk_freq_set(
+                rank, rocm.RSMI_CLK_TYPE_SYS, quantized_hz
+            )
+        else:  # intel: pin via a degenerate Sysman frequency range
+            pinned = to_mhz(quantized_hz)
+            levelzero.zesFrequencySetRange(
+                rank, levelzero.ZES_FREQ_DOMAIN_GPU, pinned, pinned
+            )
+
+    def _reset(self, rank: int) -> None:
+        from .. import levelzero
+
+        gpu = self._gpus[rank]
+        if gpu.dvfs_active:
+            return
+        self.clock_set_calls += 1
+        if self._vendor == "nvidia":
+            handle = nvml.nvmlDeviceGetHandleByIndex(rank)
+            nvml.nvmlDeviceResetApplicationsClocks(handle)
+        elif self._vendor == "amd":
+            rocm.rsmi_dev_gpu_clk_freq_reset(rank)
+        else:
+            levelzero.zesFrequencySetRange(
+                rank,
+                levelzero.ZES_FREQ_DOMAIN_GPU,
+                to_mhz(gpu.spec.min_clock_hz),
+                to_mhz(gpu.spec.max_clock_hz),
+            )
+
+    def current_clock_mhz(self, rank: int) -> float:
+        """Current graphics clock of a rank's device, MHz."""
+        return to_mhz(self._gpus[rank].current_clock_hz)

@@ -1,0 +1,49 @@
+"""Energy-delay product and normalized efficiency metrics (§IV-C)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+def energy_delay_product(energy_j: float, time_s: float) -> float:
+    """EDP = energy * time (J*s). Lower is better."""
+    if energy_j < 0 or time_s < 0:
+        raise ValueError("energy and time must be non-negative")
+    return energy_j * time_s
+
+
+@dataclass(frozen=True)
+class Metrics:
+    """Time-to-solution, energy-to-solution and their product."""
+
+    time_s: float
+    energy_j: float
+
+    @property
+    def edp(self) -> float:
+        return energy_delay_product(self.energy_j, self.time_s)
+
+    def normalized_to(self, baseline: "Metrics") -> "NormalizedMetrics":
+        """Ratios against a baseline run (1.0 = identical)."""
+        if baseline.time_s <= 0 or baseline.energy_j <= 0:
+            raise ValueError("baseline must have positive time and energy")
+        return NormalizedMetrics(
+            time=self.time_s / baseline.time_s,
+            energy=self.energy_j / baseline.energy_j,
+            edp=self.edp / baseline.edp,
+        )
+
+
+@dataclass(frozen=True)
+class NormalizedMetrics:
+    """Ratios vs. a baseline, as plotted in Figs. 6-8."""
+
+    time: float
+    energy: float
+    edp: float
+
+    def __str__(self) -> str:
+        return (
+            f"time x{self.time:.4f}, energy x{self.energy:.4f}, "
+            f"EDP x{self.edp:.4f}"
+        )

@@ -1,0 +1,353 @@
+"""Per-rank, per-function, per-device energy measurement (§III-B).
+
+The :class:`EnergyProfiler` is a :class:`~repro.core.hooks.FunctionHook`
+that measures, per MPI rank and per instrumented function, wall time and
+energy broken down by device class (GPU / CPU / Memory / Other). As in
+the paper:
+
+* measurements happen *per rank* during the run and are only gathered
+  (and written to a report file) at the end, to avoid perturbing the
+  simulation;
+* GPU energy comes from the device counters (NVML semantics). On
+  MI250X systems the sensors are per *card*, shared by two ranks
+  (GCDs); :class:`CardShareGpuSource` divides the card counter between
+  the sharing ranks, which is the rank-to-GPU-assignment-aware analysis
+  of §III-B and carries the small inaccuracy acknowledged in §IV-A;
+* CPU / Memory / Other energy is attributed to a function proportional
+  to its wall time and the per-rank share of the node-level draw —
+  the paper's observation that CPU energy tracks function duration
+  (§IV-B).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..hardware.gpu import SimulatedGpu
+from ..hardware.node import ComputeNode
+
+#: Device classes in reporting order (Fig. 4 legend).
+DEVICE_CLASSES = ("GPU", "CPU", "Memory", "Other")
+
+
+class GpuEnergySource:
+    """Per-rank GPU energy reader with exact per-device counters."""
+
+    card_level = False
+
+    def __init__(self, gpu: SimulatedGpu) -> None:
+        self._gpu = gpu
+
+    def read_j(self) -> float:
+        return self._gpu.energy_j
+
+
+class CardShareGpuSource:
+    """Per-rank GPU energy via a shared card-level counter (MI250X).
+
+    The counter sums both GCDs of the card; each of the ``n_sharing``
+    ranks is attributed an equal share. Exact when the sharing ranks do
+    identical work, slightly wrong otherwise — the §IV-A caveat.
+    """
+
+    card_level = True
+
+    def __init__(self, node: ComputeNode, card: int, n_sharing: int) -> None:
+        if n_sharing < 1:
+            raise ValueError("n_sharing must be at least 1")
+        self._node = node
+        self._card = card
+        self._n_sharing = n_sharing
+
+    def read_j(self) -> float:
+        return self._node.accel_energy_j(self._card) / self._n_sharing
+
+
+@dataclass
+class FunctionEnergyRecord:
+    """Accumulated measurements of one function on one rank."""
+
+    function: str
+    calls: int = 0
+    time_s: float = 0.0
+    device_j: Dict[str, float] = field(
+        default_factory=lambda: {d: 0.0 for d in DEVICE_CLASSES}
+    )
+
+    @property
+    def total_j(self) -> float:
+        return sum(self.device_j.values())
+
+    @property
+    def gpu_j(self) -> float:
+        return self.device_j["GPU"]
+
+    def merge(self, other: "FunctionEnergyRecord") -> None:
+        if other.function != self.function:
+            raise ValueError("cannot merge records of different functions")
+        self.calls += other.calls
+        self.time_s += other.time_s
+        for dev in DEVICE_CLASSES:
+            self.device_j[dev] += other.device_j[dev]
+
+
+@dataclass
+class RankEnergyReport:
+    """Everything one rank measured over the instrumented window."""
+
+    rank: int
+    records: Dict[str, FunctionEnergyRecord] = field(default_factory=dict)
+    window_start_s: Optional[float] = None
+    window_end_s: Optional[float] = None
+    window_gpu_j: float = 0.0
+
+    @property
+    def window_time_s(self) -> float:
+        if self.window_start_s is None or self.window_end_s is None:
+            raise RuntimeError("instrumented window was not closed")
+        return self.window_end_s - self.window_start_s
+
+    def total_device_j(self) -> Dict[str, float]:
+        totals = {d: 0.0 for d in DEVICE_CLASSES}
+        for rec in self.records.values():
+            for dev in DEVICE_CLASSES:
+                totals[dev] += rec.device_j[dev]
+        return totals
+
+
+class EnergyProfiler:
+    """Hook measuring per-function time and per-device energy per rank.
+
+    Parameters
+    ----------
+    gpu_sources:
+        One GPU energy reader per rank.
+    clocks:
+        One rank-local clock per rank (for wall time).
+    node_of_rank / nodes:
+        Topology for the analytic CPU/Memory/Other attribution.
+    """
+
+    def __init__(
+        self,
+        gpu_sources: List[GpuEnergySource],
+        clocks: List,
+        nodes: List[ComputeNode],
+        node_of_rank: List[int],
+    ) -> None:
+        n = len(gpu_sources)
+        if not (len(clocks) == len(node_of_rank) == n):
+            raise ValueError("per-rank inputs must align")
+        self._sources = gpu_sources
+        self._clocks = clocks
+        self._nodes = nodes
+        self._node_of_rank = node_of_rank
+        self._ranks_per_node = [
+            node_of_rank.count(i) for i in range(len(nodes))
+        ]
+        self.reports: List[RankEnergyReport] = [
+            RankEnergyReport(rank=r) for r in range(n)
+        ]
+        self._open_t: Dict[int, float] = {}
+        self._open_gpu_j: Dict[int, float] = {}
+        self._open_fn: Dict[int, str] = {}
+        self._window_open_gpu_j: List[float] = [0.0] * n
+        #: Optional per-step time series: one {function: (time, gpu_j)}
+        #: dict per completed step, aggregated over ranks.
+        self.timeline: List[Dict[str, "tuple"]] = []
+        self._step_acc: Dict[str, List[float]] = {}
+
+    # -- hook interface ------------------------------------------------------
+
+    def before_function(self, function: str, rank: int) -> None:
+        if rank in self._open_fn:
+            raise RuntimeError(
+                f"rank {rank} already measuring {self._open_fn[rank]!r}"
+            )
+        self._open_fn[rank] = function
+        self._open_t[rank] = self._clocks[rank].now
+        self._open_gpu_j[rank] = self._sources[rank].read_j()
+
+    def after_function(self, function: str, rank: int) -> None:
+        if self._open_fn.get(rank) != function:
+            raise RuntimeError(
+                f"rank {rank} closing {function!r} but "
+                f"{self._open_fn.get(rank)!r} is open"
+            )
+        del self._open_fn[rank]
+        dt = self._clocks[rank].now - self._open_t[rank]
+        gpu_j = self._sources[rank].read_j() - self._open_gpu_j[rank]
+        node = self._nodes[self._node_of_rank[rank]]
+        share = 1.0 / self._ranks_per_node[self._node_of_rank[rank]]
+        cpu_j = node.cpu.power_w() * dt * share
+        mem_j = node.power_spec.memory_power_w * dt * share
+        other_j = node.power_spec.aux_power_w * dt * share
+
+        report = self.reports[rank]
+        rec = report.records.setdefault(
+            function, FunctionEnergyRecord(function=function)
+        )
+        rec.calls += 1
+        rec.time_s += dt
+        rec.device_j["GPU"] += gpu_j
+        rec.device_j["CPU"] += cpu_j
+        rec.device_j["Memory"] += mem_j
+        rec.device_j["Other"] += other_j
+        acc = self._step_acc.setdefault(function, [0.0, 0.0])
+        acc[0] += dt
+        acc[1] += gpu_j
+
+    def mark_step(self) -> None:
+        """Close one time-step's timeline record (called per loop step).
+
+        Each record maps ``function -> (summed rank time, GPU joules)``
+        for that step, enabling per-step trend analysis (e.g. adaptive
+        neighbor counts or decomposition drift showing up as energy
+        drift).
+        """
+        self.timeline.append(
+            {fn: (acc[0], acc[1]) for fn, acc in self._step_acc.items()}
+        )
+        self._step_acc = {}
+
+    # -- instrumented window (PMT starts at the time-stepping loop) ----------
+
+    def open_window(self) -> None:
+        """Mark the start of the measured region (main loop entry)."""
+        for rank, report in enumerate(self.reports):
+            report.window_start_s = self._clocks[rank].now
+            self._window_open_gpu_j[rank] = self._sources[rank].read_j()
+
+    def close_window(self) -> None:
+        """Mark the end of the measured region (main loop exit)."""
+        for rank, report in enumerate(self.reports):
+            if report.window_start_s is None:
+                raise RuntimeError("window was never opened")
+            report.window_end_s = self._clocks[rank].now
+            report.window_gpu_j = (
+                self._sources[rank].read_j() - self._window_open_gpu_j[rank]
+            )
+
+    # -- gather / persist -----------------------------------------------------
+
+    def gather(self, comm) -> "EnergyReport":
+        """End-of-run gather of all rank reports (root keeps them all)."""
+        gathered = comm.gather(self.reports)
+        return EnergyReport(ranks=list(gathered))
+
+
+@dataclass
+class EnergyReport:
+    """Gathered per-rank reports plus aggregation helpers."""
+
+    ranks: List[RankEnergyReport]
+
+    def aggregate_functions(self) -> Dict[str, FunctionEnergyRecord]:
+        """Sum records across ranks, keyed by function name."""
+        out: Dict[str, FunctionEnergyRecord] = {}
+        for rank_report in self.ranks:
+            for name, rec in rank_report.records.items():
+                if name in out:
+                    out[name].merge(rec)
+                else:
+                    merged = FunctionEnergyRecord(function=name)
+                    merged.merge(rec)
+                    out[name] = merged
+        return out
+
+    def total_device_j(self) -> Dict[str, float]:
+        totals = {d: 0.0 for d in DEVICE_CLASSES}
+        for rank_report in self.ranks:
+            for dev, j in rank_report.total_device_j().items():
+                totals[dev] += j
+        return totals
+
+    def total_j(self) -> float:
+        return sum(self.total_device_j().values())
+
+    def max_window_time_s(self) -> float:
+        """Time-to-solution: the slowest rank's instrumented window."""
+        return max(r.window_time_s for r in self.ranks)
+
+    def total_window_gpu_j(self) -> float:
+        """GPU energy over the instrumented window, all ranks."""
+        return sum(r.window_gpu_j for r in self.ranks)
+
+    # -- persistence (post-hoc analysis files, §III-B) -----------------------
+
+    def save(self, path: str) -> None:
+        """Write the gathered report as JSON for post-hoc analysis."""
+        payload = {
+            "ranks": [
+                {
+                    "rank": r.rank,
+                    "window_start_s": r.window_start_s,
+                    "window_end_s": r.window_end_s,
+                    "window_gpu_j": r.window_gpu_j,
+                    "records": {
+                        name: asdict(rec) for name, rec in r.records.items()
+                    },
+                }
+                for r in self.ranks
+            ]
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1)
+
+    @staticmethod
+    def load(path: str) -> "EnergyReport":
+        """Read a report written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        ranks = []
+        for rd in payload["ranks"]:
+            records = {}
+            for name, rec in rd["records"].items():
+                records[name] = FunctionEnergyRecord(
+                    function=rec["function"],
+                    calls=rec["calls"],
+                    time_s=rec["time_s"],
+                    device_j=dict(rec["device_j"]),
+                )
+            ranks.append(
+                RankEnergyReport(
+                    rank=rd["rank"],
+                    records=records,
+                    window_start_s=rd["window_start_s"],
+                    window_end_s=rd["window_end_s"],
+                    window_gpu_j=rd.get("window_gpu_j", 0.0),
+                )
+            )
+        return EnergyReport(ranks=ranks)
+
+
+def make_gpu_sources(cluster) -> List[GpuEnergySource]:
+    """Build the right per-rank GPU energy readers for a cluster.
+
+    Single-GCD cards get exact per-device readers; multi-GCD cards
+    (LUMI-G) get card-share readers, reproducing §III-B.
+    """
+    sources: List[GpuEnergySource] = []
+    for rank in range(cluster.n_ranks):
+        gpu = cluster.gpu_of_rank(rank)
+        gcds = gpu.spec.gcds_per_card
+        if gcds == 1:
+            sources.append(GpuEnergySource(gpu))
+        else:
+            node = cluster.node_of(rank)
+            sources.append(
+                CardShareGpuSource(node, cluster.card_of_rank(rank), gcds)
+            )
+    return sources
+
+
+def make_profiler(cluster) -> EnergyProfiler:
+    """EnergyProfiler wired to a :class:`~repro.systems.Cluster`."""
+    return EnergyProfiler(
+        gpu_sources=make_gpu_sources(cluster),
+        clocks=cluster.clocks,
+        nodes=cluster.nodes,
+        node_of_rank=cluster.node_of_rank,
+    )

@@ -1,0 +1,95 @@
+"""GPU frequency-scaling strategies (§III-D, §IV-C/D).
+
+Three strategies are compared in the paper's Fig. 7:
+
+* **static** — pin the application clocks to one value for the whole
+  run (what Slurm's ``--gpu-freq`` or the centre's defaults do);
+* **dvfs** — reset application clocks and let the device's governor
+  manage frequency;
+* **ManDyn** — the paper's contribution: before each instrumented
+  function, set the application clocks to that function's sweet-spot
+  frequency (discovered offline with the kernel tuner, Fig. 2).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional
+
+
+class FrequencyPolicy(abc.ABC):
+    """Decides the GPU application clock around each step function."""
+
+    #: Short name used in reports and figures.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def initial_mode(self) -> Optional[float]:
+        """Clock to pin at run start, MHz; ``None`` means DVFS-governed."""
+
+    def frequency_for(self, function: str) -> Optional[float]:
+        """Clock to pin before ``function``, MHz; ``None`` = leave as is."""
+        return None
+
+
+class StaticFrequencyPolicy(FrequencyPolicy):
+    """Whole-run pinned application clocks."""
+
+    def __init__(self, freq_mhz: float) -> None:
+        if freq_mhz <= 0:
+            raise ValueError("frequency must be positive")
+        self.freq_mhz = float(freq_mhz)
+        self.name = f"static-{freq_mhz:.0f}MHz"
+
+    def initial_mode(self) -> Optional[float]:
+        return self.freq_mhz
+
+
+class DvfsPolicy(FrequencyPolicy):
+    """Hand the device to its built-in DVFS governor for the whole run."""
+
+    name = "dvfs"
+
+    def initial_mode(self) -> Optional[float]:
+        return None
+
+
+class ManDynPolicy(FrequencyPolicy):
+    """Per-function application clocks through code instrumentation.
+
+    ``freq_map`` maps function names to MHz; unmapped functions run at
+    ``default_mhz`` (the device maximum in the paper's experiments).
+    """
+
+    name = "ManDyn"
+
+    def __init__(
+        self, freq_map: Mapping[str, float], default_mhz: float
+    ) -> None:
+        if default_mhz <= 0:
+            raise ValueError("default frequency must be positive")
+        for fn, mhz_value in freq_map.items():
+            if mhz_value <= 0:
+                raise ValueError(f"non-positive frequency for {fn!r}")
+        self.freq_map: Dict[str, float] = dict(freq_map)
+        self.default_mhz = float(default_mhz)
+
+    def initial_mode(self) -> Optional[float]:
+        return self.default_mhz
+
+    def frequency_for(self, function: str) -> Optional[float]:
+        return self.freq_map.get(function, self.default_mhz)
+
+    @staticmethod
+    def from_tuning(
+        best_freq_mhz: Mapping[str, float], default_mhz: float
+    ) -> "ManDynPolicy":
+        """Build the policy straight from kernel-tuner output (Fig. 2)."""
+        return ManDynPolicy(freq_map=best_freq_mhz, default_mhz=default_mhz)
+
+
+def baseline_policy(max_freq_mhz: float) -> StaticFrequencyPolicy:
+    """The paper's baseline: application clocks pinned at the maximum."""
+    policy = StaticFrequencyPolicy(max_freq_mhz)
+    policy.name = "baseline"
+    return policy

@@ -1,0 +1,60 @@
+"""SPH-EXA-style profiling hooks.
+
+SPH-EXA exposes hook points around every function of the time-stepping
+loop, normally used for timing (§III-B). The paper plugs two things
+into them: energy measurement (PMT / pm_counters readers) and the
+GPU-frequency controller (NVML application-clock calls before each
+computational kernel). This registry reproduces that mechanism: any
+number of observers receive ``before(function, rank)`` /
+``after(function, rank)`` callbacks, and the simulation core fires them
+around every named step function.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol
+
+
+class FunctionHook(Protocol):
+    """Observer of step-function boundaries on one rank."""
+
+    def before_function(self, function: str, rank: int) -> None:
+        """Called immediately before ``function`` starts on ``rank``."""
+
+    def after_function(self, function: str, rank: int) -> None:
+        """Called immediately after ``function`` completes on ``rank``."""
+
+
+class HookRegistry:
+    """Ordered collection of function hooks.
+
+    ``before`` callbacks fire in registration order, ``after`` in
+    reverse order (so wrapping hooks nest correctly: the frequency
+    controller registered first acts outside the energy profiler).
+    """
+
+    def __init__(self) -> None:
+        self._hooks: List[FunctionHook] = []
+
+    def register(self, hook: FunctionHook) -> None:
+        if hook in self._hooks:
+            raise ValueError("hook already registered")
+        self._hooks.append(hook)
+
+    def unregister(self, hook: FunctionHook) -> None:
+        try:
+            self._hooks.remove(hook)
+        except ValueError:
+            raise ValueError("hook was not registered") from None
+
+    @property
+    def hooks(self) -> List[FunctionHook]:
+        return list(self._hooks)
+
+    def fire_before(self, function: str, rank: int) -> None:
+        for hook in self._hooks:
+            hook.before_function(function, rank)
+
+    def fire_after(self, function: str, rank: int) -> None:
+        for hook in reversed(self._hooks):
+            hook.after_function(function, rank)

@@ -1,0 +1,134 @@
+"""Online per-function frequency tuning (extension of §III-C/D).
+
+The paper finds per-kernel sweet spots *offline* with KernelTuner and
+bakes them into the ManDyn instrumentation. This extension removes the
+offline pass: during the first steps of a production run, the policy
+explores a small set of candidate clocks per function, measuring each
+function's time and GPU energy through the same hooks the profiler
+uses, then pins every function to its best-EDP clock for the rest of
+the run. Exploration costs a bounded number of steps; convergence is
+deterministic.
+
+This is exactly the "the developer has prior knowledge" loop of the
+paper turned into a measurement loop — useful when a new simulation
+code (or a new GPU, cf. §V) has no tuning data yet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..hardware.gpu import SimulatedGpu
+from .freq_policy import FrequencyPolicy
+
+
+@dataclass
+class _Observation:
+    time_s: float = 0.0
+    energy_j: float = 0.0
+    calls: int = 0
+
+    @property
+    def edp(self) -> float:
+        return self.time_s * self.energy_j
+
+
+class OnlineTuningPolicy(FrequencyPolicy):
+    """Explore candidate clocks per function, then exploit the best.
+
+    Parameters
+    ----------
+    candidates_mhz:
+        Clocks to try per function, e.g. ``(1410, 1200, 1005)``.
+    rounds_per_candidate:
+        Function invocations measured per candidate before moving on.
+
+    The policy is also a hook: register it (before the profiler) so it
+    can measure the function windows itself.
+    """
+
+    name = "AutoDyn"
+
+    def __init__(
+        self,
+        gpus: Sequence[SimulatedGpu],
+        candidates_mhz: Sequence[float] = (1410.0, 1305.0, 1200.0, 1110.0, 1005.0),
+        rounds_per_candidate: int = 2,
+    ) -> None:
+        if not candidates_mhz:
+            raise ValueError("need at least one candidate clock")
+        if rounds_per_candidate < 1:
+            raise ValueError("need at least one round per candidate")
+        self._gpus = list(gpus)
+        self.candidates = [float(c) for c in candidates_mhz]
+        self.rounds = rounds_per_candidate
+        self._observations: Dict[str, List[_Observation]] = {}
+        self._progress: Dict[str, int] = {}
+        self.converged_map: Dict[str, float] = {}
+        self._open: Dict[tuple, tuple] = {}
+
+    # -- FrequencyPolicy interface -------------------------------------------
+
+    def initial_mode(self) -> Optional[float]:
+        return max(self.candidates)
+
+    def frequency_for(self, function: str) -> Optional[float]:
+        if function in self.converged_map:
+            return self.converged_map[function]
+        idx = self._candidate_index(function)
+        return self.candidates[idx]
+
+    # -- hook interface (measurement) -----------------------------------------
+
+    def before_function(self, function: str, rank: int) -> None:
+        gpu = self._gpus[rank]
+        self._open[(function, rank)] = (gpu.clock.now, gpu.energy_j)
+
+    def after_function(self, function: str, rank: int) -> None:
+        key = (function, rank)
+        if key not in self._open:
+            return
+        t0, e0 = self._open.pop(key)
+        if function in self.converged_map:
+            return
+        gpu = self._gpus[rank]
+        obs_list = self._observations.setdefault(
+            function, [_Observation() for _ in self.candidates]
+        )
+        idx = self._candidate_index(function)
+        obs = obs_list[idx]
+        obs.time_s += gpu.clock.now - t0
+        obs.energy_j += gpu.energy_j - e0
+        obs.calls += 1
+        # Only rank 0 drives progression (all ranks run the same work).
+        if rank == 0:
+            self._progress[function] = self._progress.get(function, 0) + 1
+            total_needed = self.rounds * len(self.candidates)
+            if self._progress[function] >= total_needed:
+                self._converge(function)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _candidate_index(self, function: str) -> int:
+        done = self._progress.get(function, 0)
+        return min(done // self.rounds, len(self.candidates) - 1)
+
+    def _converge(self, function: str) -> None:
+        observations = self._observations[function]
+        best_idx = min(
+            range(len(self.candidates)),
+            key=lambda i: observations[i].edp / max(observations[i].calls, 1) ** 2,
+        )
+        self.converged_map[function] = self.candidates[best_idx]
+
+    @property
+    def fully_converged(self) -> bool:
+        """True once every observed function has a pinned clock."""
+        return bool(self._observations) and all(
+            fn in self.converged_map for fn in self._observations
+        )
+
+    def exploration_steps(self) -> int:
+        """Steps needed before every function is converged."""
+        return self.rounds * len(self.candidates)

@@ -1,0 +1,66 @@
+"""Pareto analysis of the time/energy trade-off (§IV-D).
+
+The paper frames dynamic frequency scaling as "identifying
+Pareto-optimal solutions that provide acceptable performance and lower
+energy consumption". These helpers compute the Pareto front over a set
+of measured (time, energy) points and classify each configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .edp import Metrics
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One configuration's position in the trade-off space."""
+
+    label: str
+    metrics: Metrics
+    dominated_by: Tuple[str, ...]
+
+    @property
+    def optimal(self) -> bool:
+        return not self.dominated_by
+
+
+def _dominates(a: Metrics, b: Metrics) -> bool:
+    """True if ``a`` is no worse on both axes and better on one."""
+    no_worse = a.time_s <= b.time_s and a.energy_j <= b.energy_j
+    better = a.time_s < b.time_s or a.energy_j < b.energy_j
+    return no_worse and better
+
+
+def pareto_analysis(series: Dict[str, Metrics]) -> List[ParetoPoint]:
+    """Classify every configuration; Pareto-optimal ones are undominated.
+
+    Returns points sorted by time-to-solution.
+    """
+    if not series:
+        raise ValueError("nothing to analyze")
+    points = []
+    for label, metrics in series.items():
+        dominated_by = tuple(
+            other
+            for other, m in series.items()
+            if other != label and _dominates(m, metrics)
+        )
+        points.append(
+            ParetoPoint(label=label, metrics=metrics, dominated_by=dominated_by)
+        )
+    return sorted(points, key=lambda p: p.metrics.time_s)
+
+
+def pareto_front(series: Dict[str, Metrics]) -> List[str]:
+    """Labels of the Pareto-optimal configurations, fastest first."""
+    return [p.label for p in pareto_analysis(series) if p.optimal]
+
+
+def knee_point(series: Dict[str, Metrics]) -> str:
+    """The front configuration with the best EDP (the paper's combined
+    metric is exactly a knee criterion for this trade-off)."""
+    front = pareto_front(series)
+    return min(front, key=lambda label: series[label].edp)

@@ -1,0 +1,89 @@
+"""Compare two gathered energy reports (A/B runs of the same workload).
+
+The paper's workflow is inherently comparative — baseline vs ManDyn,
+clock A vs clock B. This helper diffs two saved
+:class:`~repro.core.energy.EnergyReport` files per function and per
+device class, producing exactly the normalized quantities Figs. 7-8
+plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from .analysis import per_function_metrics, run_metrics
+from .energy import DEVICE_CLASSES, EnergyReport
+
+
+@dataclass(frozen=True)
+class FunctionDiff:
+    """Normalized change of one function between two runs (B / A)."""
+
+    function: str
+    time_ratio: float
+    gpu_energy_ratio: float
+
+    @property
+    def edp_ratio(self) -> float:
+        return self.time_ratio * self.gpu_energy_ratio
+
+
+@dataclass(frozen=True)
+class ReportDiff:
+    """Whole-run and per-function comparison of run B against run A."""
+
+    time_ratio: float
+    total_energy_ratio: float
+    gpu_energy_ratio: float
+    device_ratios: Dict[str, float]
+    functions: List[FunctionDiff]
+
+    @property
+    def edp_ratio(self) -> float:
+        return self.time_ratio * self.gpu_energy_ratio
+
+
+def diff_reports(a: EnergyReport, b: EnergyReport) -> ReportDiff:
+    """Normalized comparison of run ``b`` against baseline ``a``.
+
+    Functions present in only one report are skipped (different
+    workloads are not meaningfully diffable function-by-function).
+    """
+    metrics_a = run_metrics(a)
+    metrics_b = run_metrics(b)
+    gpu_a = run_metrics(a, gpu_only=True)
+    gpu_b = run_metrics(b, gpu_only=True)
+    if metrics_a.time_s <= 0 or metrics_a.energy_j <= 0:
+        raise ValueError("baseline report has no measured window")
+
+    dev_a = a.total_device_j()
+    dev_b = b.total_device_j()
+    device_ratios = {
+        d: (dev_b[d] / dev_a[d]) if dev_a[d] > 0 else float("nan")
+        for d in DEVICE_CLASSES
+    }
+
+    fns_a = per_function_metrics(a)
+    fns_b = per_function_metrics(b)
+    functions = []
+    for fn in sorted(set(fns_a) & set(fns_b)):
+        ma, mb = fns_a[fn], fns_b[fn]
+        if ma.time_s <= 0 or ma.energy_j <= 0:
+            continue
+        functions.append(
+            FunctionDiff(
+                function=fn,
+                time_ratio=mb.time_s / ma.time_s,
+                gpu_energy_ratio=mb.energy_j / ma.energy_j,
+            )
+        )
+    functions.sort(key=lambda d: d.edp_ratio)
+
+    return ReportDiff(
+        time_ratio=metrics_b.time_s / metrics_a.time_s,
+        total_energy_ratio=metrics_b.energy_j / metrics_a.energy_j,
+        gpu_energy_ratio=gpu_b.energy_j / gpu_a.energy_j,
+        device_ratios=device_ratios,
+        functions=functions,
+    )

@@ -1,0 +1,5 @@
+"""HPE/Cray pm_counters sysfs emulation at 10 Hz (DESIGN.md §2)."""
+
+from .pm_counters import PM_COUNTERS_VERSION, PUBLISH_PERIOD_S, PmCounters
+
+__all__ = ["PM_COUNTERS_VERSION", "PUBLISH_PERIOD_S", "PmCounters"]

@@ -1,0 +1,185 @@
+"""HPE/Cray ``pm_counters`` sysfs emulation.
+
+Cray-built nodes publish out-of-band power/energy telemetry through
+read-only sysfs files under ``/sys/cray/pm_counters/`` at a default
+rate of 10 Hz (Martin, CUG'14/'18; paper §II-A):
+
+* ``energy`` / ``power``               — whole node
+* ``cpu_energy`` / ``cpu_power``       — CPU package
+* ``memory_energy`` / ``memory_power`` — DIMMs
+* ``accelN_energy`` / ``accelN_power`` — accelerator *card* N
+* ``freshness``, ``generation``, ``startup``, ``version``
+
+The emulation samples a :class:`~repro.hardware.node.ComputeNode` at
+exact 0.1 s boundaries of simulated time (with linear interpolation
+inside each clock advance, which is exact because power is piecewise
+constant), so a reader always sees the value as of the last publish
+tick — including the staleness a real 10 Hz feed has.
+
+On MI250X nodes each ``accelN`` counter covers one card = two GCDs =
+two MPI ranks; that granularity mismatch is preserved (§III-B).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+from ..hardware.node import ComputeNode
+
+#: Default out-of-band collection period in (simulated) seconds.
+PUBLISH_PERIOD_S = 0.1
+
+#: Counter file format version advertised by the emulation.
+PM_COUNTERS_VERSION = "1"
+
+
+class PmCounters:
+    """One node's ``/sys/cray/pm_counters`` view.
+
+    Construct it *after* the node (its devices must already be
+    subscribed to the clock) so the publish listener observes
+    post-update energies.
+    """
+
+    def __init__(
+        self, node: ComputeNode, export_dir: Optional[str] = None
+    ) -> None:
+        self._node = node
+        self._export_dir = export_dir
+        self._startup = node.clock.now
+        self._freshness = 0
+        self._generation = 1
+        self._last_publish_t = node.clock.now
+        self._prev_t = node.clock.now
+        self._prev = self._raw_now()
+        self._published = dict(self._prev)
+        self._published_power = {k: 0.0 for k in self._prev}
+        node.clock.subscribe(self._on_advance)
+        if export_dir is not None:
+            os.makedirs(export_dir, exist_ok=True)
+            self._export()
+
+    # -- sampling -----------------------------------------------------------
+
+    def _raw_now(self) -> Dict[str, float]:
+        node = self._node
+        raw = {
+            "energy": node.node_energy_j,
+            "cpu_energy": node.cpu_energy_j,
+            "memory_energy": node.memory_energy_j,
+        }
+        for card in range(node.num_cards):
+            raw[f"accel{card}_energy"] = node.accel_energy_j(card)
+        return raw
+
+    def _on_advance(self, t0: float, t1: float) -> None:
+        # Subscribed after every device, so raw values are already at t1.
+        now_vals = self._raw_now()
+        span = t1 - t0
+        boundary = self._next_boundary(t0)
+        while boundary <= t1 + 1e-12:
+            frac = 0.0 if span <= 0 else (boundary - t0) / span
+            snapshot = {
+                k: self._prev[k] + (now_vals[k] - self._prev[k]) * frac
+                for k in now_vals
+            }
+            self._publish(boundary, snapshot)
+            boundary += PUBLISH_PERIOD_S
+        self._prev = now_vals
+        self._prev_t = t1
+
+    def _next_boundary(self, after: float) -> float:
+        n = int(after / PUBLISH_PERIOD_S) + 1
+        b = n * PUBLISH_PERIOD_S
+        # Guard against float droop putting the boundary at/before `after`.
+        while b <= after + 1e-12:
+            n += 1
+            b = n * PUBLISH_PERIOD_S
+        return b
+
+    def _publish(self, t: float, snapshot: Dict[str, float]) -> None:
+        dt = t - self._last_publish_t
+        for key, value in snapshot.items():
+            if dt > 0:
+                self._published_power[key] = (value - self._published[key]) / dt
+            self._published[key] = value
+        self._last_publish_t = t
+        self._freshness += 1
+        if self._export_dir is not None:
+            self._export()
+
+    # -- reading --------------------------------------------------------------
+
+    @property
+    def freshness(self) -> int:
+        """Publish tick counter (increments at 10 Hz of simulated time)."""
+        return self._freshness
+
+    @property
+    def startup(self) -> float:
+        return self._startup
+
+    def files(self) -> List[str]:
+        """Names of all counter files this node publishes."""
+        names = ["version", "startup", "freshness", "generation"]
+        for key in self._published:
+            names.append(key)
+            names.append(key.replace("energy", "power"))
+        return names
+
+    def read_energy_j(self, counter: str) -> float:
+        """Last published value of an energy counter, joules.
+
+        ``counter`` is the sysfs file name, e.g. ``"energy"``,
+        ``"cpu_energy"``, ``"accel0_energy"``.
+        """
+        try:
+            return self._published[counter]
+        except KeyError:
+            raise FileNotFoundError(
+                f"/sys/cray/pm_counters/{counter}"
+            ) from None
+
+    def read_power_w(self, counter: str) -> float:
+        """Last published average power of a counter, watts."""
+        key = counter.replace("power", "energy")
+        try:
+            return self._published_power[key]
+        except KeyError:
+            raise FileNotFoundError(
+                f"/sys/cray/pm_counters/{counter}"
+            ) from None
+
+    def read_file(self, name: str) -> str:
+        """Raw file content in the Cray text format: ``<value> <unit> <ts>``."""
+        ts_us = int(self._last_publish_t * 1e6)
+        if name == "version":
+            return PM_COUNTERS_VERSION
+        if name == "startup":
+            return f"{int(self._startup * 1e6)}"
+        if name == "freshness":
+            return f"{self._freshness}"
+        if name == "generation":
+            return f"{self._generation}"
+        if name.endswith("_energy") or name == "energy":
+            return f"{int(self.read_energy_j(name))} J {ts_us}"
+        if name.endswith("_power") or name == "power":
+            return f"{int(self.read_power_w(name))} W {ts_us}"
+        raise FileNotFoundError(f"/sys/cray/pm_counters/{name}")
+
+    # -- optional on-disk export ----------------------------------------------
+
+    def _export(self) -> None:
+        assert self._export_dir is not None
+        for name in self.files():
+            path = os.path.join(self._export_dir, name)
+            with open(path, "w", encoding="ascii") as fh:
+                fh.write(self.read_file(name) + "\n")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"PmCounters(node={self._node.name!r}, "
+            f"freshness={self._freshness}, "
+            f"energy={self._published.get('energy', 0.0):.0f} J)"
+        )

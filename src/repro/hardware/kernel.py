@@ -1,0 +1,106 @@
+"""GPU kernel launch descriptors.
+
+A :class:`KernelLaunch` describes one unit of work submitted to a
+:class:`~repro.hardware.gpu.SimulatedGpu`. It carries the *work*
+(floating point operations and bytes moved) rather than a duration;
+the duration is derived by the device's performance model at whatever
+frequency the device is running — which is the whole point of the
+paper: the same work takes different time and energy at different
+clocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class KernelLaunch:
+    """One GPU kernel launch.
+
+    Attributes
+    ----------
+    name:
+        Kernel (SPH-EXA function) name, e.g. ``"MomentumEnergy"``.
+    flops:
+        Floating point operations performed by the launch.
+    bytes_moved:
+        Bytes moved through the memory system by the launch.
+    power_intensity:
+        Fraction of the device's dynamic power envelope drawn while the
+        kernel executes (1.0 = full-tilt compute kernel, ~0.3 = sparse
+        lightweight launch).
+    launch_overhead:
+        Fixed host-side launch latency in seconds, paid per launch and
+        independent of frequency. Dominant for the bursts of tiny
+        kernels inside ``DomainDecompAndSync`` (paper §IV-E).
+    """
+
+    name: str
+    flops: float
+    bytes_moved: float
+    power_intensity: float = 1.0
+    launch_overhead: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops < 0 or self.bytes_moved < 0:
+            raise ValueError("kernel work must be non-negative")
+        if not 0.0 <= self.power_intensity <= 1.0:
+            raise ValueError("power_intensity must be within [0, 1]")
+        if self.launch_overhead < 0:
+            raise ValueError("launch_overhead must be non-negative")
+
+    def scaled(self, factor: float) -> "KernelLaunch":
+        """Return a copy with work scaled by ``factor`` (e.g. subsets)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return KernelLaunch(
+            name=self.name,
+            flops=self.flops * factor,
+            bytes_moved=self.bytes_moved * factor,
+            power_intensity=self.power_intensity,
+            launch_overhead=self.launch_overhead,
+        )
+
+
+@dataclass
+class KernelRecord:
+    """Aggregate execution statistics for one kernel name on one device."""
+
+    name: str
+    launches: int = 0
+    busy_seconds: float = 0.0
+    energy_joules: float = 0.0
+    flops: float = 0.0
+    bytes_moved: float = 0.0
+
+    def merge(self, other: "KernelRecord") -> None:
+        """Accumulate another record for the same kernel into this one."""
+        if other.name != self.name:
+            raise ValueError(
+                f"cannot merge record for {other.name!r} into {self.name!r}"
+            )
+        self.launches += other.launches
+        self.busy_seconds += other.busy_seconds
+        self.energy_joules += other.energy_joules
+        self.flops += other.flops
+        self.bytes_moved += other.bytes_moved
+
+
+def merge_kernel_records(
+    into: Dict[str, KernelRecord], update: Dict[str, KernelRecord]
+) -> None:
+    """Merge per-kernel record maps in place (used when gathering ranks)."""
+    for name, rec in update.items():
+        if name in into:
+            into[name].merge(rec)
+        else:
+            into[name] = KernelRecord(
+                name=rec.name,
+                launches=rec.launches,
+                busy_seconds=rec.busy_seconds,
+                energy_joules=rec.energy_joules,
+                flops=rec.flops,
+                bytes_moved=rec.bytes_moved,
+            )

@@ -1,0 +1,130 @@
+"""The simulated compute node.
+
+A :class:`ComputeNode` groups one host CPU, the node's GPUs (possibly
+multiple GCDs per physical card, as on LUMI-G), and the constant memory
+and auxiliary power draws. It exposes exactly the counters the HPE/Cray
+``pm_counters`` interface publishes per node:
+
+* ``energy``         — whole-node cumulative joules
+* ``cpu_energy``     — CPU package joules
+* ``memory_energy``  — DIMM joules
+* ``accelN_energy``  — per *card* joules (two GCDs share one counter
+  on MI250X, which is the measurement quirk of §III-B / §IV-A)
+
+The *Other* slice of Fig. 4 is, as in the paper, computed downstream by
+subtracting CPU + memory + accelerators from the node total.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .clock import VirtualClock
+from .cpu import SimulatedCpu
+from .gpu import SimulatedGpu
+from .specs import CpuSpec, NodePowerSpec
+
+
+class ComputeNode:
+    """One node: CPU + GPUs/GCDs + memory + auxiliary consumers."""
+
+    def __init__(
+        self,
+        name: str,
+        clock: VirtualClock,
+        cpu_spec: CpuSpec,
+        power_spec: NodePowerSpec,
+        gpus: Sequence[SimulatedGpu],
+    ) -> None:
+        if not gpus:
+            raise ValueError("a compute node needs at least one GPU/GCD")
+        self.name = name
+        self._clock = clock
+        self.cpu = SimulatedCpu(cpu_spec, clock)
+        self.power_spec = power_spec
+        self.gpus: List[SimulatedGpu] = list(gpus)
+        self._memory_energy_j = 0.0
+        self._aux_energy_j = 0.0
+        # GCDs group into physical cards; a trailing partial card is
+        # allowed (an allocation may use only one GCD of an MI250X).
+        self._gcds_per_card = self.gpus[0].spec.gcds_per_card
+        clock.subscribe(self._on_advance)
+
+    # -- structure ---------------------------------------------------------
+
+    @property
+    def clock(self) -> VirtualClock:
+        """The node's reference clock (the lead rank's clock)."""
+        return self._clock
+
+    @property
+    def num_cards(self) -> int:
+        """Physical accelerator cards on the node (last may be partial)."""
+        g = self._gcds_per_card
+        return (len(self.gpus) + g - 1) // g
+
+    @property
+    def gcds_per_card(self) -> int:
+        return self._gcds_per_card
+
+    def card_gpus(self, card: int) -> List[SimulatedGpu]:
+        """The GCD devices sitting on physical card ``card``."""
+        if not 0 <= card < self.num_cards:
+            raise IndexError(f"card {card} out of range 0..{self.num_cards - 1}")
+        lo = card * self._gcds_per_card
+        return self.gpus[lo : min(lo + self._gcds_per_card, len(self.gpus))]
+
+    # -- accounting ----------------------------------------------------------
+
+    def _on_advance(self, t0: float, t1: float) -> None:
+        dt = t1 - t0
+        self._memory_energy_j += self.power_spec.memory_power_w * dt
+        self._aux_energy_j += self.power_spec.aux_power_w * dt
+
+    @property
+    def cpu_energy_j(self) -> float:
+        return self.cpu.energy_j
+
+    @property
+    def memory_energy_j(self) -> float:
+        return self._memory_energy_j
+
+    @property
+    def aux_energy_j(self) -> float:
+        """Auxiliary (NIC/fans/VRM/PSU losses) energy, joules."""
+        return self._aux_energy_j
+
+    def accel_energy_j(self, card: int) -> float:
+        """Cumulative energy of physical card ``card`` (sums its GCDs)."""
+        return sum(g.energy_j for g in self.card_gpus(card))
+
+    @property
+    def gpu_energy_j(self) -> float:
+        """All accelerators on the node, joules."""
+        return sum(g.energy_j for g in self.gpus)
+
+    @property
+    def node_energy_j(self) -> float:
+        """Whole-node cumulative joules (what ``pm_counters`` 'energy' is)."""
+        return (
+            self.cpu_energy_j
+            + self.memory_energy_j
+            + self.aux_energy_j
+            + self.gpu_energy_j
+        )
+
+    def device_energy_breakdown_j(self) -> Dict[str, float]:
+        """Energy per device class, keyed as the Fig. 4 legend."""
+        return {
+            "GPU": self.gpu_energy_j,
+            "CPU": self.cpu_energy_j,
+            "Memory": self.memory_energy_j,
+            "Other": self.aux_energy_j,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ComputeNode({self.name!r}, cards={self.num_cards}, "
+            f"gcds_per_card={self._gcds_per_card}, "
+            f"energy={self.node_energy_j:.1f} J)"
+        )

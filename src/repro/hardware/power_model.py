@@ -1,0 +1,90 @@
+"""Device power models.
+
+GPU board power follows the calibrated DVFS response
+
+    P(f, i) = P_idle + i * P_dyn * (f / f_max) ** alpha
+
+where ``i`` is the executing kernel's power intensity (0 when idle) and
+``alpha`` is per-device (``GpuSpec.power_exponent``). Over the paper's
+1005-1410 MHz window the A100's core voltage is nearly flat, so alpha
+is well below the textbook cubic — it is calibrated so MomentumEnergy
+loses ~13 % energy and IADVelocityDivCurl ~19 % at 1005 MHz (Fig. 8b).
+
+Under *governor* (DVFS) control the device additionally keeps a voltage
+margin above the current clock so it can boost quickly; pinned
+application clocks do not pay this margin. That asymmetry is what makes
+whole-run DVFS energy land slightly *above* the pinned-max baseline in
+Fig. 7 even though the governor's average clock is lower.
+"""
+
+from __future__ import annotations
+
+from .specs import CpuSpec, GpuSpec, NodePowerSpec
+
+
+class GpuPowerModel:
+    """Board power for one simulated GPU/GCD."""
+
+    def __init__(self, spec: GpuSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> GpuSpec:
+        return self._spec
+
+    def busy_power_w(
+        self, clock_hz: float, intensity: float, voltage_margin_hz: float = 0.0
+    ) -> float:
+        """Board power while a kernel of ``intensity`` executes.
+
+        ``voltage_margin_hz`` models governor headroom: dynamic power is
+        paid as if the clock were ``clock_hz + margin`` (capped at max).
+        """
+        spec = self._spec
+        if not 0.0 <= intensity <= 1.0:
+            raise ValueError(f"intensity must be in [0, 1], got {intensity!r}")
+        effective = min(clock_hz + max(voltage_margin_hz, 0.0), spec.max_clock_hz)
+        ratio = effective / spec.max_clock_hz
+        return spec.idle_power_w + intensity * spec.dynamic_power_w * (
+            ratio**spec.power_exponent
+        )
+
+    def idle_power_w(self, clock_hz: float) -> float:
+        """Board power with no kernel resident.
+
+        A small clock-dependent term models uncore/clock-tree power, so
+        idling at pinned-max clocks costs slightly more than idling
+        down-clocked (visible in long communication phases).
+        """
+        spec = self._spec
+        ratio = clock_hz / spec.max_clock_hz
+        return spec.idle_power_w * (0.80 + 0.20 * ratio)
+
+
+class CpuPowerModel:
+    """Host CPU package power as a function of activity in [0, 1]."""
+
+    def __init__(self, spec: CpuSpec) -> None:
+        self._spec = spec
+
+    @property
+    def spec(self) -> CpuSpec:
+        return self._spec
+
+    def power_w(self, activity: float) -> float:
+        return self._spec.power_w(activity)
+
+
+class NodeAuxPowerModel:
+    """Constant memory + auxiliary ('Other') node power draws."""
+
+    def __init__(self, spec: NodePowerSpec) -> None:
+        self._spec = spec
+
+    @property
+    def memory_power_w(self) -> float:
+        return self._spec.memory_power_w
+
+    @property
+    def aux_power_w(self) -> float:
+        return self._spec.aux_power_w

@@ -1,0 +1,396 @@
+"""Device specifications and Table-I hardware presets.
+
+The numbers here are the *calibration layer* of the reproduction
+(DESIGN.md §5): device peak throughputs, power envelopes, supported
+clock bins and the voltage/frequency power exponent. The paper's
+results come out of the models fed with these constants; nothing
+downstream hard-codes a result.
+
+Presets cover the three systems of Table I:
+
+* **CSCS-A100** — 4x Nvidia A100-SXM4-80GB + AMD EPYC 7713 per node.
+* **LUMI-G** — 8x AMD MI250X GCDs (4 cards) + AMD EPYC 7A53 per node.
+* **miniHPC** — 2x Nvidia A100-PCIE-40GB + 2x Intel Xeon Gold 6258R.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from ..units import GIB, mhz
+
+
+@dataclass(frozen=True)
+class GovernorSpec:
+    """Parameters of the device's built-in DVFS governor model.
+
+    The governor model is behavioural (DESIGN.md §8): it reproduces the
+    frequency traces measured on an A100 in the paper's Fig. 9 rather
+    than any vendor's register-level implementation.
+    """
+
+    #: Governor decision quantum in seconds.
+    quantum: float = 0.010
+    #: Lowest clock the governor will select while the device is active.
+    active_floor_hz: float = mhz(930.0)
+    #: Clock selected after a long fully-idle period.
+    idle_clock_hz: float = mhz(210.0)
+    #: EWMA smoothing factor per quantum for the utilization estimate.
+    ewma: float = 0.55
+    #: Utilization attributed to a quantum that merely *contains* kernel
+    #: launches, regardless of achieved occupancy. Models the
+    #: launch-counting over-estimation of GPU utilization ([25], §IV-E).
+    launch_presence_floor: float = 0.55
+    #: Extra clock headroom the governor requests above the utilization
+    #: target right after a launch burst (boost behaviour).
+    boost_hz: float = mhz(120.0)
+    #: Voltage-margin penalty: under governor control the device holds a
+    #: voltage corresponding to ``f + margin`` to allow fast boosting,
+    #: which costs energy relative to pinned application clocks.
+    voltage_margin_hz: float = mhz(150.0)
+    #: Energy cost of one frequency transition, joules.
+    transition_energy_j: float = 0.015
+
+
+@dataclass(frozen=True)
+class ThermalSpec:
+    """First-order thermal model of a GPU package.
+
+    Die temperature relaxes toward the steady state
+    ``T_ss = ambient + resistance * P`` with time constant ``tau``;
+    above ``throttle_temp_c`` the device caps its clock, shedding
+    ``throttle_mhz_per_c`` per degree of excess — the standard
+    behaviour instrumented codes must coexist with on air-cooled
+    nodes (miniHPC's PCIE cards, unlike the SXM/OAM water-cooled
+    parts of the large systems).
+    """
+
+    #: Inlet/ambient temperature, degC.
+    ambient_c: float = 30.0
+    #: Steady-state degC per watt of board power.
+    resistance_c_per_w: float = 0.135
+    #: Thermal time constant, seconds.
+    tau_s: float = 20.0
+    #: Clock-capping threshold, degC.
+    throttle_temp_c: float = 88.0
+    #: Clock cap reduction per degC above the threshold, MHz.
+    throttle_mhz_per_c: float = 30.0
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium die temperature at constant ``power_w``."""
+        return self.ambient_c + self.resistance_c_per_w * power_w
+
+    def throttle_cap_hz(self, temp_c: float, max_clock_hz: float) -> float:
+        """Maximum clock permitted at ``temp_c`` (no cap below limit)."""
+        if temp_c <= self.throttle_temp_c:
+            return max_clock_hz
+        excess = temp_c - self.throttle_temp_c
+        return max(
+            max_clock_hz - excess * self.throttle_mhz_per_c * 1.0e6,
+            0.3 * max_clock_hz,
+        )
+
+
+@dataclass(frozen=True)
+class GpuSpec:
+    """Static description of a (simulated) GPU or GPU complex die.
+
+    Attributes
+    ----------
+    name, vendor:
+        Marketing name and ``"nvidia"`` / ``"amd"``.
+    min_clock_hz, max_clock_hz, clock_step_hz:
+        Supported graphics-clock range and bin size
+        (A100: 210..1410 MHz in 15 MHz bins).
+    default_clock_hz:
+        Application clock the HPC centre pins by default (Table I).
+    memory_clock_hz:
+        Memory clock; the paper never changes it and neither do we.
+    idle_power_w / max_power_w:
+        Idle draw and board power at max clock under a full-intensity
+        kernel. ``dynamic power = max_power_w - idle_power_w``.
+    power_exponent:
+        alpha in ``P = P_idle + i * P_dyn * (f / f_max) ** alpha``.
+        ~1.7 over the 1005-1410 MHz window where voltage scales weakly
+        (calibrated to the paper's -13 % / -19 % kernel energies).
+    fp_throughput:
+        Effective double-precision FLOP/s at ``max_clock_hz``.
+    mem_bandwidth:
+        Memory bandwidth, bytes/s (frequency independent here; memory
+        clocks are never scaled).
+    memory_bytes:
+        Device memory capacity (caps particles per GPU, §IV-C).
+    gcds_per_card:
+        GPU complex dies per physical card; power sensors report per
+        *card* (MI250X: 2), which creates the LUMI-G accounting quirk.
+    arch_efficiency:
+        Per-kernel efficiency multipliers on ``fp_throughput``; models
+        e.g. MomentumEnergy being poorly optimized for AMD GCDs
+        (45.8 % of GPU energy on LUMI-G vs 25.3 % on CSCS-A100, §IV-B).
+    governor:
+        DVFS governor behaviour parameters.
+    """
+
+    name: str
+    vendor: str
+    min_clock_hz: float
+    max_clock_hz: float
+    clock_step_hz: float
+    default_clock_hz: float
+    memory_clock_hz: float
+    idle_power_w: float
+    max_power_w: float
+    power_exponent: float
+    fp_throughput: float
+    mem_bandwidth: float
+    memory_bytes: float
+    gcds_per_card: int = 1
+    arch_efficiency: Dict[str, float] = field(default_factory=dict)
+    governor: GovernorSpec = field(default_factory=GovernorSpec)
+    thermal: ThermalSpec = field(default_factory=ThermalSpec)
+
+    def __post_init__(self) -> None:
+        if self.min_clock_hz > self.max_clock_hz:
+            raise ValueError("min_clock_hz must not exceed max_clock_hz")
+        if self.clock_step_hz <= 0:
+            raise ValueError("clock_step_hz must be positive")
+        if self.idle_power_w >= self.max_power_w:
+            raise ValueError("idle power must be below max power")
+
+    @property
+    def dynamic_power_w(self) -> float:
+        """Dynamic power envelope: max minus idle draw."""
+        return self.max_power_w - self.idle_power_w
+
+    def supported_clocks_hz(self) -> Tuple[float, ...]:
+        """All supported graphics clocks, descending (as NVML reports)."""
+        clocks = []
+        c = self.max_clock_hz
+        while c >= self.min_clock_hz - 1e-6:
+            clocks.append(round(c, 3))
+            c -= self.clock_step_hz
+        return tuple(clocks)
+
+    def quantize_clock_hz(self, requested_hz: float) -> float:
+        """Snap a requested clock to the nearest supported bin (clamped)."""
+        clamped = min(max(requested_hz, self.min_clock_hz), self.max_clock_hz)
+        steps = round((clamped - self.min_clock_hz) / self.clock_step_hz)
+        return min(
+            self.min_clock_hz + steps * self.clock_step_hz, self.max_clock_hz
+        )
+
+    def kernel_efficiency(self, kernel_name: str) -> float:
+        """Per-kernel architecture efficiency multiplier (default 1.0)."""
+        return self.arch_efficiency.get(kernel_name, 1.0)
+
+
+@dataclass(frozen=True)
+class CpuSpec:
+    """Static description of a (simulated) host CPU package group.
+
+    SPH-EXA runs entirely on the GPU; the host CPUs mostly idle and burn
+    near-constant power proportional to wall time (paper §IV-B), with a
+    modest bump while driving kernel launches or MPI progress.
+
+    CPU frequency scaling (Slurm ``--cpu-freq``, §II-B; cf. ARCHER2's
+    centre-wide down-clocking [24]) scales the dynamic power share as
+    ``(f / f_nominal) ** 1.8`` and slows host-side phases by
+    ``f_nominal / f``.
+    """
+
+    name: str
+    sockets: int
+    cores_per_socket: int
+    idle_power_w: float
+    active_power_w: float
+    memory_gib: float
+    nominal_freq_khz: int = 2_450_000
+    min_freq_khz: int = 1_500_000
+
+    #: Exponent of the dynamic-power response to CPU frequency.
+    POWER_EXPONENT = 1.8
+
+    @property
+    def cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+    def power_w(self, activity: float, freq_khz: "int | None" = None) -> float:
+        """Package power at ``activity`` in [0, 1] and clock ``freq_khz``."""
+        a = min(max(activity, 0.0), 1.0)
+        f = self.clamp_freq_khz(freq_khz or self.nominal_freq_khz)
+        ratio = f / self.nominal_freq_khz
+        dynamic = a * (self.active_power_w - self.idle_power_w)
+        idle = self.idle_power_w * (0.75 + 0.25 * ratio)
+        return idle + dynamic * ratio**self.POWER_EXPONENT
+
+    def clamp_freq_khz(self, freq_khz: int) -> int:
+        """Clamp a requested clock to the supported range."""
+        return int(
+            min(max(freq_khz, self.min_freq_khz), self.nominal_freq_khz)
+        )
+
+
+@dataclass(frozen=True)
+class NodePowerSpec:
+    """Non-CPU/GPU node power: DIMMs, NIC, fans, VRM/PSU losses.
+
+    The paper reports these as *Memory* (LUMI-G only exposes it
+    separately) and *Other* — the second most energy-hungry slice after
+    the GPUs (Fig. 4).
+    """
+
+    memory_power_w: float
+    aux_power_w: float
+
+
+# ---------------------------------------------------------------------------
+# Per-kernel architecture efficiencies (calibration, DESIGN.md section 5).
+# ---------------------------------------------------------------------------
+
+#: MI250X GCD runs the SPH-EXA kernels at a lower fraction of peak than
+#: the A100 does; MomentumEnergy in particular is singled out by the
+#: paper as unoptimized on AMD.
+_MI250X_KERNEL_EFFICIENCY = {
+    "MomentumEnergy": 0.30,
+    "IADVelocityDivCurl": 0.70,
+    "Gravity": 0.60,
+}
+
+
+def a100_sxm4_80gb() -> GpuSpec:
+    """Nvidia A100-SXM4-80GB (CSCS-A100 'Grace-like' nodes, Table I)."""
+    return GpuSpec(
+        name="NVIDIA A100-SXM4-80GB",
+        vendor="nvidia",
+        min_clock_hz=mhz(210.0),
+        max_clock_hz=mhz(1410.0),
+        clock_step_hz=mhz(15.0),
+        default_clock_hz=mhz(1410.0),
+        memory_clock_hz=mhz(1593.0),
+        idle_power_w=55.0,
+        max_power_w=400.0,
+        power_exponent=1.70,
+        fp_throughput=9.7e12,  # FP64 non-tensor peak
+        mem_bandwidth=2.0e12,
+        memory_bytes=80.0 * GIB,
+        gcds_per_card=1,
+    )
+
+
+def a100_pcie_40gb() -> GpuSpec:
+    """Nvidia A100-PCIE-40GB (miniHPC, Table I): lower TDP and bandwidth."""
+    return GpuSpec(
+        name="NVIDIA A100-PCIE-40GB",
+        vendor="nvidia",
+        min_clock_hz=mhz(210.0),
+        max_clock_hz=mhz(1410.0),
+        clock_step_hz=mhz(15.0),
+        default_clock_hz=mhz(1410.0),
+        memory_clock_hz=mhz(1593.0),
+        idle_power_w=45.0,
+        max_power_w=250.0,
+        power_exponent=1.70,
+        fp_throughput=9.7e12,
+        mem_bandwidth=1.555e12,
+        memory_bytes=40.0 * GIB,
+        gcds_per_card=1,
+    )
+
+
+def mi250x_gcd() -> GpuSpec:
+    """One GCD (half card) of an AMD MI250X (LUMI-G, Table I).
+
+    One MPI rank drives one GCD; power is sensed per *card* (two GCDs),
+    which `repro.craypm` and the analysis layer must account for.
+    """
+    return GpuSpec(
+        name="AMD Instinct MI250X (GCD)",
+        vendor="amd",
+        min_clock_hz=mhz(500.0),
+        max_clock_hz=mhz(1700.0),
+        clock_step_hz=mhz(50.0),
+        default_clock_hz=mhz(1700.0),
+        memory_clock_hz=mhz(1600.0),
+        idle_power_w=45.0,  # per GCD; 90 W per card
+        max_power_w=280.0,  # per GCD; 560 W per card
+        power_exponent=1.70,
+        fp_throughput=8.0e12,  # sustained per-GCD FP64 for this code family
+        mem_bandwidth=1.6e12,
+        memory_bytes=64.0 * GIB,
+        gcds_per_card=2,
+        arch_efficiency=dict(_MI250X_KERNEL_EFFICIENCY),
+    )
+
+
+def intel_max_1550() -> GpuSpec:
+    """Intel Data Center GPU Max 1550 (Ponte Vecchio OAM card).
+
+    The paper's future work extends the method to Intel GPUs; clock and
+    power management for this part goes through Level Zero Sysman
+    (`repro.levelzero`). One MPI rank drives one card here.
+    """
+    return GpuSpec(
+        name="Intel Data Center GPU Max 1550",
+        vendor="intel",
+        min_clock_hz=mhz(900.0),
+        max_clock_hz=mhz(1600.0),
+        clock_step_hz=mhz(50.0),
+        default_clock_hz=mhz(1600.0),
+        memory_clock_hz=mhz(1565.0),
+        idle_power_w=95.0,
+        max_power_w=600.0,
+        power_exponent=1.70,
+        fp_throughput=16.0e12,  # sustained card FP64 for this code family
+        mem_bandwidth=3.2e12,
+        memory_bytes=128.0 * GIB,
+        gcds_per_card=1,
+    )
+
+
+def xeon_max_9470_pair() -> CpuSpec:
+    """2x Intel Xeon Max 9470 52c (Aurora-class host)."""
+    return CpuSpec(
+        name="Intel Xeon Max 9470",
+        sockets=2,
+        cores_per_socket=52,
+        idle_power_w=160.0,
+        active_power_w=700.0,
+        memory_gib=1024.0,
+    )
+
+
+def epyc_7713() -> CpuSpec:
+    """AMD EPYC 7713 64c (CSCS-A100 host)."""
+    return CpuSpec(
+        name="AMD EPYC 7713",
+        sockets=1,
+        cores_per_socket=64,
+        idle_power_w=95.0,
+        active_power_w=225.0,
+        memory_gib=512.0,
+    )
+
+
+def epyc_7a53() -> CpuSpec:
+    """AMD EPYC 7A53 'Trento' 64c (LUMI-G host)."""
+    return CpuSpec(
+        name="AMD EPYC 7A53",
+        sockets=1,
+        cores_per_socket=64,
+        idle_power_w=100.0,
+        active_power_w=280.0,
+        memory_gib=512.0,
+    )
+
+
+def xeon_6258r_pair() -> CpuSpec:
+    """2x Intel Xeon Gold 6258R 28c (miniHPC host)."""
+    return CpuSpec(
+        name="Intel Xeon Gold 6258R",
+        sockets=2,
+        cores_per_socket=28,
+        idle_power_w=130.0,
+        active_power_w=410.0,
+        memory_gib=1536.0,
+    )

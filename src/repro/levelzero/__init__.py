@@ -1,0 +1,24 @@
+"""Level Zero Sysman-style interface over simulated Intel GPUs."""
+
+from .sysman import (
+    ZES_FREQ_DOMAIN_GPU,
+    ZES_FREQ_DOMAIN_MEMORY,
+    ZES_RESULT_ERROR_INVALID_ARGUMENT,
+    ZES_RESULT_ERROR_NOT_AVAILABLE,
+    ZES_RESULT_ERROR_UNINITIALIZED,
+    ZES_RESULT_SUCCESS,
+    LevelZeroError,
+    attach_devices,
+    detach_devices,
+    zesDeviceEnumFrequencyDomains,
+    zesDeviceGetCount,
+    zesDeviceGetName,
+    zesFrequencyGetAvailableClocks,
+    zesFrequencyGetRange,
+    zesFrequencyGetState,
+    zesFrequencySetRange,
+    zesInit,
+    zesPowerGetEnergyCounter,
+    zes_freq_state_t,
+    zes_power_energy_counter_t,
+)

@@ -1,0 +1,173 @@
+"""Level Zero Sysman-style interface over simulated Intel GPUs.
+
+The paper's future work targets Intel GPUs; on that stack, clock and
+power management goes through oneAPI Level Zero's Sysman API. This shim
+reproduces the subset the methodology needs, with Level Zero's
+conventions:
+
+* frequency control is a **range** (``zesFrequencySetRange``): pinning
+  a clock means setting ``min == max``; restoring the full range hands
+  control back to the hardware governor;
+* the energy counter (``zesPowerGetEnergyCounter``) returns cumulative
+  **microjoules** plus a **microsecond timestamp**, and power must be
+  derived by differencing readings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..hardware.gpu import SimulatedGpu
+
+ZES_RESULT_SUCCESS = 0
+ZES_RESULT_ERROR_UNINITIALIZED = 1
+ZES_RESULT_ERROR_INVALID_ARGUMENT = 2
+ZES_RESULT_ERROR_NOT_AVAILABLE = 3
+
+#: zes_freq_domain_t subset
+ZES_FREQ_DOMAIN_GPU = 0
+ZES_FREQ_DOMAIN_MEMORY = 1
+
+
+class LevelZeroError(Exception):
+    """Raised by failing zes calls, carrying the result code."""
+
+    def __init__(self, result: int) -> None:
+        self.result = result
+        super().__init__(f"zes result {result}")
+
+
+@dataclass
+class zes_freq_state_t:
+    """Mirror of the Sysman frequency state struct (MHz fields)."""
+
+    actual: float
+    request: float
+    tdp: float
+    throttle_reasons: int
+
+
+@dataclass
+class zes_power_energy_counter_t:
+    """Cumulative energy counter: microjoules + microsecond timestamp."""
+
+    energy_uj: int
+    timestamp_us: int
+
+
+@dataclass
+class _State:
+    devices: List[SimulatedGpu]
+    initialized: bool = False
+
+
+_state = _State(devices=[])
+
+
+def attach_devices(devices: Sequence[SimulatedGpu]) -> None:
+    """Expose simulated Intel devices to this process's Level Zero."""
+    _state.devices = list(devices)
+
+
+def detach_devices() -> None:
+    """Remove all attached devices (test teardown helper)."""
+    _state.devices = []
+    _state.initialized = False
+
+
+def zesInit(flags: int = 0) -> None:
+    _state.initialized = True
+
+
+def _device(index: int) -> SimulatedGpu:
+    if not _state.initialized:
+        raise LevelZeroError(ZES_RESULT_ERROR_UNINITIALIZED)
+    if not 0 <= index < len(_state.devices):
+        raise LevelZeroError(ZES_RESULT_ERROR_INVALID_ARGUMENT)
+    return _state.devices[index]
+
+
+def zesDeviceGetCount() -> int:
+    if not _state.initialized:
+        raise LevelZeroError(ZES_RESULT_ERROR_UNINITIALIZED)
+    return len(_state.devices)
+
+
+def zesDeviceGetName(index: int) -> str:
+    return _device(index).spec.name
+
+
+def zesDeviceEnumFrequencyDomains(index: int) -> List[int]:
+    """Available frequency domains (GPU + memory)."""
+    _device(index)
+    return [ZES_FREQ_DOMAIN_GPU, ZES_FREQ_DOMAIN_MEMORY]
+
+
+def zesFrequencyGetAvailableClocks(index: int, domain: int) -> List[float]:
+    """Supported clocks in MHz, ascending (Level Zero convention)."""
+    dev = _device(index)
+    if domain == ZES_FREQ_DOMAIN_GPU:
+        return sorted(hz / 1e6 for hz in dev.spec.supported_clocks_hz())
+    if domain == ZES_FREQ_DOMAIN_MEMORY:
+        return [dev.spec.memory_clock_hz / 1e6]
+    raise LevelZeroError(ZES_RESULT_ERROR_INVALID_ARGUMENT)
+
+
+def zesFrequencyGetState(index: int, domain: int) -> zes_freq_state_t:
+    dev = _device(index)
+    if domain != ZES_FREQ_DOMAIN_GPU:
+        raise LevelZeroError(ZES_RESULT_ERROR_NOT_AVAILABLE)
+    throttle = 1 if dev.thermal_throttle_active else 0
+    requested = (
+        dev.application_clock_hz
+        if dev.application_clock_hz is not None
+        else dev.governor.clock_hz
+    )
+    return zes_freq_state_t(
+        actual=dev.current_clock_hz / 1e6,
+        request=requested / 1e6,
+        tdp=dev.spec.max_clock_hz / 1e6,
+        throttle_reasons=throttle,
+    )
+
+
+def zesFrequencySetRange(
+    index: int, domain: int, min_mhz: float, max_mhz: float
+) -> None:
+    """Constrain the clock range; ``min == max`` pins the clock.
+
+    Restoring the device's full hardware range returns control to the
+    governor, matching real Sysman semantics.
+    """
+    dev = _device(index)
+    if domain != ZES_FREQ_DOMAIN_GPU:
+        raise LevelZeroError(ZES_RESULT_ERROR_NOT_AVAILABLE)
+    if min_mhz > max_mhz or min_mhz <= 0:
+        raise LevelZeroError(ZES_RESULT_ERROR_INVALID_ARGUMENT)
+    full_min = dev.spec.min_clock_hz / 1e6
+    full_max = dev.spec.max_clock_hz / 1e6
+    if min_mhz <= full_min and max_mhz >= full_max:
+        dev.reset_application_clocks()
+        return
+    # Pin to the top of the requested range (the governor would boost
+    # there anyway under load).
+    dev.set_application_clocks(dev.spec.memory_clock_hz, max_mhz * 1e6)
+
+
+def zesFrequencyGetRange(index: int, domain: int) -> Tuple[float, float]:
+    dev = _device(index)
+    if domain != ZES_FREQ_DOMAIN_GPU:
+        raise LevelZeroError(ZES_RESULT_ERROR_NOT_AVAILABLE)
+    if dev.application_clock_hz is None:
+        return (dev.spec.min_clock_hz / 1e6, dev.spec.max_clock_hz / 1e6)
+    pinned = dev.application_clock_hz / 1e6
+    return (pinned, pinned)
+
+
+def zesPowerGetEnergyCounter(index: int) -> zes_power_energy_counter_t:
+    dev = _device(index)
+    return zes_power_energy_counter_t(
+        energy_uj=int(round(dev.energy_j * 1e6)),
+        timestamp_us=int(round(dev.clock.now * 1e6)),
+    )

@@ -1,0 +1,69 @@
+"""Communication cost model for the simulated MPI layer.
+
+A standard alpha-beta (Hockney) model: a message of ``b`` bytes between
+two ranks costs ``alpha + b / beta``. Collectives over ``n`` ranks pay
+``ceil(log2 n)`` latency terms plus the bandwidth term of the largest
+per-rank contribution — the shape of tree/recursive-doubling
+implementations in production MPIs. Intra-node transfers use a faster
+link (NVLink / Infinity Fabric class) than inter-node (Slingshot
+class).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CommModel:
+    """Alpha-beta communication parameters."""
+
+    #: Per-message latency between nodes, seconds.
+    inter_latency_s: float = 2.0e-6
+    #: Inter-node link bandwidth, bytes/second (Slingshot-11 class).
+    inter_bandwidth: float = 23.0e9
+    #: Per-message latency within a node, seconds.
+    intra_latency_s: float = 6.0e-7
+    #: Intra-node link bandwidth, bytes/second.
+    intra_bandwidth: float = 150.0e9
+    #: Fixed software overhead per collective call, seconds.
+    call_overhead_s: float = 3.0e-6
+
+    def point_to_point_s(self, nbytes: float, same_node: bool) -> float:
+        """Time for one message of ``nbytes`` between two ranks."""
+        if nbytes < 0:
+            raise ValueError("message size must be non-negative")
+        if same_node:
+            return self.intra_latency_s + nbytes / self.intra_bandwidth
+        return self.inter_latency_s + nbytes / self.inter_bandwidth
+
+    def collective_s(
+        self, n_ranks: int, nbytes_per_rank: float, multi_node: bool = True
+    ) -> float:
+        """Time for a tree-shaped collective over ``n_ranks``."""
+        if n_ranks < 1:
+            raise ValueError("need at least one rank")
+        if n_ranks == 1:
+            return self.call_overhead_s
+        rounds = math.ceil(math.log2(n_ranks))
+        latency = self.inter_latency_s if multi_node else self.intra_latency_s
+        bandwidth = self.inter_bandwidth if multi_node else self.intra_bandwidth
+        return (
+            self.call_overhead_s
+            + rounds * latency
+            + rounds * nbytes_per_rank / bandwidth
+        )
+
+    def alltoall_s(
+        self, n_ranks: int, nbytes_per_pair: float, multi_node: bool = True
+    ) -> float:
+        """Time for a pairwise-exchange all-to-all."""
+        if n_ranks <= 1:
+            return self.call_overhead_s
+        latency = self.inter_latency_s if multi_node else self.intra_latency_s
+        bandwidth = self.inter_bandwidth if multi_node else self.intra_bandwidth
+        return (
+            self.call_overhead_s
+            + (n_ranks - 1) * (latency + nbytes_per_pair / bandwidth)
+        )

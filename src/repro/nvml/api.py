@@ -1,0 +1,316 @@
+"""pynvml-compatible API over simulated GPUs.
+
+The paper instruments SPH-EXA with NVML calls — most importantly
+``nvmlDeviceSetApplicationsClocks`` before each computational kernel
+(§III-D). This module exposes the same entry points, signatures and
+unit conventions as pynvml (clocks in MHz integers, power in
+milliwatts, energy in millijoules), backed by
+:class:`~repro.hardware.gpu.SimulatedGpu` devices.
+
+A "driver" registry stands in for the kernel-mode driver: tests and
+systems attach the simulated devices with :func:`attach_devices`
+before calling :func:`nvmlInit`, exactly as a process would find the
+devices the node exposes. Per the paper's user-level access story,
+application-clock changes are permitted without superuser privileges
+unless the registry is configured otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..hardware.gpu import SimulatedGpu
+from ..units import mhz, to_mhz
+from .constants import (
+    NVML_CLOCK_GRAPHICS,
+    NVML_CLOCK_MEM,
+    NVML_CLOCK_SM,
+    NVML_TEMPERATURE_GPU,
+)
+from .errors import (
+    NVML_ERROR_INVALID_ARGUMENT,
+    NVML_ERROR_NO_PERMISSION,
+    NVML_ERROR_NOT_FOUND,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_UNINITIALIZED,
+    NVMLError,
+)
+
+DRIVER_VERSION = "535.104.05-sim"
+NVML_VERSION = "12.535.104-sim"
+
+
+@dataclass(frozen=True)
+class _DeviceHandle:
+    """Opaque device handle returned by ``nvmlDeviceGetHandleByIndex``."""
+
+    index: int
+
+
+@dataclass
+class UtilizationRates:
+    """Mirror of ``nvmlUtilization_t`` (percentages)."""
+
+    gpu: int
+    memory: int
+
+
+class _Driver:
+    """Process-wide simulated NVML driver state."""
+
+    def __init__(self) -> None:
+        self.devices: List[SimulatedGpu] = []
+        self.initialized = False
+        self.allow_clock_control = True
+        self.init_count = 0
+
+
+_driver = _Driver()
+
+
+def attach_devices(
+    devices: Sequence[SimulatedGpu], allow_clock_control: bool = True
+) -> None:
+    """Expose simulated devices to this process's NVML.
+
+    ``allow_clock_control=False`` models clusters where application
+    clock changes require superuser privileges — the access restriction
+    the paper's user-level mechanism works around.
+    """
+    _driver.devices = list(devices)
+    _driver.allow_clock_control = allow_clock_control
+
+
+def detach_devices() -> None:
+    """Remove all attached devices (test teardown helper)."""
+    _driver.devices = []
+    _driver.initialized = False
+    _driver.init_count = 0
+
+
+def _require_init() -> None:
+    if not _driver.initialized:
+        raise NVMLError(NVML_ERROR_UNINITIALIZED)
+
+
+def _device(handle: _DeviceHandle) -> SimulatedGpu:
+    _require_init()
+    if not isinstance(handle, _DeviceHandle):
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    try:
+        return _driver.devices[handle.index]
+    except IndexError:
+        raise NVMLError(NVML_ERROR_NOT_FOUND) from None
+
+
+# ---------------------------------------------------------------------------
+# Library lifecycle
+# ---------------------------------------------------------------------------
+
+
+def nvmlInit() -> None:
+    """Initialize NVML. Re-init is reference counted, as in pynvml."""
+    _driver.initialized = True
+    _driver.init_count += 1
+
+
+def nvmlShutdown() -> None:
+    """Drop one init reference; the last shutdown de-initializes."""
+    _require_init()
+    _driver.init_count -= 1
+    if _driver.init_count <= 0:
+        _driver.initialized = False
+        _driver.init_count = 0
+
+
+def nvmlSystemGetDriverVersion() -> str:
+    _require_init()
+    return DRIVER_VERSION
+
+
+def nvmlSystemGetNVMLVersion() -> str:
+    _require_init()
+    return NVML_VERSION
+
+
+# ---------------------------------------------------------------------------
+# Device discovery
+# ---------------------------------------------------------------------------
+
+
+def nvmlDeviceGetCount() -> int:
+    _require_init()
+    return len(_driver.devices)
+
+
+def nvmlDeviceGetHandleByIndex(index: int) -> _DeviceHandle:
+    _require_init()
+    if not 0 <= index < len(_driver.devices):
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    return _DeviceHandle(index=index)
+
+
+def nvmlDeviceGetIndex(handle: _DeviceHandle) -> int:
+    _device(handle)
+    return handle.index
+
+
+def nvmlDeviceGetName(handle: _DeviceHandle) -> str:
+    return _device(handle).spec.name
+
+
+# ---------------------------------------------------------------------------
+# Clock queries
+# ---------------------------------------------------------------------------
+
+
+def nvmlDeviceGetClockInfo(handle: _DeviceHandle, clock_type: int) -> int:
+    """Current clock of ``clock_type`` in MHz."""
+    dev = _device(handle)
+    if clock_type in (NVML_CLOCK_GRAPHICS, NVML_CLOCK_SM):
+        return int(round(to_mhz(dev.current_clock_hz)))
+    if clock_type == NVML_CLOCK_MEM:
+        return int(round(to_mhz(dev.memory_clock_hz)))
+    raise NVMLError(NVML_ERROR_NOT_SUPPORTED)
+
+
+def nvmlDeviceGetApplicationsClock(handle: _DeviceHandle, clock_type: int) -> int:
+    """Pinned application clock in MHz (default clock if unpinned)."""
+    dev = _device(handle)
+    if clock_type in (NVML_CLOCK_GRAPHICS, NVML_CLOCK_SM):
+        hz = dev.application_clock_hz
+        if hz is None:
+            hz = dev.spec.default_clock_hz
+        return int(round(to_mhz(hz)))
+    if clock_type == NVML_CLOCK_MEM:
+        return int(round(to_mhz(dev.memory_clock_hz)))
+    raise NVMLError(NVML_ERROR_NOT_SUPPORTED)
+
+
+def nvmlDeviceGetMaxClockInfo(handle: _DeviceHandle, clock_type: int) -> int:
+    dev = _device(handle)
+    if clock_type in (NVML_CLOCK_GRAPHICS, NVML_CLOCK_SM):
+        return int(round(to_mhz(dev.spec.max_clock_hz)))
+    if clock_type == NVML_CLOCK_MEM:
+        return int(round(to_mhz(dev.spec.memory_clock_hz)))
+    raise NVMLError(NVML_ERROR_NOT_SUPPORTED)
+
+
+def nvmlDeviceGetSupportedMemoryClocks(handle: _DeviceHandle) -> List[int]:
+    dev = _device(handle)
+    return [int(round(to_mhz(dev.spec.memory_clock_hz)))]
+
+
+def nvmlDeviceGetSupportedGraphicsClocks(
+    handle: _DeviceHandle, memory_clock_mhz: int
+) -> List[int]:
+    """Supported graphics clocks (MHz, descending) for a memory clock."""
+    dev = _device(handle)
+    supported_mem = int(round(to_mhz(dev.spec.memory_clock_hz)))
+    if memory_clock_mhz != supported_mem:
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    return [int(round(to_mhz(hz))) for hz in dev.spec.supported_clocks_hz()]
+
+
+# ---------------------------------------------------------------------------
+# Clock control (the paper's instrumented calls)
+# ---------------------------------------------------------------------------
+
+
+def nvmlDeviceSetApplicationsClocks(
+    handle: _DeviceHandle, memory_clock_mhz: int, graphics_clock_mhz: int
+) -> None:
+    """Pin application clocks; MHz inputs as in real NVML.
+
+    The graphics clock must be one of the supported bins; the memory
+    clock must match the device's only supported memory clock (the
+    paper never rescales memory clocks either).
+    """
+    dev = _device(handle)
+    if not _driver.allow_clock_control:
+        raise NVMLError(NVML_ERROR_NO_PERMISSION)
+    supported_mem = int(round(to_mhz(dev.spec.memory_clock_hz)))
+    if memory_clock_mhz != supported_mem:
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    requested_hz = mhz(float(graphics_clock_mhz))
+    quantized = dev.spec.quantize_clock_hz(requested_hz)
+    if abs(quantized - requested_hz) > 1e-3:
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    dev.set_application_clocks(mhz(float(memory_clock_mhz)), requested_hz)
+
+
+def nvmlDeviceResetApplicationsClocks(handle: _DeviceHandle) -> None:
+    """Return the device to default (DVFS-governed) clock management."""
+    dev = _device(handle)
+    if not _driver.allow_clock_control:
+        raise NVMLError(NVML_ERROR_NO_PERMISSION)
+    dev.reset_application_clocks()
+
+
+# ---------------------------------------------------------------------------
+# Power / energy / utilization / temperature
+# ---------------------------------------------------------------------------
+
+
+def nvmlDeviceGetPowerUsage(handle: _DeviceHandle) -> int:
+    """Instantaneous board power in milliwatts."""
+    return int(round(_device(handle).power_w() * 1000.0))
+
+
+def nvmlDeviceGetTotalEnergyConsumption(handle: _DeviceHandle) -> int:
+    """Cumulative board energy in millijoules (Volta+ feature)."""
+    return int(round(_device(handle).energy_j * 1000.0))
+
+
+def nvmlDeviceGetEnforcedPowerLimit(handle: _DeviceHandle) -> int:
+    """Board power limit in milliwatts."""
+    return int(round(_device(handle).spec.max_power_w * 1000.0))
+
+
+def nvmlDeviceGetUtilizationRates(handle: _DeviceHandle) -> UtilizationRates:
+    """Coarse utilization percentages over the driver sampling window."""
+    dev = _device(handle)
+    gpu_util = int(round(dev.utilization() * 100.0))
+    mem_util = int(round(min(dev.utilization() * 0.7, 1.0) * 100.0))
+    return UtilizationRates(gpu=gpu_util, memory=mem_util)
+
+
+def nvmlDeviceGetTemperature(handle: _DeviceHandle, sensor: int) -> int:
+    """Die temperature (degC) from the device's thermal model."""
+    if sensor != NVML_TEMPERATURE_GPU:
+        raise NVMLError(NVML_ERROR_NOT_SUPPORTED)
+    return int(round(_device(handle).temperature_c))
+
+
+# ---------------------------------------------------------------------------
+# Convenience used by the SPH-EXA-style instrumentation (getNvmlDevice)
+# ---------------------------------------------------------------------------
+
+
+def get_nvml_device_for_rank(
+    local_rank: int, devices_per_node: Optional[int] = None
+) -> _DeviceHandle:
+    """Handle of the device driven by a node-local MPI rank.
+
+    Mirrors the paper's ``getNvmlDevice`` helper: each rank is bound to
+    exactly one GPU/GCD, so the node-local rank indexes the device.
+    """
+    _require_init()
+    count = nvmlDeviceGetCount()
+    if devices_per_node is not None and devices_per_node != count:
+        raise NVMLError(NVML_ERROR_INVALID_ARGUMENT)
+    return nvmlDeviceGetHandleByIndex(local_rank % max(count, 1))
+
+
+def supported_clock_window_mhz(
+    handle: _DeviceHandle, low_mhz: int, high_mhz: int
+) -> Tuple[int, ...]:
+    """Supported clocks restricted to [low, high] MHz, descending.
+
+    Helper for the KernelTuner-style search space of §III-C
+    (1005..1410 MHz on the A100).
+    """
+    mem = nvmlDeviceGetSupportedMemoryClocks(handle)[0]
+    clocks = nvmlDeviceGetSupportedGraphicsClocks(handle, mem)
+    return tuple(c for c in clocks if low_mhz <= c <= high_mhz)

@@ -1,0 +1,22 @@
+"""NVML enum constants (pynvml-compatible subset)."""
+
+from __future__ import annotations
+
+# nvmlClockType_t
+NVML_CLOCK_GRAPHICS = 0
+NVML_CLOCK_SM = 1
+NVML_CLOCK_MEM = 2
+NVML_CLOCK_VIDEO = 3
+
+# nvmlClockId_t
+NVML_CLOCK_ID_CURRENT = 0
+NVML_CLOCK_ID_APP_CLOCK_TARGET = 1
+NVML_CLOCK_ID_APP_CLOCK_DEFAULT = 2
+NVML_CLOCK_ID_CUSTOMER_BOOST_MAX = 3
+
+# nvmlTemperatureSensors_t
+NVML_TEMPERATURE_GPU = 0
+
+# nvmlEnableState_t
+NVML_FEATURE_DISABLED = 0
+NVML_FEATURE_ENABLED = 1

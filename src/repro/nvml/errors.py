@@ -1,0 +1,38 @@
+"""NVML error codes and exception type (pynvml-compatible subset)."""
+
+from __future__ import annotations
+
+NVML_SUCCESS = 0
+NVML_ERROR_UNINITIALIZED = 1
+NVML_ERROR_INVALID_ARGUMENT = 2
+NVML_ERROR_NOT_SUPPORTED = 3
+NVML_ERROR_NO_PERMISSION = 4
+NVML_ERROR_ALREADY_INITIALIZED = 5
+NVML_ERROR_NOT_FOUND = 6
+NVML_ERROR_GPU_IS_LOST = 15
+NVML_ERROR_UNKNOWN = 999
+
+_ERROR_STRINGS = {
+    NVML_SUCCESS: "Success",
+    NVML_ERROR_UNINITIALIZED: "Uninitialized",
+    NVML_ERROR_INVALID_ARGUMENT: "Invalid Argument",
+    NVML_ERROR_NOT_SUPPORTED: "Not Supported",
+    NVML_ERROR_NO_PERMISSION: "Insufficient Permissions",
+    NVML_ERROR_ALREADY_INITIALIZED: "Already Initialized",
+    NVML_ERROR_NOT_FOUND: "Not Found",
+    NVML_ERROR_GPU_IS_LOST: "GPU is lost",
+    NVML_ERROR_UNKNOWN: "Unknown Error",
+}
+
+
+class NVMLError(Exception):
+    """Raised by every failing NVML entry point, carrying the code."""
+
+    def __init__(self, value: int) -> None:
+        self.value = value
+        super().__init__(nvmlErrorString(value))
+
+
+def nvmlErrorString(result: int) -> str:
+    """Human-readable string for an NVML return code."""
+    return _ERROR_STRINGS.get(result, f"Unknown Error code {result}")

@@ -1,0 +1,68 @@
+"""PMT — Power Measurement Toolkit reimplementation (DESIGN.md §2).
+
+The factory :func:`create` mirrors PMT's ``pmt::Create(name, ...)``:
+
+>>> sensor = create("nvml", device_index=0)        # doctest: +SKIP
+>>> begin = sensor.read()                          # doctest: +SKIP
+>>> ...                                            # doctest: +SKIP
+>>> end = sensor.read()                            # doctest: +SKIP
+>>> PMT.joules(begin, end)                         # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .base import PMT, State
+from .cray_backend import CrayPMT
+from .dummy import DummyPMT
+from .levelzero_backend import LevelZeroPMT
+from .nvml_backend import NvmlPMT
+from .rapl_backend import RAPL_ENERGY_UNIT_J, RaplCounter, RaplPMT
+from .rocm_backend import RocmPMT
+from .sampler import PmtSampler, Sample
+
+_BACKENDS = {
+    "nvml": NvmlPMT,
+    "levelzero": LevelZeroPMT,
+    "xpu": LevelZeroPMT,
+    "rocm": RocmPMT,
+    "rapl": RaplPMT,
+    "likwid": RaplPMT,  # LIKWID's power daemon also reads RAPL MSRs.
+    "cray": CrayPMT,
+    "dummy": DummyPMT,
+}
+
+
+def create(platform: str, **kwargs: Any) -> PMT:
+    """Instantiate a PMT sensor by backend name.
+
+    Parameters mirror each backend's constructor, e.g.
+    ``create("nvml", device_index=0)`` or
+    ``create("cray", counters=pm, counter="accel0_energy", clock=clk)``.
+    """
+    try:
+        backend = _BACKENDS[platform]
+    except KeyError:
+        known = ", ".join(sorted(_BACKENDS))
+        raise ValueError(
+            f"unknown PMT platform {platform!r} (known: {known})"
+        ) from None
+    return backend(**kwargs)
+
+
+__all__ = [
+    "PMT",
+    "State",
+    "create",
+    "CrayPMT",
+    "DummyPMT",
+    "LevelZeroPMT",
+    "NvmlPMT",
+    "RaplPMT",
+    "RaplCounter",
+    "RAPL_ENERGY_UNIT_J",
+    "RocmPMT",
+    "PmtSampler",
+    "Sample",
+]

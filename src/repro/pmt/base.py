@@ -1,0 +1,115 @@
+"""PMT (Power Measurement Toolkit) core interface.
+
+Reimplementation of the interface of Corda et al.'s PMT library [4]:
+a sensor object per monitored device with a uniform ``read()`` that
+returns a :class:`State` (timestamp + cumulative joules), plus static
+helpers to difference two states into seconds, joules and average
+watts. Backends adapt vendor counter APIs (NVML, ROCm SMI, RAPL,
+Cray pm_counters) to this interface so instrumented application code
+never changes when the platform does — the property the paper relies
+on to support LUMI-G, CSCS-A100 and miniHPC with one code path.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class State:
+    """One sensor reading.
+
+    Attributes
+    ----------
+    timestamp_s:
+        Simulated time of the reading, seconds.
+    joules:
+        Cumulative energy at the reading, joules (monotone).
+    watts:
+        Instantaneous power if the backend can report it, else ``None``.
+    """
+
+    timestamp_s: float
+    joules: float
+    watts: Optional[float] = None
+
+
+class PMT(abc.ABC):
+    """Abstract power sensor with PMT's read/diff interface."""
+
+    #: Backend name, e.g. ``"nvml"`` — mirrors PMT's ``Create(name)``.
+    platform: str = "abstract"
+
+    @abc.abstractmethod
+    def read(self) -> State:
+        """Take one reading of the monitored device."""
+
+    @staticmethod
+    def seconds(first: State, second: State) -> float:
+        """Elapsed seconds between two readings."""
+        return second.timestamp_s - first.timestamp_s
+
+    @staticmethod
+    def joules(first: State, second: State) -> float:
+        """Energy consumed between two readings."""
+        return second.joules - first.joules
+
+    @staticmethod
+    def watts(first: State, second: State) -> float:
+        """Average power between two readings."""
+        dt = PMT.seconds(first, second)
+        if dt <= 0.0:
+            return 0.0
+        return PMT.joules(first, second) / dt
+
+    def measure(self):
+        """Context manager measuring energy across a ``with`` block.
+
+        Returns an object whose ``joules``/``seconds``/``watts``
+        attributes are populated on exit::
+
+            with sensor.measure() as m:
+                run_kernel()
+            print(m.joules)
+        """
+        return _Measurement(self)
+
+
+class _Measurement:
+    """Result object for :meth:`PMT.measure`."""
+
+    def __init__(self, sensor: PMT) -> None:
+        self._sensor = sensor
+        self.start: Optional[State] = None
+        self.end: Optional[State] = None
+
+    def __enter__(self) -> "_Measurement":
+        self.start = self._sensor.read()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.end = self._sensor.read()
+
+    def _require_done(self) -> None:
+        if self.start is None or self.end is None:
+            raise RuntimeError("measurement has not completed")
+
+    @property
+    def seconds(self) -> float:
+        self._require_done()
+        assert self.start and self.end
+        return PMT.seconds(self.start, self.end)
+
+    @property
+    def joules(self) -> float:
+        self._require_done()
+        assert self.start and self.end
+        return PMT.joules(self.start, self.end)
+
+    @property
+    def watts(self) -> float:
+        self._require_done()
+        assert self.start and self.end
+        return PMT.watts(self.start, self.end)

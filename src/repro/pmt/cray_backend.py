@@ -1,0 +1,40 @@
+"""PMT backend for HPE/Cray nodes via emulated pm_counters files.
+
+On systems built entirely by HPE/Cray, PMT can read the node's
+out-of-band telemetry directly (paper §II-A). Readings carry the 10 Hz
+publish staleness of the real sysfs feed.
+"""
+
+from __future__ import annotations
+
+from ..craypm import PmCounters
+from ..hardware.clock import VirtualClock
+from .base import PMT, State
+
+
+class CrayPMT(PMT):
+    """Monitors one pm_counters counter (node, cpu, memory or accel)."""
+
+    platform = "cray"
+
+    def __init__(
+        self, counters: PmCounters, counter: str, clock: VirtualClock
+    ) -> None:
+        # Validate eagerly so misconfigured counters fail at setup, not
+        # in the middle of a simulation.
+        counters.read_energy_j(counter)
+        self._counters = counters
+        self._counter = counter
+        self._clock = clock
+
+    @property
+    def counter(self) -> str:
+        return self._counter
+
+    def read(self) -> State:
+        power_file = self._counter.replace("energy", "power")
+        return State(
+            timestamp_s=self._clock.now,
+            joules=self._counters.read_energy_j(self._counter),
+            watts=self._counters.read_power_w(power_file),
+        )

@@ -1,0 +1,22 @@
+"""The PMT dummy backend: always-zero readings on a supplied clock.
+
+Used, as in the real toolkit, to instrument code on platforms without
+any available sensor while keeping the code path identical.
+"""
+
+from __future__ import annotations
+
+from ..hardware.clock import VirtualClock
+from .base import PMT, State
+
+
+class DummyPMT(PMT):
+    """A sensor that measures nothing (but keeps valid timestamps)."""
+
+    platform = "dummy"
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+
+    def read(self) -> State:
+        return State(timestamp_s=self._clock.now, joules=0.0, watts=0.0)

@@ -1,0 +1,32 @@
+"""PMT backend for Intel GPUs via Level Zero Sysman energy counters."""
+
+from __future__ import annotations
+
+from .. import levelzero
+from ..levelzero import sysman as _sysman
+from .base import PMT, State
+
+
+class LevelZeroPMT(PMT):
+    """Monitors one Intel device through ``zesPowerGetEnergyCounter``."""
+
+    platform = "levelzero"
+
+    def __init__(self, device_index: int = 0) -> None:
+        levelzero.zesInit()
+        if not 0 <= device_index < levelzero.zesDeviceGetCount():
+            raise ValueError(f"no such Level Zero device: {device_index}")
+        self._device_index = device_index
+        self._clock = _sysman._state.devices[device_index].clock
+
+    @property
+    def device_index(self) -> int:
+        return self._device_index
+
+    def read(self) -> State:
+        counter = levelzero.zesPowerGetEnergyCounter(self._device_index)
+        return State(
+            timestamp_s=counter.timestamp_us / 1e6,
+            joules=counter.energy_uj / 1e6,
+            watts=None,  # Sysman exposes no instantaneous power; diff it.
+        )

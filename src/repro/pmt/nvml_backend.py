@@ -1,0 +1,33 @@
+"""PMT backend for Nvidia GPUs via the (simulated) NVML library."""
+
+from __future__ import annotations
+
+from .. import nvml
+from .base import PMT, State
+
+
+class NvmlPMT(PMT):
+    """Monitors one Nvidia device through NVML energy/power counters."""
+
+    platform = "nvml"
+
+    def __init__(self, device_index: int = 0) -> None:
+        nvml.nvmlInit()
+        self._handle = nvml.nvmlDeviceGetHandleByIndex(device_index)
+        self._device_index = device_index
+        # Clock reference for timestamps: NVML itself has no clock, so
+        # read it from the simulated device behind the handle.
+        self._clock = nvml.api._driver.devices[device_index].clock
+
+    @property
+    def device_index(self) -> int:
+        return self._device_index
+
+    def read(self) -> State:
+        millijoules = nvml.nvmlDeviceGetTotalEnergyConsumption(self._handle)
+        milliwatts = nvml.nvmlDeviceGetPowerUsage(self._handle)
+        return State(
+            timestamp_s=self._clock.now,
+            joules=millijoules / 1000.0,
+            watts=milliwatts / 1000.0,
+        )

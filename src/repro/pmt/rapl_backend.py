@@ -1,0 +1,68 @@
+"""PMT backend for host CPUs via a RAPL-style MSR energy counter.
+
+Real RAPL exposes ``MSR_PKG_ENERGY_STATUS``, a 32-bit register counting
+energy units (15.3 uJ by default) that *wraps* every few minutes under
+load. The backend reproduces the raw wrapping counter and performs the
+unwrapping a real PMT/LIKWID reader must do — including the limitation
+that readings spaced further apart than one wrap period are
+irrecoverably ambiguous.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cpu import SimulatedCpu
+from .base import PMT, State
+
+#: Default RAPL energy unit: 1/2^16 J ~ 15.3 microjoules.
+RAPL_ENERGY_UNIT_J = 1.0 / (1 << 16)
+
+#: The package energy counter is 32 bits wide.
+RAPL_COUNTER_WRAP = 1 << 32
+
+
+class RaplCounter:
+    """The raw, wrapping MSR view of a CPU package energy counter."""
+
+    def __init__(self, cpu: SimulatedCpu, unit_j: float = RAPL_ENERGY_UNIT_J):
+        self._cpu = cpu
+        self.unit_j = unit_j
+
+    def read_raw(self) -> int:
+        """Raw 32-bit counter value in RAPL energy units (wraps)."""
+        units = int(self._cpu.energy_j / self.unit_j)
+        return units % RAPL_COUNTER_WRAP
+
+    @property
+    def wrap_joules(self) -> float:
+        """Energy span covered by one full counter wrap."""
+        return RAPL_COUNTER_WRAP * self.unit_j
+
+
+class RaplPMT(PMT):
+    """Monitors one CPU package through the wrapping RAPL counter."""
+
+    platform = "rapl"
+
+    def __init__(self, cpu: SimulatedCpu) -> None:
+        self._cpu = cpu
+        self._counter = RaplCounter(cpu)
+        self._accumulated_j = 0.0
+        self._last_raw = self._counter.read_raw()
+
+    @property
+    def wrap_joules(self) -> float:
+        return self._counter.wrap_joules
+
+    def read(self) -> State:
+        raw = self._counter.read_raw()
+        delta_units = raw - self._last_raw
+        if delta_units < 0:
+            # The 32-bit counter wrapped since the last reading.
+            delta_units += RAPL_COUNTER_WRAP
+        self._last_raw = raw
+        self._accumulated_j += delta_units * self._counter.unit_j
+        return State(
+            timestamp_s=self._cpu.clock.now,
+            joules=self._accumulated_j,
+            watts=self._cpu.power_w(),
+        )

@@ -1,0 +1,49 @@
+"""PMT backend for AMD GPUs via the (simulated) ROCm SMI library.
+
+MI250X caveat carried over from the real stack: the energy counter is
+*card level*, so two ranks driving the two GCDs of one card read the
+same (summed) counter. ``card_share`` lets a caller divide the reading
+by the number of GCDs per card when an even split is an acceptable
+approximation; the paper's analysis scripts instead combine the two
+ranks' measurements (§III-B), which `repro.core.analysis` implements.
+"""
+
+from __future__ import annotations
+
+from .. import rocm
+from ..rocm import smi as _smi
+from .base import PMT, State
+
+
+class RocmPMT(PMT):
+    """Monitors one AMD GCD (card-level sensors) through ROCm SMI."""
+
+    platform = "rocm"
+
+    def __init__(self, device_index: int = 0, card_share: bool = False) -> None:
+        rocm.rsmi_init()
+        if not 0 <= device_index < rocm.rsmi_num_monitor_devices():
+            raise ValueError(f"no such ROCm device: {device_index}")
+        self._device_index = device_index
+        self._card_share = card_share
+        self._divisor = (
+            float(rocm.gcds_per_card(device_index)) if card_share else 1.0
+        )
+        self._clock = _smi._state.devices[device_index].clock
+
+    @property
+    def device_index(self) -> int:
+        return self._device_index
+
+    @property
+    def card_share(self) -> bool:
+        return self._card_share
+
+    def read(self) -> State:
+        microjoules = rocm.rsmi_dev_energy_count_get(self._device_index)
+        microwatts = rocm.rsmi_dev_power_ave_get(self._device_index)
+        return State(
+            timestamp_s=self._clock.now,
+            joules=microjoules / 1e6 / self._divisor,
+            watts=microwatts / 1e6 / self._divisor,
+        )

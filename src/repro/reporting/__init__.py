@@ -1,0 +1,18 @@
+"""Benchmark harness reporting utilities."""
+
+from .ascii_chart import bar_chart, line_chart, sparkline
+from .export import read_csv, read_json, write_csv, write_json
+from .table import render_breakdown, render_series, render_table
+
+__all__ = [
+    "bar_chart",
+    "line_chart",
+    "sparkline",
+    "read_csv",
+    "read_json",
+    "write_csv",
+    "write_json",
+    "render_breakdown",
+    "render_series",
+    "render_table",
+]

@@ -1,0 +1,108 @@
+"""ASCII charts for figure-style output in a terminal.
+
+The benchmark harness renders the paper's bar charts (Figs. 4, 7) and
+time series (Fig. 9) as text so the reproduction record is
+self-contained without a plotting stack.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+def bar_chart(
+    values: Dict[str, float],
+    width: int = 50,
+    title: str = "",
+    unit: str = "",
+    baseline: Optional[float] = None,
+) -> str:
+    """Horizontal bar chart of ``{label: value}``.
+
+    ``baseline`` draws a reference mark (e.g. 1.0 for normalized plots).
+    """
+    if not values:
+        raise ValueError("nothing to chart")
+    vmax = max(max(values.values()), baseline or 0.0)
+    if vmax <= 0:
+        vmax = 1.0
+    label_w = max(len(k) for k in values)
+    lines = [title] if title else []
+    mark_col = (
+        min(int(round(baseline / vmax * width)), width - 1)
+        if baseline is not None
+        else -1
+    )
+    for label, value in values.items():
+        filled = int(round(value / vmax * width))
+        bar = ["█"] * filled + [" "] * (width - filled)
+        if 0 <= mark_col < width and baseline is not None:
+            bar[mark_col] = "|" if bar[mark_col] == " " else "┃"
+        lines.append(
+            f"{label.ljust(label_w)} {''.join(bar)} {value:.4g}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def line_chart(
+    points: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 14,
+    title: str = "",
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Scatter/line chart of (x, y) points on a character grid."""
+    if len(points) < 2:
+        raise ValueError("need at least two points")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x0, x1 = min(xs), max(xs)
+    y0, y1 = min(ys), max(ys)
+    if x1 == x0:
+        x1 = x0 + 1.0
+    if y1 == y0:
+        y1 = y0 + 1.0
+    grid: List[List[str]] = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int(round((x - x0) / (x1 - x0) * (width - 1)))
+        row = int(round((y - y0) / (y1 - y0) * (height - 1)))
+        grid[height - 1 - row][col] = "•"
+    lines = [title] if title else []
+    top_label = f"{y1:.4g}"
+    bottom_label = f"{y0:.4g}"
+    pad = max(len(top_label), len(bottom_label), len(y_label))
+    for r, row_chars in enumerate(grid):
+        if r == 0:
+            prefix = top_label.rjust(pad)
+        elif r == height - 1:
+            prefix = bottom_label.rjust(pad)
+        elif r == height // 2 and y_label:
+            prefix = y_label.rjust(pad)
+        else:
+            prefix = " " * pad
+        lines.append(f"{prefix} |{''.join(row_chars)}")
+    axis = " " * pad + " +" + "-" * width
+    lines.append(axis)
+    x_line = (
+        " " * pad
+        + "  "
+        + f"{x0:.4g}".ljust(width - len(f"{x1:.4g}"))
+        + f"{x1:.4g}"
+    )
+    lines.append(x_line)
+    if x_label:
+        lines.append(" " * pad + "  " + x_label.center(width))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """Single-line sparkline of a series."""
+    if not values:
+        raise ValueError("nothing to chart")
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = min(values), max(values)
+    span = hi - lo or 1.0
+    return "".join(
+        blocks[int((v - lo) / span * (len(blocks) - 1))] for v in values
+    )

@@ -1,0 +1,36 @@
+"""CSV/JSON export of benchmark rows (post-hoc analysis artifacts)."""
+
+from __future__ import annotations
+
+import csv
+import json
+from typing import Dict, List, Sequence
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Sequence[Sequence]
+) -> None:
+    """Write a rows table as CSV."""
+    with open(path, "w", newline="", encoding="utf-8") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(list(headers))
+        for row in rows:
+            writer.writerow(list(row))
+
+
+def read_csv(path: str) -> List[Dict[str, str]]:
+    """Read a CSV written by :func:`write_csv` as dict rows."""
+    with open(path, newline="", encoding="utf-8") as fh:
+        return list(csv.DictReader(fh))
+
+
+def write_json(path: str, payload) -> None:
+    """Write a JSON artifact with stable formatting."""
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=1, sort_keys=True)
+
+
+def read_json(path: str):
+    """Read a JSON artifact."""
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)

@@ -1,0 +1,70 @@
+"""Plain-text tables and series for the benchmark harness.
+
+Every bench prints the rows/series of its paper table or figure with
+these helpers, so `pytest benchmarks/ --benchmark-only` output is the
+reproduction record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence], title: str = ""
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    series: Dict[str, Dict], x_label: str = "x", title: str = ""
+) -> str:
+    """Render ``{series_name: {x: y}}`` as a merged table.
+
+    The x values are the union of all series' keys, sorted.
+    """
+    xs: List = sorted({x for ys in series.values() for x in ys})
+    headers = [x_label] + list(series)
+    rows = []
+    for x in xs:
+        row = [x]
+        for name in series:
+            row.append(series[name].get(x, ""))
+        rows.append(row)
+    return render_table(headers, rows, title=title)
+
+
+def render_breakdown(
+    breakdown: Dict[str, float], title: str = "", unit: str = "%"
+) -> str:
+    """Render a {label: value} breakdown sorted by descending value."""
+    rows = sorted(breakdown.items(), key=lambda kv: -kv[1])
+    return render_table(
+        ["component", unit], [(k, v) for k, v in rows], title=title
+    )
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0.0:
+            return "0"
+        if abs(cell) >= 1e5 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)

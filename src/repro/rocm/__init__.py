@@ -1,0 +1,23 @@
+"""rocm-smi-style interface over simulated AMD GCDs (DESIGN.md §2)."""
+
+from .smi import (
+    RSMI_CLK_TYPE_MEM,
+    RSMI_CLK_TYPE_SYS,
+    RSMI_STATUS_INIT_ERROR,
+    RSMI_STATUS_INVALID_ARGS,
+    RSMI_STATUS_NOT_SUPPORTED,
+    RSMI_STATUS_SUCCESS,
+    RocmSmiError,
+    attach_devices,
+    detach_devices,
+    gcds_per_card,
+    rsmi_dev_energy_count_get,
+    rsmi_dev_gpu_clk_freq_get,
+    rsmi_dev_gpu_clk_freq_reset,
+    rsmi_dev_gpu_clk_freq_set,
+    rsmi_dev_name_get,
+    rsmi_dev_power_ave_get,
+    rsmi_init,
+    rsmi_num_monitor_devices,
+    rsmi_shut_down,
+)

@@ -1,0 +1,132 @@
+"""rocm-smi-style interface over simulated AMD GCDs.
+
+On an MI250X, ROCm SMI enumerates each GCD (half card) as a separate
+device, but the power/energy sensors sit on the *card*: both GCDs of a
+card report the card-level value. This is exactly the measurement
+discrepancy the paper works around in its analysis (§III-B, §IV-A) —
+summing naive per-device readings over all ranks double counts card
+energy. The shim reproduces that behaviour faithfully.
+
+Unit conventions follow the real library: power in microwatts, energy
+counters in microjoules, clocks in Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from ..hardware.gpu import SimulatedGpu
+
+RSMI_STATUS_SUCCESS = 0
+RSMI_STATUS_INVALID_ARGS = 1
+RSMI_STATUS_NOT_SUPPORTED = 2
+RSMI_STATUS_INIT_ERROR = 8
+
+#: rsmi_clk_type_t subset
+RSMI_CLK_TYPE_SYS = 0
+RSMI_CLK_TYPE_MEM = 4
+
+
+class RocmSmiError(Exception):
+    """Raised by failing rsmi calls, carrying the status code."""
+
+    def __init__(self, status: int) -> None:
+        self.status = status
+        super().__init__(f"rsmi status {status}")
+
+
+@dataclass
+class _State:
+    devices: List[SimulatedGpu]
+    initialized: bool = False
+
+
+_state = _State(devices=[])
+
+
+def attach_devices(devices: Sequence[SimulatedGpu]) -> None:
+    """Expose simulated GCD devices to this process's ROCm SMI."""
+    _state.devices = list(devices)
+
+
+def detach_devices() -> None:
+    """Remove all attached devices (test teardown helper)."""
+    _state.devices = []
+    _state.initialized = False
+
+
+def rsmi_init(flags: int = 0) -> None:
+    _state.initialized = True
+
+
+def rsmi_shut_down() -> None:
+    _state.initialized = False
+
+
+def _device(index: int) -> SimulatedGpu:
+    if not _state.initialized:
+        raise RocmSmiError(RSMI_STATUS_INIT_ERROR)
+    if not 0 <= index < len(_state.devices):
+        raise RocmSmiError(RSMI_STATUS_INVALID_ARGS)
+    return _state.devices[index]
+
+
+def _card_devices(index: int) -> List[SimulatedGpu]:
+    """All GCDs sharing the physical card of device ``index``.
+
+    Devices are attached in card order (GCD pairs adjacent), matching
+    the node topology of LUMI-G.
+    """
+    dev = _device(index)
+    per_card = dev.spec.gcds_per_card
+    base = (index // per_card) * per_card
+    return [_device(i) for i in range(base, base + per_card)]
+
+
+def rsmi_num_monitor_devices() -> int:
+    if not _state.initialized:
+        raise RocmSmiError(RSMI_STATUS_INIT_ERROR)
+    return len(_state.devices)
+
+
+def rsmi_dev_name_get(index: int) -> str:
+    return _device(index).spec.name
+
+
+def rsmi_dev_power_ave_get(index: int, sensor: int = 0) -> int:
+    """Average socket power in microwatts — *card level* on MI250X."""
+    return int(round(sum(g.power_w() for g in _card_devices(index)) * 1e6))
+
+
+def rsmi_dev_energy_count_get(index: int) -> int:
+    """Cumulative energy counter in microjoules — card level."""
+    return int(round(sum(g.energy_j for g in _card_devices(index)) * 1e6))
+
+
+def rsmi_dev_gpu_clk_freq_get(index: int, clk_type: int) -> int:
+    """Current clock of the GCD in Hz."""
+    dev = _device(index)
+    if clk_type == RSMI_CLK_TYPE_SYS:
+        return int(round(dev.current_clock_hz))
+    if clk_type == RSMI_CLK_TYPE_MEM:
+        return int(round(dev.memory_clock_hz))
+    raise RocmSmiError(RSMI_STATUS_NOT_SUPPORTED)
+
+
+def rsmi_dev_gpu_clk_freq_set(index: int, clk_type: int, freq_hz: float) -> None:
+    """Pin the GCD's clock (per GCD, unlike the card-level sensors)."""
+    dev = _device(index)
+    if clk_type != RSMI_CLK_TYPE_SYS:
+        raise RocmSmiError(RSMI_STATUS_NOT_SUPPORTED)
+    dev.set_application_clocks(dev.memory_clock_hz, float(freq_hz))
+
+
+def rsmi_dev_gpu_clk_freq_reset(index: int) -> None:
+    """Return the GCD to governor-managed clocks."""
+    _device(index).reset_application_clocks()
+
+
+def gcds_per_card(index: int) -> int:
+    """Topology helper used by the analysis layer's rank->card mapping."""
+    return _device(index).spec.gcds_per_card

@@ -1,0 +1,35 @@
+"""Slurm job management + energy accounting emulation (DESIGN.md §2)."""
+
+from .accounting import (
+    DEFAULT_TRES,
+    AccountingDatabase,
+    format_consumed_energy,
+    format_elapsed,
+)
+from .energy_plugins import get_plugin, read_ipmi, read_pm_counters, read_rapl
+from .job import (
+    GPU_FREQ_KEYWORDS,
+    Job,
+    JobSpec,
+    JobState,
+    resolve_gpu_freq_keyword,
+)
+from .scheduler import JobSetupModel, SlurmController
+
+__all__ = [
+    "DEFAULT_TRES",
+    "AccountingDatabase",
+    "format_consumed_energy",
+    "format_elapsed",
+    "get_plugin",
+    "read_ipmi",
+    "read_pm_counters",
+    "read_rapl",
+    "GPU_FREQ_KEYWORDS",
+    "Job",
+    "JobSpec",
+    "JobState",
+    "resolve_gpu_freq_keyword",
+    "JobSetupModel",
+    "SlurmController",
+]

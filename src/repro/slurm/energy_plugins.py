@@ -1,0 +1,63 @@
+"""Slurm ``acct_gather_energy`` plugin models.
+
+Depending on the system, Slurm's energy backend is ``pm_counters``
+(HPE/Cray OOB telemetry), ``ipmi`` (BMC sensors) or ``rapl`` (CPU-only
+MSRs) — paper §II-A. Each plugin reads a per-node cumulative joule
+value; ConsumedEnergy is the sum over nodes of (end - start).
+
+The plugins differ in *coverage* and *staleness*:
+
+* ``pm_counters`` — whole node, 10 Hz publish staleness (read through
+  the :class:`~repro.craypm.PmCounters` emulation);
+* ``ipmi``       — whole node, BMC integer-joule resolution;
+* ``rapl``       — CPU packages only: it structurally *misses* the GPUs,
+  which is why GPU-heavy jobs must not be accounted with it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from ..craypm import PmCounters
+from ..hardware.node import ComputeNode
+
+#: A plugin maps a node (plus optional pm_counters view) to joules.
+EnergyReader = Callable[[ComputeNode, "PmCounters | None"], float]
+
+
+def read_pm_counters(node: ComputeNode, pm: "PmCounters | None") -> float:
+    """Whole-node joules from the Cray OOB feed (publish-tick stale)."""
+    if pm is None:
+        raise ValueError(
+            f"node {node.name} has no pm_counters but the pm_counters "
+            "plugin is configured"
+        )
+    return pm.read_energy_j("energy")
+
+
+def read_ipmi(node: ComputeNode, pm: "PmCounters | None") -> float:
+    """Whole-node joules from the BMC (integer-joule resolution)."""
+    return float(int(node.node_energy_j))
+
+
+def read_rapl(node: ComputeNode, pm: "PmCounters | None") -> float:
+    """CPU-package joules only — RAPL does not see accelerators."""
+    return node.cpu_energy_j
+
+
+_PLUGINS: Dict[str, EnergyReader] = {
+    "pm_counters": read_pm_counters,
+    "ipmi": read_ipmi,
+    "rapl": read_rapl,
+}
+
+
+def get_plugin(name: str) -> EnergyReader:
+    """Look up an acct_gather_energy plugin by its Slurm name."""
+    try:
+        return _PLUGINS[name]
+    except KeyError:
+        known = ", ".join(sorted(_PLUGINS))
+        raise ValueError(
+            f"unknown acct_gather_energy plugin {name!r} (known: {known})"
+        ) from None

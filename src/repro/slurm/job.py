@@ -1,0 +1,123 @@
+"""Slurm job objects.
+
+Models what matters for the paper's Fig. 3 validation: a job's energy
+accounting window opens when the job *starts on the nodes* — before the
+application allocates data structures and long before the simulation's
+time-stepping loop begins — while PMT instrumentation only measures the
+loop. The difference between the two is the setup energy the paper
+identifies (job launching + application initialization, with GPUs
+idle).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+class JobState(enum.Enum):
+    """Subset of Slurm job states."""
+
+    PENDING = "PENDING"
+    RUNNING = "RUNNING"
+    COMPLETED = "COMPLETED"
+    FAILED = "FAILED"
+    CANCELLED = "CANCELLED"
+
+
+#: Slurm's symbolic --gpu-freq keywords.
+GPU_FREQ_KEYWORDS = ("low", "medium", "high", "highm1")
+
+
+def resolve_gpu_freq_keyword(
+    keyword: str, supported_clocks_mhz: "list[float]"
+) -> float:
+    """Resolve a symbolic ``--gpu-freq`` value against supported clocks.
+
+    Slurm semantics: ``low``/``high`` are the extremes, ``medium`` is
+    the middle of the supported list, ``highm1`` is one bin below the
+    maximum.
+    """
+    clocks = sorted(supported_clocks_mhz)
+    if not clocks:
+        raise ValueError("no supported clocks")
+    key = keyword.lower()
+    if key == "low":
+        return clocks[0]
+    if key == "high":
+        return clocks[-1]
+    if key == "highm1":
+        return clocks[-2] if len(clocks) > 1 else clocks[-1]
+    if key == "medium":
+        return clocks[len(clocks) // 2]
+    raise ValueError(
+        f"unknown --gpu-freq keyword {keyword!r} "
+        f"(known: {', '.join(GPU_FREQ_KEYWORDS)})"
+    )
+
+
+@dataclass
+class JobSpec:
+    """What ``sbatch`` was asked for.
+
+    ``gpu_freq_mhz`` / ``cpu_freq_khz`` mirror Slurm's ``--gpu-freq``
+    and ``--cpu-freq`` flags (§II-B); they only take effect on systems
+    whose centre allows user frequency control. ``gpu_freq_mhz`` may be
+    a number or one of the symbolic keywords ``low``, ``medium``,
+    ``high``, ``highm1``.
+    """
+
+    name: str
+    n_nodes: int
+    n_tasks: int
+    account: str = "csstaff"
+    partition: str = "normal"
+    gpu_freq_mhz: "Optional[float | str]" = None
+    cpu_freq_khz: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 1 or self.n_tasks < 1:
+            raise ValueError("jobs need at least one node and one task")
+        if self.n_tasks < self.n_nodes:
+            raise ValueError("cannot have fewer tasks than nodes")
+        if isinstance(self.gpu_freq_mhz, str):
+            if self.gpu_freq_mhz.lower() not in GPU_FREQ_KEYWORDS:
+                raise ValueError(
+                    f"unknown --gpu-freq keyword {self.gpu_freq_mhz!r}"
+                )
+
+
+@dataclass
+class Job:
+    """A submitted job and its lifecycle timestamps (simulated seconds)."""
+
+    job_id: int
+    spec: JobSpec
+    state: JobState = JobState.PENDING
+    submit_time: Optional[float] = None
+    start_time: Optional[float] = None
+    end_time: Optional[float] = None
+    #: Node-level energy counter values when accounting opened, by node.
+    energy_at_start_j: Dict[str, float] = field(default_factory=dict)
+    #: ... and when it closed.
+    energy_at_end_j: Dict[str, float] = field(default_factory=dict)
+    #: Result object returned by the application callable.
+    result: object = None
+
+    @property
+    def elapsed_s(self) -> float:
+        """Job elapsed time (start to end of the allocation)."""
+        if self.start_time is None or self.end_time is None:
+            raise RuntimeError("job has not completed")
+        return self.end_time - self.start_time
+
+    @property
+    def consumed_energy_j(self) -> float:
+        """Slurm's ConsumedEnergy: sum of per-node counter deltas."""
+        if not self.energy_at_end_j:
+            raise RuntimeError("job has no closed accounting window")
+        return sum(
+            self.energy_at_end_j[node] - self.energy_at_start_j[node]
+            for node in self.energy_at_end_j
+        )

@@ -1,0 +1,76 @@
+"""The SPH-EXA-like simulation framework (DESIGN.md §2-§3)."""
+
+from .eos import IdealGasEOS, IsothermalEOS
+from .kernels_math import (
+    CubicSplineKernel,
+    SmoothingKernel,
+    WendlandC6Kernel,
+    default_kernel,
+)
+from .neighbors import (
+    NeighborList,
+    find_neighbors,
+    find_neighbors_bruteforce,
+    pair_displacements,
+)
+from .neighbors_cell import find_neighbors_cell_list
+from .io import CheckpointMeta, load_checkpoint, save_checkpoint
+from .numeric import NumericProblem
+from .particles import DERIVED_FIELDS, PRIMARY_FIELDS, ParticleSet
+from .propagator import (
+    StepFunction,
+    hydro_gravity_propagator,
+    hydro_propagator,
+    propagator_for,
+)
+from .simulation import (
+    Simulation,
+    SimulationResult,
+    run_instrumented,
+)
+from .workload import (
+    FULL_UTILIZATION_PARTICLES,
+    GRAVITY_COST,
+    REFERENCE_NEIGHBORS,
+    SPH_FUNCTION_COSTS,
+    KernelCost,
+    WorkloadModel,
+    function_names,
+    max_particles_per_gpu,
+)
+
+__all__ = [
+    "IdealGasEOS",
+    "IsothermalEOS",
+    "CubicSplineKernel",
+    "SmoothingKernel",
+    "WendlandC6Kernel",
+    "default_kernel",
+    "NeighborList",
+    "find_neighbors",
+    "find_neighbors_bruteforce",
+    "find_neighbors_cell_list",
+    "pair_displacements",
+    "CheckpointMeta",
+    "load_checkpoint",
+    "save_checkpoint",
+    "NumericProblem",
+    "DERIVED_FIELDS",
+    "PRIMARY_FIELDS",
+    "ParticleSet",
+    "StepFunction",
+    "hydro_gravity_propagator",
+    "hydro_propagator",
+    "propagator_for",
+    "Simulation",
+    "SimulationResult",
+    "run_instrumented",
+    "FULL_UTILIZATION_PARTICLES",
+    "GRAVITY_COST",
+    "REFERENCE_NEIGHBORS",
+    "SPH_FUNCTION_COSTS",
+    "KernelCost",
+    "WorkloadModel",
+    "function_names",
+    "max_particles_per_gpu",
+]

@@ -1,0 +1,126 @@
+"""SFC-based domain decomposition (the DomainDecompAndSync substrate).
+
+Ranks own contiguous Morton-key ranges chosen so particle counts are
+balanced: the sorted global key array is cut into ``n_ranks`` equal
+slices and the cut keys become the rank boundaries, exactly the
+Cornerstone assignment strategy. Re-decomposition after particles move
+yields the set of migrating particles, whose bytes drive the simulated
+halo/exchange communication costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .morton import MORTON_BITS, Box, morton_encode
+
+
+@dataclass
+class DomainAssignment:
+    """Rank ownership of SFC key ranges.
+
+    ``rank_boundaries`` has length ``n_ranks + 1``; rank ``r`` owns keys
+    in ``[rank_boundaries[r], rank_boundaries[r+1])``.
+    """
+
+    rank_boundaries: np.ndarray
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.rank_boundaries) - 1
+
+    def rank_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Owning rank of each key."""
+        idx = (
+            np.searchsorted(self.rank_boundaries, np.asarray(keys, np.uint64), side="right")
+            - 1
+        )
+        return np.clip(idx, 0, self.n_ranks - 1).astype(np.int64)
+
+    def validate(self) -> None:
+        b = self.rank_boundaries.astype(object)
+        if b[0] != 0 or int(b[-1]) != (1 << (3 * MORTON_BITS)):
+            raise ValueError("rank boundaries must span the whole key space")
+        if np.any(np.diff(b) < 0):
+            raise ValueError("rank boundaries must be non-decreasing")
+
+
+def decompose(sorted_keys: np.ndarray, n_ranks: int) -> DomainAssignment:
+    """Equal-count decomposition of a *sorted* global key array."""
+    if n_ranks < 1:
+        raise ValueError("need at least one rank")
+    keys = np.asarray(sorted_keys, dtype=np.uint64)
+    n = len(keys)
+    upper = np.uint64(1) << np.uint64(3 * MORTON_BITS)
+    bounds = np.empty(n_ranks + 1, dtype=np.uint64)
+    bounds[0] = 0
+    bounds[n_ranks] = upper
+    for r in range(1, n_ranks):
+        cut = (n * r) // n_ranks
+        # The boundary is the key of the first particle of rank r, so key
+        # ties never split across ranks (match Cornerstone semantics).
+        bounds[r] = keys[cut] if n else upper
+    # Guard monotonicity under heavy key ties.
+    for r in range(1, n_ranks + 1):
+        if bounds[r] < bounds[r - 1]:
+            bounds[r] = bounds[r - 1]
+    assignment = DomainAssignment(rank_boundaries=bounds)
+    assignment.validate()
+    return assignment
+
+
+@dataclass
+class ExchangePlan:
+    """Which particles must migrate between ranks after re-decomposition."""
+
+    #: matrix[src][dst] = number of particles moving src -> dst.
+    send_counts: np.ndarray
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self.send_counts)
+
+    @property
+    def total_migrating(self) -> int:
+        off = self.send_counts.copy()
+        np.fill_diagonal(off, 0)
+        return int(off.sum())
+
+    def bytes_per_pair(self, bytes_per_particle: int = 9 * 8) -> np.ndarray:
+        """Wire bytes for each (src, dst) pair (9 float64 fields/particle)."""
+        off = self.send_counts.astype(np.float64) * bytes_per_particle
+        np.fill_diagonal(off, 0.0)
+        return off
+
+
+def plan_exchange(
+    current_rank: np.ndarray, target_rank: np.ndarray, n_ranks: int
+) -> ExchangePlan:
+    """Build the migration matrix from per-particle old/new owners."""
+    if len(current_rank) != len(target_rank):
+        raise ValueError("owner arrays must align")
+    flat = current_rank.astype(np.int64) * n_ranks + target_rank.astype(np.int64)
+    counts = np.bincount(flat, minlength=n_ranks * n_ranks)
+    return ExchangePlan(send_counts=counts.reshape(n_ranks, n_ranks))
+
+
+def assign_particles(
+    x: np.ndarray,
+    y: np.ndarray,
+    z: np.ndarray,
+    box: Box,
+    n_ranks: int,
+) -> tuple:
+    """Convenience: keys, sort order, and assignment for raw positions.
+
+    Returns ``(keys, order, assignment, rank_of_particle)`` where
+    ``order`` sorts particles into SFC order and ``rank_of_particle``
+    is in the *original* particle order.
+    """
+    keys = morton_encode(x, y, z, box)
+    order = np.argsort(keys, kind="stable")
+    assignment = decompose(keys[order], n_ranks)
+    return keys, order, assignment, assignment.rank_of_keys(keys)

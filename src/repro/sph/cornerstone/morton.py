@@ -1,0 +1,136 @@
+"""Morton (Z-order) space-filling-curve keys, vectorized.
+
+Cornerstone (Keller et al., PASC'23) sorts particles by SFC key and
+derives the octree and the domain decomposition from key ranges. We
+implement 63-bit Morton keys (21 bits per dimension) with NumPy bit
+manipulation — no Python-level loops over particles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+#: Bits per dimension in a 63-bit Morton key.
+MORTON_BITS = 21
+
+#: Number of cells per dimension at the deepest level.
+MORTON_CELLS = 1 << MORTON_BITS
+
+#: Largest valid key (exclusive upper bound is 1 << 63).
+MORTON_KEY_MAX = (1 << (3 * MORTON_BITS)) - 1
+
+
+@dataclass(frozen=True)
+class Box:
+    """Axis-aligned bounding box of the global domain."""
+
+    xmin: float
+    xmax: float
+    ymin: float
+    ymax: float
+    zmin: float
+    zmax: float
+
+    def __post_init__(self) -> None:
+        if not (
+            self.xmax > self.xmin
+            and self.ymax > self.ymin
+            and self.zmax > self.zmin
+        ):
+            raise ValueError("box must have positive extent in every dimension")
+
+    @staticmethod
+    def cube(lo: float, hi: float) -> "Box":
+        return Box(lo, hi, lo, hi, lo, hi)
+
+    @property
+    def lengths(self) -> np.ndarray:
+        return np.array(
+            [
+                self.xmax - self.xmin,
+                self.ymax - self.ymin,
+                self.zmax - self.zmin,
+            ]
+        )
+
+    @staticmethod
+    def bounding(x: np.ndarray, y: np.ndarray, z: np.ndarray, pad: float = 1e-9) -> "Box":
+        """Smallest padded box containing the points."""
+        return Box(
+            float(np.min(x)) - pad,
+            float(np.max(x)) + pad,
+            float(np.min(y)) - pad,
+            float(np.max(y)) + pad,
+            float(np.min(z)) - pad,
+            float(np.max(z)) + pad,
+        )
+
+
+def _spread_bits(v: np.ndarray) -> np.ndarray:
+    """Insert two zero bits between each of the low 21 bits of ``v``."""
+    x = v.astype(np.uint64) & np.uint64(0x1FFFFF)
+    x = (x | (x << np.uint64(32))) & np.uint64(0x1F00000000FFFF)
+    x = (x | (x << np.uint64(16))) & np.uint64(0x1F0000FF0000FF)
+    x = (x | (x << np.uint64(8))) & np.uint64(0x100F00F00F00F00F)
+    x = (x | (x << np.uint64(4))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x | (x << np.uint64(2))) & np.uint64(0x1249249249249249)
+    return x
+
+
+def _compact_bits(x: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`_spread_bits`."""
+    x = x.astype(np.uint64) & np.uint64(0x1249249249249249)
+    x = (x ^ (x >> np.uint64(2))) & np.uint64(0x10C30C30C30C30C3)
+    x = (x ^ (x >> np.uint64(4))) & np.uint64(0x100F00F00F00F00F)
+    x = (x ^ (x >> np.uint64(8))) & np.uint64(0x1F0000FF0000FF)
+    x = (x ^ (x >> np.uint64(16))) & np.uint64(0x1F00000000FFFF)
+    x = (x ^ (x >> np.uint64(32))) & np.uint64(0x1FFFFF)
+    return x
+
+
+def cell_coords(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray, box: Box
+) -> np.ndarray:
+    """Integer grid coordinates (n, 3) of points at the deepest level."""
+    lengths = box.lengths
+    ix = ((np.asarray(x) - box.xmin) / lengths[0] * MORTON_CELLS).astype(np.int64)
+    iy = ((np.asarray(y) - box.ymin) / lengths[1] * MORTON_CELLS).astype(np.int64)
+    iz = ((np.asarray(z) - box.zmin) / lengths[2] * MORTON_CELLS).astype(np.int64)
+    coords = np.stack([ix, iy, iz], axis=1)
+    if np.any(coords < 0) or np.any(coords >= MORTON_CELLS):
+        raise ValueError("points outside the domain box")
+    return coords
+
+
+def morton_encode(
+    x: np.ndarray, y: np.ndarray, z: np.ndarray, box: Box
+) -> np.ndarray:
+    """63-bit Morton keys of the points (uint64 array)."""
+    coords = cell_coords(x, y, z, box)
+    return (
+        _spread_bits(coords[:, 0])
+        | (_spread_bits(coords[:, 1]) << np.uint64(1))
+        | (_spread_bits(coords[:, 2]) << np.uint64(2))
+    )
+
+
+def morton_decode(keys: np.ndarray) -> np.ndarray:
+    """Integer grid coordinates (n, 3) from Morton keys."""
+    keys = np.asarray(keys, dtype=np.uint64)
+    ix = _compact_bits(keys)
+    iy = _compact_bits(keys >> np.uint64(1))
+    iz = _compact_bits(keys >> np.uint64(2))
+    return np.stack(
+        [ix.astype(np.int64), iy.astype(np.int64), iz.astype(np.int64)], axis=1
+    )
+
+
+def key_at_level(keys: np.ndarray, level: int) -> np.ndarray:
+    """Truncate keys to an octree level (0 = root, 21 = deepest)."""
+    if not 0 <= level <= MORTON_BITS:
+        raise ValueError(f"level must be in [0, {MORTON_BITS}]")
+    shift = np.uint64(3 * (MORTON_BITS - level))
+    keys = np.asarray(keys, dtype=np.uint64)
+    return (keys >> shift) << shift

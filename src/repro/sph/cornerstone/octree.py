@@ -1,0 +1,114 @@
+"""Cornerstone-style octree construction from sorted Morton keys.
+
+The octree is represented, as in Cornerstone, by a sorted array of
+*leaf key boundaries*: leaf ``i`` covers the SFC key range
+``[boundaries[i], boundaries[i+1])``. Construction refines any leaf
+holding more than ``bucket_size`` particles by splitting it into its
+eight children, entirely with NumPy ``searchsorted`` bookkeeping on the
+sorted key array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from .morton import MORTON_BITS
+
+
+@dataclass
+class Octree:
+    """A leaf-array octree over a sorted key set.
+
+    Attributes
+    ----------
+    boundaries:
+        uint64 array of length ``n_leaves + 1``; sorted, starting at 0
+        and ending at ``1 << 63``.
+    counts:
+        Particles per leaf (aligned with leaves).
+    levels:
+        Octree level of each leaf.
+    """
+
+    boundaries: np.ndarray
+    counts: np.ndarray
+    levels: np.ndarray
+
+    @property
+    def n_leaves(self) -> int:
+        return len(self.counts)
+
+    def leaf_of_keys(self, keys: np.ndarray) -> np.ndarray:
+        """Leaf index containing each key."""
+        idx = np.searchsorted(self.boundaries, keys, side="right") - 1
+        return idx.astype(np.int64)
+
+    def validate(self) -> None:
+        """Raise if the leaf array is not a proper partition."""
+        b = self.boundaries
+        if b[0] != 0:
+            raise ValueError("octree must start at key 0")
+        if int(b[-1]) != (1 << (3 * MORTON_BITS)):
+            raise ValueError("octree must end at the key-space upper bound")
+        if np.any(np.diff(b.astype(object)) <= 0):
+            raise ValueError("octree boundaries must be strictly increasing")
+        if len(self.counts) != len(b) - 1:
+            raise ValueError("counts misaligned with boundaries")
+
+
+def build_octree(sorted_keys: np.ndarray, bucket_size: int = 64) -> Octree:
+    """Build the leaf octree for ``sorted_keys`` (must be sorted).
+
+    Every leaf holds at most ``bucket_size`` keys, unless it is already
+    at the deepest level.
+    """
+    if bucket_size < 1:
+        raise ValueError("bucket_size must be positive")
+    keys = np.asarray(sorted_keys, dtype=np.uint64)
+    if len(keys) > 1 and np.any(keys[1:] < keys[:-1]):
+        raise ValueError("keys must be sorted")
+    key_span = np.uint64(1) << np.uint64(3 * MORTON_BITS)
+
+    # Start from the root covering the whole key space.
+    bounds: List[int] = [0, int(key_span)]
+    levels: List[int] = [0]
+
+    changed = True
+    while changed:
+        changed = False
+        new_bounds: List[int] = [0]
+        new_levels: List[int] = []
+        for i in range(len(levels)):
+            lo, hi = bounds[i], bounds[i + 1]
+            level = levels[i]
+            count = int(
+                np.searchsorted(keys, np.uint64(hi), side="left")
+                - np.searchsorted(keys, np.uint64(lo), side="left")
+            )
+            if count > bucket_size and level < MORTON_BITS:
+                # Split into 8 children.
+                step = (hi - lo) // 8
+                for c in range(1, 9):
+                    new_bounds.append(lo + c * step)
+                    new_levels.append(level + 1)
+                changed = True
+            else:
+                new_bounds.append(hi)
+                new_levels.append(level)
+        bounds = new_bounds
+        levels = new_levels
+
+    boundaries = np.array(bounds, dtype=np.uint64)
+    lefts = np.searchsorted(keys, boundaries[:-1], side="left")
+    rights = np.searchsorted(keys, boundaries[1:], side="left")
+    counts = (rights - lefts).astype(np.int64)
+    tree = Octree(
+        boundaries=boundaries,
+        counts=counts,
+        levels=np.array(levels, dtype=np.int64),
+    )
+    tree.validate()
+    return tree

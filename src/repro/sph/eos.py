@@ -1,0 +1,45 @@
+"""Equations of state (the EquationOfState step function's numerics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .particles import ParticleSet
+
+
+@dataclass(frozen=True)
+class IdealGasEOS:
+    """Ideal gas: p = (gamma - 1) rho u, c = sqrt(gamma p / rho)."""
+
+    gamma: float = 5.0 / 3.0
+
+    def apply(self, particles: ParticleSet) -> None:
+        """Fill ``p`` and ``c`` from ``rho`` and ``u`` in place."""
+        if particles.rho is None:
+            raise ValueError("density must be computed before the EOS")
+        particles.ensure_derived()
+        rho = particles.rho
+        u = np.maximum(particles.u, 1e-300)
+        particles.p = (self.gamma - 1.0) * rho * u
+        particles.c = np.sqrt(self.gamma * particles.p / np.maximum(rho, 1e-300))
+
+
+@dataclass(frozen=True)
+class IsothermalEOS:
+    """Isothermal gas: p = c0^2 rho with a constant sound speed.
+
+    Used for the subsonic turbulence workload, where the Mach number is
+    defined against a fixed sound speed.
+    """
+
+    sound_speed: float = 1.0
+
+    def apply(self, particles: ParticleSet) -> None:
+        """Fill ``p`` and ``c`` from ``rho`` in place."""
+        if particles.rho is None:
+            raise ValueError("density must be computed before the EOS")
+        particles.ensure_derived()
+        particles.p = self.sound_speed**2 * particles.rho
+        particles.c = np.full(particles.n, self.sound_speed)

@@ -1,0 +1,41 @@
+"""Initial conditions: the paper's two workloads plus the Sedov blast."""
+
+from .evrard import EvrardConfig, make_evrard
+from .evrard import make_eos as make_evrard_eos
+from .evrard import make_gravity as make_evrard_gravity
+from .sedov import (
+    SedovConfig,
+    analytic_shock_radius,
+    make_sedov,
+    shock_radius,
+)
+from .sedov import make_eos as make_sedov_eos
+from .sod import SodConfig, make_sod
+from .sod import make_eos as make_sod_eos
+from .turbulence import (
+    TurbulenceConfig,
+    TurbulenceDriver,
+    lattice_positions,
+    make_turbulence,
+)
+from .turbulence import make_eos as make_turbulence_eos
+
+__all__ = [
+    "SodConfig",
+    "make_sod",
+    "make_sod_eos",
+    "SedovConfig",
+    "analytic_shock_radius",
+    "make_sedov",
+    "make_sedov_eos",
+    "shock_radius",
+    "EvrardConfig",
+    "make_evrard",
+    "make_evrard_eos",
+    "make_evrard_gravity",
+    "TurbulenceConfig",
+    "TurbulenceDriver",
+    "lattice_positions",
+    "make_turbulence",
+    "make_turbulence_eos",
+]

@@ -1,0 +1,74 @@
+"""Checkpoint / restart I/O for particle data.
+
+Long astrophysics campaigns run in restart chains; the library supports
+that with compressed NumPy archives carrying the full particle state
+(primary + any computed derived fields) plus simulation metadata
+(step index, physical time, last dt). Round-trips are bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields as dataclass_fields
+from typing import Dict, Optional
+
+import numpy as np
+
+from .particles import ParticleSet
+
+#: Format marker stored in every checkpoint.
+CHECKPOINT_FORMAT = "repro-sph-checkpoint-v1"
+
+
+@dataclass(frozen=True)
+class CheckpointMeta:
+    """Simulation metadata carried alongside the particle arrays."""
+
+    step: int = 0
+    physical_time: float = 0.0
+    last_dt: float = 0.0
+    workload: str = ""
+
+
+def save_checkpoint(
+    path: str,
+    particles: ParticleSet,
+    meta: CheckpointMeta = CheckpointMeta(),
+) -> None:
+    """Write particles + metadata as a compressed ``.npz`` archive.
+
+    Derived fields that have not been computed (``None``) are skipped
+    and come back as ``None`` on load.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    for f in dataclass_fields(particles):
+        arr = getattr(particles, f.name)
+        if arr is not None:
+            arrays[f"field_{f.name}"] = arr
+    arrays["meta_format"] = np.array(CHECKPOINT_FORMAT)
+    arrays["meta_step"] = np.array(meta.step, dtype=np.int64)
+    arrays["meta_physical_time"] = np.array(meta.physical_time)
+    arrays["meta_last_dt"] = np.array(meta.last_dt)
+    arrays["meta_workload"] = np.array(meta.workload)
+    np.savez_compressed(path, **arrays)
+
+
+def load_checkpoint(path: str) -> "tuple[ParticleSet, CheckpointMeta]":
+    """Read a checkpoint written by :func:`save_checkpoint`."""
+    with np.load(path, allow_pickle=False) as data:
+        fmt = str(data["meta_format"])
+        if fmt != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"not a repro checkpoint (format {fmt!r}, "
+                f"expected {CHECKPOINT_FORMAT!r})"
+            )
+        kwargs = {}
+        for f in dataclass_fields(ParticleSet):
+            key = f"field_{f.name}"
+            kwargs[f.name] = np.copy(data[key]) if key in data else None
+        meta = CheckpointMeta(
+            step=int(data["meta_step"]),
+            physical_time=float(data["meta_physical_time"]),
+            last_dt=float(data["meta_last_dt"]),
+            workload=str(data["meta_workload"]),
+        )
+    return ParticleSet(**kwargs), meta

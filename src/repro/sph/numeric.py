@@ -1,0 +1,227 @@
+"""Numeric backend: real SPH physics behind the instrumented loop.
+
+At laptop scale (10^3-10^5 particles) the simulation runs the *actual*
+numerics — neighbor search, XMass/density/IAD/momentum sums, gravity,
+time integration — on global NumPy arrays, while the per-rank GPU cost
+model is fed with the true local particle and neighbor counts from the
+SFC domain decomposition. Paper-scale runs (10^8+ particles per GPU)
+use the pure workload model instead; the instrumentation layer cannot
+tell the difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .cornerstone import (
+    Box,
+    discover_halos,
+    morton_encode,
+    decompose,
+    plan_exchange,
+)
+from .eos import IdealGasEOS
+from .kernels_math import SmoothingKernel, default_kernel
+from .neighbors import NeighborList, find_neighbors
+from .particles import ParticleSet
+from .physics import (
+    ArtificialViscosity,
+    GravityConfig,
+    TimestepControl,
+    compute_density_gradh,
+    compute_gravity,
+    compute_iad_divv_curlv,
+    compute_momentum_energy,
+    compute_xmass,
+    local_timestep,
+    update_quantities,
+)
+from .physics.positions import IntegrationConfig
+
+#: Wire bytes per exchanged particle (9 primary float64 fields).
+EXCHANGE_BYTES_PER_PARTICLE = 9 * 8
+
+#: Wire bytes per halo particle (position, h, m, rho, p, v, u...).
+HALO_BYTES_PER_PARTICLE = 11 * 8
+
+
+@dataclass
+class NumericProblem:
+    """Global-array physics state shared by all simulated ranks."""
+
+    particles: ParticleSet
+    n_ranks: int
+    kernel: SmoothingKernel = field(default_factory=default_kernel)
+    eos: IdealGasEOS = field(default_factory=IdealGasEOS)
+    box_size: Optional[float] = None
+    gravity: Optional[GravityConfig] = None
+    av: ArtificialViscosity = field(default_factory=ArtificialViscosity)
+    timestep: TimestepControl = field(default_factory=TimestepControl)
+    integration: IntegrationConfig = field(default_factory=IntegrationConfig)
+    driver: Optional[object] = None  # TurbulenceDriver-compatible
+
+    # -- per-step state -------------------------------------------------------
+    nlist: Optional[NeighborList] = None
+    rank_of_particle: Optional[np.ndarray] = None
+    dt: float = 0.0
+    previous_dt: Optional[float] = None
+    step_index: int = 0
+    #: Bytes to exchange between rank pairs this step (n_ranks^2).
+    exchange_bytes: Optional[np.ndarray] = None
+    _gravity_acc: Optional[np.ndarray] = None
+    _previous_ranks: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Step functions (called by the Simulation in loop order)
+    # ------------------------------------------------------------------
+
+    def domain_decomp_and_sync(self) -> None:
+        """SFC decomposition, migration plan, halo discovery."""
+        p = self.particles
+        if self.box_size is not None:
+            box = Box.cube(0.0, self.box_size)
+        else:
+            box = Box.bounding(p.x, p.y, p.z)
+        keys = morton_encode(p.x, p.y, p.z, box)
+        order = np.argsort(keys, kind="stable")
+        assignment = decompose(keys[order], self.n_ranks)
+        new_ranks = assignment.rank_of_keys(keys)
+
+        migration_bytes = np.zeros((self.n_ranks, self.n_ranks))
+        if self._previous_ranks is not None:
+            plan = plan_exchange(
+                self._previous_ranks, new_ranks, self.n_ranks
+            )
+            migration_bytes = plan.bytes_per_pair(EXCHANGE_BYTES_PER_PARTICLE)
+        self._previous_ranks = new_ranks
+        self.rank_of_particle = new_ranks
+
+        if self.n_ranks > 1:
+            halos = discover_halos(
+                p.positions(),
+                p.h,
+                new_ranks,
+                self.n_ranks,
+                support_radius=self.kernel.support_radius,
+                box_size=self.box_size,
+            )
+            halo_bytes = (
+                halos.send_counts.astype(np.float64) * HALO_BYTES_PER_PARTICLE
+            )
+        else:
+            halo_bytes = np.zeros((1, 1))
+        self.exchange_bytes = migration_bytes + halo_bytes
+
+    def find_neighbors(self) -> None:
+        self.nlist = find_neighbors(
+            self.particles,
+            support_radius=self.kernel.support_radius,
+            box_size=self.box_size,
+        )
+
+    def xmass(self) -> None:
+        self._require_nlist()
+        compute_xmass(self.particles, self.nlist, self.kernel, self.box_size)
+
+    def normalization_gradh(self) -> None:
+        self._require_nlist()
+        compute_density_gradh(
+            self.particles, self.nlist, self.kernel, self.box_size
+        )
+
+    def equation_of_state(self) -> None:
+        self.eos.apply(self.particles)
+
+    def iad_velocity_div_curl(self) -> None:
+        self._require_nlist()
+        compute_iad_divv_curlv(
+            self.particles, self.nlist, self.kernel, self.box_size
+        )
+
+    def gravity_step(self) -> None:
+        if self.gravity is None:
+            raise RuntimeError("gravity is not enabled for this problem")
+        self._gravity_acc = compute_gravity(self.particles, self.gravity)
+
+    def momentum_energy(self) -> None:
+        self._require_nlist()
+        ext = None
+        if self._gravity_acc is not None:
+            ext = self._gravity_acc
+        if self.driver is not None:
+            drive = self.driver.acceleration(self.particles)
+            ext = drive if ext is None else ext + drive
+        compute_momentum_energy(
+            self.particles,
+            self.nlist,
+            self.kernel,
+            av=self.av,
+            box_size=self.box_size,
+            external_ax=None if ext is None else ext[:, 0],
+            external_ay=None if ext is None else ext[:, 1],
+            external_az=None if ext is None else ext[:, 2],
+        )
+
+    def local_timesteps(self) -> List[float]:
+        """Per-rank local dt values (before the global min-reduction)."""
+        self._require_nlist()
+        dt_global = local_timestep(
+            self.particles,
+            self.nlist,
+            control=self.timestep,
+            previous_dt=self.previous_dt,
+            box_size=self.box_size,
+        )
+        # All ranks see (nearly) the same particles here because the
+        # numerics are global; per-rank jitter is not modelled.
+        return [dt_global] * self.n_ranks
+
+    def set_global_dt(self, dt: float) -> None:
+        self.dt = dt
+
+    def update_quantities(self) -> None:
+        if self.dt <= 0:
+            raise RuntimeError("global dt has not been reduced yet")
+        update_quantities(
+            self.particles,
+            self.dt,
+            nlist=self.nlist,
+            config=self.integration,
+            box_size=self.box_size,
+        )
+        self.previous_dt = self.dt
+        self.step_index += 1
+        self._gravity_acc = None
+
+    # ------------------------------------------------------------------
+    # Feedback to the workload model
+    # ------------------------------------------------------------------
+
+    def local_particle_counts(self) -> np.ndarray:
+        """Particles per rank under the current decomposition."""
+        if self.rank_of_particle is None:
+            n = self.particles.n
+            base = np.full(self.n_ranks, n // self.n_ranks, dtype=np.int64)
+            base[: n % self.n_ranks] += 1
+            return base
+        return np.bincount(
+            self.rank_of_particle, minlength=self.n_ranks
+        ).astype(np.int64)
+
+    def mean_neighbor_counts(self) -> np.ndarray:
+        """Mean neighbors per particle, per rank."""
+        if self.nlist is None or self.rank_of_particle is None:
+            return np.full(self.n_ranks, 0.0)
+        counts = self.nlist.counts().astype(np.float64)
+        sums = np.bincount(
+            self.rank_of_particle, weights=counts, minlength=self.n_ranks
+        )
+        nums = np.bincount(self.rank_of_particle, minlength=self.n_ranks)
+        return sums / np.maximum(nums, 1)
+
+    def _require_nlist(self) -> None:
+        if self.nlist is None:
+            raise RuntimeError("FindNeighbors has not run this step")

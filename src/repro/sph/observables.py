@@ -1,0 +1,64 @@
+"""Diagnostics: conserved quantities and flow statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .particles import ParticleSet
+from .physics.gravity import GravityConfig, potential_energy
+
+
+@dataclass(frozen=True)
+class EnergyBudget:
+    """Total energy split of a particle set at one instant."""
+
+    kinetic: float
+    internal: float
+    potential: float
+
+    @property
+    def total(self) -> float:
+        return self.kinetic + self.internal + self.potential
+
+
+def energy_budget(
+    particles: ParticleSet,
+    gravity: Optional[GravityConfig] = None,
+) -> EnergyBudget:
+    """Kinetic + internal (+ softened potential when gravity is on)."""
+    pot = potential_energy(particles, gravity) if gravity is not None else 0.0
+    return EnergyBudget(
+        kinetic=particles.kinetic_energy(),
+        internal=particles.internal_energy(),
+        potential=pot,
+    )
+
+
+def rms_mach(particles: ParticleSet) -> float:
+    """RMS Mach number against the per-particle sound speed."""
+    if particles.c is None:
+        raise ValueError("sound speed not computed")
+    v2 = particles.vx**2 + particles.vy**2 + particles.vz**2
+    c2 = np.maximum(particles.c**2, 1e-300)
+    return float(np.sqrt(np.mean(v2 / c2)))
+
+
+def density_contrast(particles: ParticleSet) -> float:
+    """max(rho) / mean(rho) — collapse progress indicator for Evrard."""
+    if particles.rho is None:
+        raise ValueError("density not computed")
+    return float(np.max(particles.rho) / np.mean(particles.rho))
+
+
+def half_mass_radius(particles: ParticleSet) -> float:
+    """Radius enclosing half the total mass (about the center of mass)."""
+    pos = particles.positions()
+    com = np.average(pos, axis=0, weights=particles.m)
+    r = np.sqrt(np.sum((pos - com) ** 2, axis=1))
+    order = np.argsort(r)
+    cum = np.cumsum(particles.m[order])
+    idx = int(np.searchsorted(cum, 0.5 * cum[-1]))
+    return float(r[order[min(idx, len(r) - 1)]])

@@ -1,0 +1,160 @@
+"""Particle data in structure-of-arrays layout.
+
+SPH-EXA keeps all particle fields in flat device arrays; we mirror that
+with NumPy arrays so the physics kernels vectorize. Fields follow the
+SPH-EXA naming where practical (``h`` smoothing length, ``u`` specific
+internal energy, ``xm`` generalized volume element mass).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields as dataclass_fields
+from typing import Optional
+
+import numpy as np
+
+#: Fields every particle set carries from initialization.
+PRIMARY_FIELDS = ("x", "y", "z", "vx", "vy", "vz", "m", "h", "u")
+
+#: Fields computed by the per-step kernels.
+DERIVED_FIELDS = (
+    "rho",
+    "p",
+    "c",
+    "xm",
+    "kx",
+    "gradh",
+    "divv",
+    "curlv",
+    "ax",
+    "ay",
+    "az",
+    "du",
+    "c11",
+    "c12",
+    "c13",
+    "c22",
+    "c23",
+    "c33",
+)
+
+
+@dataclass
+class ParticleSet:
+    """A structure-of-arrays particle container.
+
+    All arrays are float64 and share one length ``n``. Derived fields
+    are allocated lazily (zero-filled) the first time they are touched
+    through :meth:`ensure_derived`.
+    """
+
+    x: np.ndarray
+    y: np.ndarray
+    z: np.ndarray
+    vx: np.ndarray
+    vy: np.ndarray
+    vz: np.ndarray
+    m: np.ndarray
+    h: np.ndarray
+    u: np.ndarray
+    rho: Optional[np.ndarray] = None
+    p: Optional[np.ndarray] = None
+    c: Optional[np.ndarray] = None
+    xm: Optional[np.ndarray] = None
+    kx: Optional[np.ndarray] = None
+    gradh: Optional[np.ndarray] = None
+    divv: Optional[np.ndarray] = None
+    curlv: Optional[np.ndarray] = None
+    ax: Optional[np.ndarray] = None
+    ay: Optional[np.ndarray] = None
+    az: Optional[np.ndarray] = None
+    du: Optional[np.ndarray] = None
+    c11: Optional[np.ndarray] = None
+    c12: Optional[np.ndarray] = None
+    c13: Optional[np.ndarray] = None
+    c22: Optional[np.ndarray] = None
+    c23: Optional[np.ndarray] = None
+    c33: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        n = len(self.x)
+        for name in PRIMARY_FIELDS:
+            arr = np.ascontiguousarray(getattr(self, name), dtype=np.float64)
+            if arr.shape != (n,):
+                raise ValueError(
+                    f"field {name!r} has shape {arr.shape}, expected ({n},)"
+                )
+            setattr(self, name, arr)
+
+    @property
+    def n(self) -> int:
+        """Number of particles."""
+        return len(self.x)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def ensure_derived(self) -> None:
+        """Allocate any missing derived fields as zeros."""
+        for name in DERIVED_FIELDS:
+            if getattr(self, name) is None:
+                setattr(self, name, np.zeros(self.n))
+
+    def positions(self) -> np.ndarray:
+        """(n, 3) position matrix (copy)."""
+        return np.column_stack((self.x, self.y, self.z))
+
+    def velocities(self) -> np.ndarray:
+        """(n, 3) velocity matrix (copy)."""
+        return np.column_stack((self.vx, self.vy, self.vz))
+
+    def total_mass(self) -> float:
+        return float(np.sum(self.m))
+
+    def kinetic_energy(self) -> float:
+        """Total kinetic energy 0.5 m v^2."""
+        v2 = self.vx**2 + self.vy**2 + self.vz**2
+        return float(0.5 * np.sum(self.m * v2))
+
+    def internal_energy(self) -> float:
+        """Total internal energy sum(m u)."""
+        return float(np.sum(self.m * self.u))
+
+    def momentum(self) -> np.ndarray:
+        """Total linear momentum (3,)."""
+        return np.array(
+            [
+                np.sum(self.m * self.vx),
+                np.sum(self.m * self.vy),
+                np.sum(self.m * self.vz),
+            ]
+        )
+
+    def select(self, mask_or_index: np.ndarray) -> "ParticleSet":
+        """A new particle set holding the selected particles (copies)."""
+        kwargs = {}
+        for f in dataclass_fields(self):
+            arr = getattr(self, f.name)
+            kwargs[f.name] = None if arr is None else np.copy(arr[mask_or_index])
+        return ParticleSet(**kwargs)
+
+    @staticmethod
+    def concatenate(parts: list) -> "ParticleSet":
+        """Concatenate particle sets (used to splice halos onto locals)."""
+        if not parts:
+            raise ValueError("nothing to concatenate")
+        kwargs = {}
+        for f in dataclass_fields(parts[0]):
+            arrays = [getattr(p, f.name) for p in parts]
+            if any(a is None for a in arrays):
+                kwargs[f.name] = None
+            else:
+                kwargs[f.name] = np.concatenate(arrays)
+        return ParticleSet(**kwargs)
+
+    @staticmethod
+    def zeros(n: int) -> "ParticleSet":
+        """An all-zero particle set of size ``n`` (testing helper)."""
+        return ParticleSet(
+            **{name: np.zeros(n) for name in PRIMARY_FIELDS}
+        )

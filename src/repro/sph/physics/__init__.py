@@ -1,0 +1,42 @@
+"""SPH physics kernels — the numerics behind the paper's function names."""
+
+from .density import compute_density_gradh
+from .gravity import (
+    GravityConfig,
+    build_gravity_tree,
+    compute_gravity,
+    compute_gravity_direct,
+    potential_energy,
+)
+from .iad import compute_iad_divv_curlv
+from .momentum_energy import (
+    ArtificialViscosity,
+    compute_momentum_energy,
+    signal_velocity,
+)
+from .positions import (
+    IntegrationConfig,
+    update_quantities,
+    update_smoothing_lengths,
+)
+from .timestep import TimestepControl, local_timestep
+from .xmass import compute_xmass
+
+__all__ = [
+    "compute_density_gradh",
+    "GravityConfig",
+    "build_gravity_tree",
+    "compute_gravity",
+    "compute_gravity_direct",
+    "potential_energy",
+    "compute_iad_divv_curlv",
+    "ArtificialViscosity",
+    "compute_momentum_energy",
+    "signal_velocity",
+    "IntegrationConfig",
+    "update_quantities",
+    "update_smoothing_lengths",
+    "TimestepControl",
+    "local_timestep",
+    "compute_xmass",
+]

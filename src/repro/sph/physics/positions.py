@@ -1,0 +1,77 @@
+"""UpdateQuantities: time integration of positions, velocities, energy.
+
+A kick-drift update (as SPH-EXA's ``computePositions``): velocities are
+kicked by the freshly computed accelerations, positions drift with the
+new velocities, internal energy integrates ``du`` with a positivity
+floor, periodic domains wrap, and adaptive smoothing lengths relax
+toward the target neighbor count
+
+    h <- h * 0.5 * (1 + (n_target / (n_actual + 1))^(1/3)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..neighbors import NeighborList
+from ..particles import ParticleSet
+
+
+@dataclass(frozen=True)
+class IntegrationConfig:
+    """Integrator knobs."""
+
+    target_neighbors: int = 100
+    u_floor: float = 1e-12
+    #: Per-step relative change limit on h (stability guard).
+    h_change_limit: float = 0.2
+
+
+def update_quantities(
+    particles: ParticleSet,
+    dt: float,
+    nlist: Optional[NeighborList] = None,
+    config: IntegrationConfig = IntegrationConfig(),
+    box_size: Optional[float] = None,
+) -> None:
+    """Advance the particle state by ``dt`` in place."""
+    if dt <= 0.0:
+        raise ValueError(f"dt must be positive, got {dt!r}")
+    if particles.ax is None or particles.du is None:
+        raise ValueError("MomentumEnergy must run before UpdateQuantities")
+
+    # Kick.
+    particles.vx += particles.ax * dt
+    particles.vy += particles.ay * dt
+    particles.vz += particles.az * dt
+    # Drift.
+    particles.x += particles.vx * dt
+    particles.y += particles.vy * dt
+    particles.z += particles.vz * dt
+    if box_size is not None:
+        np.mod(particles.x, box_size, out=particles.x)
+        np.mod(particles.y, box_size, out=particles.y)
+        np.mod(particles.z, box_size, out=particles.z)
+    # Internal energy with positivity floor.
+    particles.u = np.maximum(particles.u + particles.du * dt, config.u_floor)
+
+    if nlist is not None:
+        update_smoothing_lengths(particles, nlist, config)
+
+
+def update_smoothing_lengths(
+    particles: ParticleSet,
+    nlist: NeighborList,
+    config: IntegrationConfig = IntegrationConfig(),
+) -> None:
+    """Relax h toward the target neighbor count in place."""
+    counts = nlist.counts().astype(np.float64)
+    factor = 0.5 * (
+        1.0 + np.cbrt(config.target_neighbors / (counts + 1.0))
+    )
+    lo = 1.0 - config.h_change_limit
+    hi = 1.0 + config.h_change_limit
+    particles.h *= np.clip(factor, lo, hi)

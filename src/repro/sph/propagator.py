@@ -1,0 +1,85 @@
+"""The SPH-EXA time-stepping loop: ordered step functions.
+
+Each :class:`StepFunction` names one function of the paper's Fig. 5
+legend, the collective communication it ends with (if any), and — when
+a numeric problem is attached — the real physics it runs. The
+hydro propagator covers Subsonic Turbulence; the hydro+gravity
+propagator adds ``Gravity`` for Evrard Collapse.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class StepFunction:
+    """One instrumented function of the time-stepping loop.
+
+    Attributes
+    ----------
+    name:
+        Function name as it appears in the paper's figures.
+    collective:
+        ``None``, ``"allreduce"`` (e.g. the global dt minimum) or
+        ``"exchange"`` (domain/halo particle exchange).
+    collective_bytes_per_rank:
+        Payload of the collective per rank, bytes (model mode; numeric
+        mode derives real values from the exchange plans).
+    host_overhead_s:
+        Host-side time at the end of the function with the GPU idle
+        (computing the physical time, bookkeeping, I/O). This is the
+        window in which the DVFS governor clocks down below 1000 MHz at
+        the end of each step (paper §IV-E / Fig. 9).
+    """
+
+    name: str
+    collective: Optional[str] = None
+    collective_bytes_per_rank: float = 0.0
+    host_overhead_s: float = 0.0
+
+
+#: Hydro-only loop (Subsonic Turbulence).
+HYDRO_FUNCTIONS: tuple = (
+    StepFunction(
+        "DomainDecompAndSync", collective="exchange",
+        collective_bytes_per_rank=0.0,
+    ),
+    StepFunction("FindNeighbors"),
+    StepFunction("XMass"),
+    StepFunction("NormalizationGradh"),
+    StepFunction("EquationOfState"),
+    StepFunction("IADVelocityDivCurl"),
+    StepFunction("MomentumEnergy"),
+    StepFunction(
+        "Timestep",
+        collective="allreduce",
+        collective_bytes_per_rank=8.0,
+        host_overhead_s=0.12,
+    ),
+    StepFunction("UpdateQuantities"),
+)
+
+
+def hydro_propagator() -> List[StepFunction]:
+    """The Subsonic Turbulence function sequence."""
+    return list(HYDRO_FUNCTIONS)
+
+
+def hydro_gravity_propagator() -> List[StepFunction]:
+    """The Evrard Collapse sequence: gravity before MomentumEnergy."""
+    functions = list(HYDRO_FUNCTIONS)
+    idx = [f.name for f in functions].index("MomentumEnergy")
+    functions.insert(idx, StepFunction("Gravity"))
+    return functions
+
+
+def propagator_for(workload_name: str) -> List[StepFunction]:
+    """Propagator by workload name (Table I simulations)."""
+    key = workload_name.lower()
+    if "turb" in key or "sedov" in key or "sod" in key:
+        return hydro_propagator()
+    if "evrard" in key:
+        return hydro_gravity_propagator()
+    raise ValueError(f"unknown workload {workload_name!r}")

@@ -1,0 +1,155 @@
+"""Exact Riemann solver for the 1-D Euler equations (Toro, ch. 4).
+
+Reference solution for the Sod shock-tube validation: given left/right
+states (rho, u, p) and gamma, solve for the star-region pressure and
+velocity with Newton iteration, then sample the self-similar solution
+at ``xi = (x - x0) / t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GasState:
+    """Primitive state (density, velocity, pressure)."""
+
+    rho: float
+    u: float
+    p: float
+
+    def sound_speed(self, gamma: float) -> float:
+        if self.rho <= 0 or self.p < 0:
+            raise ValueError("state must have positive density and pressure")
+        return float(np.sqrt(gamma * self.p / self.rho))
+
+
+def _pressure_function(p, state: GasState, gamma: float):
+    """f(p) and f'(p) for one side (shock or rarefaction branch)."""
+    a = state.sound_speed(gamma)
+    if p > state.p:  # shock
+        big_a = 2.0 / ((gamma + 1.0) * state.rho)
+        big_b = (gamma - 1.0) / (gamma + 1.0) * state.p
+        sqrt_term = np.sqrt(big_a / (p + big_b))
+        f = (p - state.p) * sqrt_term
+        df = sqrt_term * (1.0 - 0.5 * (p - state.p) / (p + big_b))
+    else:  # rarefaction
+        exponent = (gamma - 1.0) / (2.0 * gamma)
+        f = (
+            2.0 * a / (gamma - 1.0)
+            * ((p / state.p) ** exponent - 1.0)
+        )
+        df = (1.0 / (state.rho * a)) * (p / state.p) ** (-(gamma + 1.0) / (2.0 * gamma))
+    return f, df
+
+
+def solve_star_region(
+    left: GasState, right: GasState, gamma: float = 5.0 / 3.0,
+    tol: float = 1e-10, max_iter: int = 100,
+) -> "tuple[float, float]":
+    """Star-region pressure and velocity (p*, u*)."""
+    # Initial guess: two-rarefaction approximation.
+    a_l = left.sound_speed(gamma)
+    a_r = right.sound_speed(gamma)
+    z = (gamma - 1.0) / (2.0 * gamma)
+    p_guess = (
+        (a_l + a_r - 0.5 * (gamma - 1.0) * (right.u - left.u))
+        / (a_l / left.p**z + a_r / right.p**z)
+    ) ** (1.0 / z)
+    p = max(p_guess, 1e-8)
+    for _ in range(max_iter):
+        f_l, df_l = _pressure_function(p, left, gamma)
+        f_r, df_r = _pressure_function(p, right, gamma)
+        delta = (f_l + f_r + (right.u - left.u)) / (df_l + df_r)
+        p_new = max(p - delta, 1e-10)
+        if abs(p_new - p) < tol * 0.5 * (p_new + p):
+            p = p_new
+            break
+        p = p_new
+    f_l, _ = _pressure_function(p, left, gamma)
+    f_r, _ = _pressure_function(p, right, gamma)
+    u_star = 0.5 * (left.u + right.u) + 0.5 * (f_r - f_l)
+    return float(p), float(u_star)
+
+
+def sample_solution(
+    xi: np.ndarray,
+    left: GasState,
+    right: GasState,
+    gamma: float = 5.0 / 3.0,
+) -> "tuple[np.ndarray, np.ndarray, np.ndarray]":
+    """Primitive (rho, u, p) profiles at similarity coordinates ``xi``.
+
+    ``xi = (x - x_diaphragm) / t``.
+    """
+    xi = np.asarray(xi, dtype=np.float64)
+    p_star, u_star = solve_star_region(left, right, gamma)
+    a_l = left.sound_speed(gamma)
+    a_r = right.sound_speed(gamma)
+    gm1, gp1 = gamma - 1.0, gamma + 1.0
+
+    rho = np.empty_like(xi)
+    u = np.empty_like(xi)
+    p = np.empty_like(xi)
+
+    left_side = xi <= u_star
+    # --- left of the contact -------------------------------------------------
+    if p_star > left.p:  # left shock
+        rho_star_l = left.rho * (
+            (p_star / left.p + gm1 / gp1) / (gm1 / gp1 * p_star / left.p + 1.0)
+        )
+        s_l = left.u - a_l * np.sqrt(
+            gp1 / (2 * gamma) * p_star / left.p + gm1 / (2 * gamma)
+        )
+        pre = left_side & (xi < s_l)
+        post = left_side & (xi >= s_l)
+        rho[pre], u[pre], p[pre] = left.rho, left.u, left.p
+        rho[post], u[post], p[post] = rho_star_l, u_star, p_star
+    else:  # left rarefaction
+        rho_star_l = left.rho * (p_star / left.p) ** (1.0 / gamma)
+        a_star_l = a_l * (p_star / left.p) ** (gm1 / (2 * gamma))
+        head = left.u - a_l
+        tail = u_star - a_star_l
+        pre = left_side & (xi < head)
+        fan = left_side & (xi >= head) & (xi <= tail)
+        post = left_side & (xi > tail)
+        rho[pre], u[pre], p[pre] = left.rho, left.u, left.p
+        u[fan] = 2.0 / gp1 * (a_l + 0.5 * gm1 * left.u + xi[fan])
+        a_fan = a_l - 0.5 * gm1 * (u[fan] - left.u)
+        rho[fan] = left.rho * (a_fan / a_l) ** (2.0 / gm1)
+        p[fan] = left.p * (a_fan / a_l) ** (2.0 * gamma / gm1)
+        rho[post], u[post], p[post] = rho_star_l, u_star, p_star
+
+    right_side = ~left_side
+    # --- right of the contact ---------------------------------------------
+    if p_star > right.p:  # right shock
+        rho_star_r = right.rho * (
+            (p_star / right.p + gm1 / gp1)
+            / (gm1 / gp1 * p_star / right.p + 1.0)
+        )
+        s_r = right.u + a_r * np.sqrt(
+            gp1 / (2 * gamma) * p_star / right.p + gm1 / (2 * gamma)
+        )
+        post = right_side & (xi <= s_r)
+        pre = right_side & (xi > s_r)
+        rho[post], u[post], p[post] = rho_star_r, u_star, p_star
+        rho[pre], u[pre], p[pre] = right.rho, right.u, right.p
+    else:  # right rarefaction
+        rho_star_r = right.rho * (p_star / right.p) ** (1.0 / gamma)
+        a_star_r = a_r * (p_star / right.p) ** (gm1 / (2 * gamma))
+        head = right.u + a_r
+        tail = u_star + a_star_r
+        post = right_side & (xi < tail)
+        fan = right_side & (xi >= tail) & (xi <= head)
+        pre = right_side & (xi > head)
+        rho[post], u[post], p[post] = rho_star_r, u_star, p_star
+        u[fan] = 2.0 / gp1 * (-a_r + 0.5 * gm1 * right.u + xi[fan])
+        a_fan = a_r + 0.5 * gm1 * (u[fan] - right.u)
+        rho[fan] = right.rho * (a_fan / a_r) ** (2.0 / gm1)
+        p[fan] = right.p * (a_fan / a_r) ** (2.0 * gamma / gm1)
+        rho[pre], u[pre], p[pre] = right.rho, right.u, right.p
+
+    return rho, u, p

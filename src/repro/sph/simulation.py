@@ -1,0 +1,317 @@
+"""The instrumented simulation facade.
+
+Ties together the cluster hardware, the per-rank workload models, the
+optional numeric backend, the frequency-scaling policy (through the
+NVML/ROCm controller) and the energy profiler — i.e. this module *is*
+the instrumented SPH-EXA of the paper:
+
+* hooks fire around every step function (§III-B);
+* the frequency controller pins application clocks before each
+  function according to the active policy (§III-D);
+* the energy profiler measures per-function, per-device energy per
+  rank, gathered only at the end of the run (§III-B);
+* Slurm-visible setup (data allocation, host-to-device transfer)
+  advances simulated time *before* the instrumented window opens,
+  creating the PMT-vs-Slurm gap of Fig. 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..core.controller import FrequencyController
+from ..core.energy import EnergyProfiler, EnergyReport, make_profiler
+from ..core.freq_policy import FrequencyPolicy, baseline_policy
+from ..core.hooks import HookRegistry
+from ..units import to_mhz
+from .numeric import NumericProblem
+from .propagator import StepFunction, propagator_for
+from .workload import REFERENCE_NEIGHBORS, WorkloadModel
+
+#: Fixed application-initialization cost (binary, IC generation, MPI).
+INIT_BASE_S = 3.0
+
+#: Per-particle allocation + host-to-device transfer time.
+INIT_PER_PARTICLE_S = 3.0e-8
+
+#: Wire bytes per model-mode halo particle.
+MODEL_HALO_BYTES = 88.0
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of one instrumented run."""
+
+    report: EnergyReport
+    elapsed_s: float
+    gpu_energy_j: float
+    steps: int
+    clock_set_calls: int
+    dt_history: List[float] = field(default_factory=list)
+
+    @property
+    def edp(self) -> float:
+        return self.elapsed_s * self.gpu_energy_j
+
+
+class Simulation:
+    """One instrumented simulation on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        :class:`~repro.systems.Cluster` (hardware + comm already built).
+    workload_name:
+        ``"SubsonicTurbulence"`` or ``"EvrardCollapse"`` (Table I).
+    n_particles_per_rank:
+        Local problem size fed to the GPU cost model. In numeric mode
+        the real decomposition counts override this each step.
+    policy:
+        Frequency-scaling strategy; defaults to the pinned-max baseline.
+    numeric:
+        Optional :class:`~repro.sph.numeric.NumericProblem` running the
+        real physics alongside the cost model.
+    """
+
+    def __init__(
+        self,
+        cluster,
+        workload_name: str,
+        n_particles_per_rank: float,
+        policy: Optional[FrequencyPolicy] = None,
+        numeric: Optional[NumericProblem] = None,
+        mean_neighbors: float = REFERENCE_NEIGHBORS,
+    ) -> None:
+        self.cluster = cluster
+        self.workload_name = workload_name
+        self.functions: List[StepFunction] = propagator_for(workload_name)
+        with_gravity = any(f.name == "Gravity" for f in self.functions)
+        self.workloads: List[WorkloadModel] = [
+            WorkloadModel(
+                n_particles_per_rank, mean_neighbors, with_gravity
+            )
+            for _ in range(cluster.n_ranks)
+        ]
+        self.numeric = numeric
+        if numeric is not None and numeric.n_ranks != cluster.n_ranks:
+            raise ValueError("numeric problem rank count must match cluster")
+
+        if policy is None:
+            policy = baseline_policy(
+                to_mhz(cluster.gpus[0].spec.default_clock_hz)
+            )
+        self.policy = policy
+        self.controller = FrequencyController(cluster.gpus, policy)
+        self.profiler: EnergyProfiler = make_profiler(cluster)
+        self.hooks = HookRegistry()
+        # Controller outside, profiler inside: clock-set latency before a
+        # function is charged to the caller, not to the function itself.
+        self.hooks.register(self.controller)
+        # Policies that measure (e.g. OnlineTuningPolicy) are hooks too.
+        if hasattr(policy, "before_function") and hasattr(
+            policy, "after_function"
+        ):
+            self.hooks.register(policy)
+        self.hooks.register(self.profiler)
+        self.dt_history: List[float] = []
+        self._initialized = False
+
+    # ------------------------------------------------------------------
+    # Phases
+    # ------------------------------------------------------------------
+
+    def initialize(self) -> None:
+        """Application setup: allocation + host-to-device data movement.
+
+        Runs before the instrumented window — the paper's explanation
+        for PMT reading less than Slurm (Fig. 3): GPUs idle here.
+        """
+        if self._initialized:
+            return
+        for rank, clock in enumerate(self.cluster.clocks):
+            n_local = self.workloads[rank].n_particles
+            clock.advance(INIT_BASE_S + INIT_PER_PARTICLE_S * n_local)
+        self.cluster.comm.barrier()
+        self.controller.apply_initial_mode()
+        self._initialized = True
+
+    def run(self, n_steps: int) -> SimulationResult:
+        """Execute ``n_steps`` of the instrumented time-stepping loop."""
+        if n_steps < 1:
+            raise ValueError("need at least one step")
+        self.initialize()
+        self.profiler.open_window()
+        for _ in range(n_steps):
+            self._run_step()
+        self.profiler.close_window()
+        report = self.profiler.gather(self.cluster.comm)
+        return SimulationResult(
+            report=report,
+            elapsed_s=report.max_window_time_s(),
+            gpu_energy_j=report.total_window_gpu_j(),
+            steps=n_steps,
+            clock_set_calls=self.controller.clock_set_calls,
+            dt_history=list(self.dt_history),
+        )
+
+    # ------------------------------------------------------------------
+    # Step execution
+    # ------------------------------------------------------------------
+
+    def _run_step(self) -> None:
+        for fn in self.functions:
+            self._run_function(fn)
+        self.profiler.mark_step()
+
+    def _run_function(self, fn: StepFunction) -> None:
+        comm = self.cluster.comm
+        n_ranks = self.cluster.n_ranks
+        for rank in range(n_ranks):
+            self.hooks.fire_before(fn.name, rank)
+
+        # Per-rank GPU work (each rank advances its own clock).
+        for rank in range(n_ranks):
+            gpu = self.cluster.gpu_of_rank(rank)
+            for launch in self.workloads[rank].launches_for(fn.name):
+                gpu.execute(launch)
+
+        # Real numerics (no simulated-time cost: the GPU model carries it).
+        if self.numeric is not None:
+            self._dispatch_numeric(fn.name)
+
+        # Trailing collective, inside the function's measured window.
+        if fn.collective == "allreduce":
+            self._run_allreduce(fn)
+        elif fn.collective == "exchange":
+            self._run_exchange(fn)
+
+        # Host-side tail (physical-time computation, bookkeeping): the
+        # GPUs idle here, letting the DVFS governor clock down (Fig. 9).
+        # CPU-frequency scaling (--cpu-freq) slows exactly these phases.
+        if fn.host_overhead_s > 0.0:
+            for rank, clock in enumerate(self.cluster.clocks):
+                slowdown = self.cluster.cpu_slowdown_factor(rank)
+                clock.advance(fn.host_overhead_s * slowdown)
+
+        for rank in range(n_ranks):
+            self.hooks.fire_after(fn.name, rank)
+
+    def _dispatch_numeric(self, name: str) -> None:
+        problem = self.numeric
+        assert problem is not None
+        if name == "DomainDecompAndSync":
+            problem.domain_decomp_and_sync()
+            self._refresh_workloads(particles=True)
+        elif name == "FindNeighbors":
+            problem.find_neighbors()
+            self._refresh_workloads(neighbors=True)
+        elif name == "XMass":
+            problem.xmass()
+        elif name == "NormalizationGradh":
+            problem.normalization_gradh()
+        elif name == "EquationOfState":
+            problem.equation_of_state()
+        elif name == "IADVelocityDivCurl":
+            problem.iad_velocity_div_curl()
+        elif name == "Gravity":
+            problem.gravity_step()
+        elif name == "MomentumEnergy":
+            problem.momentum_energy()
+        elif name == "Timestep":
+            pass  # handled by the allreduce below
+        elif name == "UpdateQuantities":
+            problem.update_quantities()
+        else:  # pragma: no cover - propagator and model must agree
+            raise KeyError(f"no numeric implementation for {name!r}")
+
+    def _refresh_workloads(
+        self, particles: bool = False, neighbors: bool = False
+    ) -> None:
+        problem = self.numeric
+        assert problem is not None
+        if particles:
+            counts = problem.local_particle_counts()
+            for rank in range(self.cluster.n_ranks):
+                if counts[rank] > 0:
+                    self.workloads[rank] = self.workloads[rank].with_particles(
+                        float(counts[rank])
+                    )
+        if neighbors:
+            means = problem.mean_neighbor_counts()
+            for rank in range(self.cluster.n_ranks):
+                if means[rank] > 0:
+                    self.workloads[rank] = self.workloads[rank].with_neighbors(
+                        float(means[rank])
+                    )
+
+    def _run_allreduce(self, fn: StepFunction) -> None:
+        comm = self.cluster.comm
+        if self.numeric is not None and fn.name == "Timestep":
+            dts = self.numeric.local_timesteps()
+            dt = comm.allreduce(dts, op=min)
+            self.numeric.set_global_dt(dt)
+            self.dt_history.append(dt)
+        else:
+            payload = [fn.collective_bytes_per_rank / 8.0] * comm.size
+            comm.allreduce(payload, op=min)
+            self.dt_history.append(0.0)
+
+    def _run_exchange(self, fn: StepFunction) -> None:
+        comm = self.cluster.comm
+        n_ranks = comm.size
+        if n_ranks == 1:
+            return
+        if self.numeric is not None and self.numeric.exchange_bytes is not None:
+            matrix = self.numeric.exchange_bytes
+        else:
+            matrix = self._model_exchange_bytes()
+        for src in range(n_ranks):
+            for dst in range(n_ranks):
+                if src == dst:
+                    continue
+                nbytes = float(matrix[src][dst])
+                if nbytes > 0.0:
+                    comm.sendrecv(src, dst, nbytes)
+        comm.barrier()
+
+    def _model_exchange_bytes(self) -> np.ndarray:
+        """Surface-scaling halo estimate for model-mode runs."""
+        n_ranks = self.cluster.n_ranks
+        matrix = np.zeros((n_ranks, n_ranks))
+        for src in range(n_ranks):
+            n_local = self.workloads[src].n_particles
+            halo = 3.0 * n_local ** (2.0 / 3.0)
+            partners = [
+                p
+                for p in (src - 1, src + 1, src - 2, src + 2)
+                if 0 <= p < n_ranks
+            ]
+            for dst in partners:
+                matrix[src][dst] = halo * MODEL_HALO_BYTES / max(
+                    len(partners), 1
+                )
+        return matrix
+
+
+def run_instrumented(
+    cluster,
+    workload_name: str,
+    n_particles_per_rank: float,
+    n_steps: int,
+    policy: Optional[FrequencyPolicy] = None,
+    numeric: Optional[NumericProblem] = None,
+    mean_neighbors: float = REFERENCE_NEIGHBORS,
+) -> SimulationResult:
+    """Convenience wrapper: build, initialize and run a simulation."""
+    sim = Simulation(
+        cluster,
+        workload_name,
+        n_particles_per_rank,
+        policy=policy,
+        numeric=numeric,
+        mean_neighbors=mean_neighbors,
+    )
+    return sim.run(n_steps)

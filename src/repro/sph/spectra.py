@@ -1,0 +1,117 @@
+"""Spectral diagnostics for the turbulence workload.
+
+The Subsonic Turbulence runs of the paper are driven at large scales;
+the standard health check of such a simulation is the velocity power
+spectrum E(k): energy must concentrate at the driven wavenumbers and
+fall off toward the grid scale. The diagnostic grids the particle
+velocities (CIC deposit), FFTs them, and bins |v_hat|^2 into spherical
+k shells.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from .particles import ParticleSet
+
+
+@dataclass(frozen=True)
+class PowerSpectrum:
+    """Shell-binned velocity power spectrum."""
+
+    k: np.ndarray
+    energy: np.ndarray
+
+    def peak_k(self) -> float:
+        """Wavenumber shell holding the most energy."""
+        return float(self.k[np.argmax(self.energy)])
+
+    def total_energy(self) -> float:
+        return float(np.sum(self.energy))
+
+
+def _deposit_cic(
+    particles: ParticleSet, grid: int, box_size: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Cloud-in-cell deposit of the velocity field onto a cubic grid."""
+    pos = particles.positions() / box_size * grid
+    base = np.floor(pos - 0.5).astype(np.int64)
+    frac = pos - 0.5 - base
+    fields = [np.zeros((grid, grid, grid)) for _ in range(4)]
+    values = [particles.vx, particles.vy, particles.vz,
+              np.ones(particles.n)]
+    for dx in (0, 1):
+        wx = frac[:, 0] if dx else 1.0 - frac[:, 0]
+        ix = np.mod(base[:, 0] + dx, grid)
+        for dy in (0, 1):
+            wy = frac[:, 1] if dy else 1.0 - frac[:, 1]
+            iy = np.mod(base[:, 1] + dy, grid)
+            for dz in (0, 1):
+                wz = frac[:, 2] if dz else 1.0 - frac[:, 2]
+                iz = np.mod(base[:, 2] + dz, grid)
+                w = wx * wy * wz
+                for field, value in zip(fields, values):
+                    np.add.at(field, (ix, iy, iz), w * value)
+    weight = np.maximum(fields[3], 1e-12)
+    return fields[0] / weight, fields[1] / weight, fields[2] / weight
+
+
+def velocity_power_spectrum(
+    particles: ParticleSet,
+    box_size: float = 1.0,
+    grid: int = 32,
+) -> PowerSpectrum:
+    """Shell-averaged velocity power spectrum E(k).
+
+    ``k`` is in units of the fundamental box mode (k=1 spans the box).
+    """
+    if grid < 4:
+        raise ValueError("grid must be at least 4")
+    vx, vy, vz = _deposit_cic(particles, grid, box_size)
+    power = np.zeros((grid, grid, grid))
+    for field in (vx, vy, vz):
+        f_hat = np.fft.fftn(field) / grid**3
+        power += np.abs(f_hat) ** 2
+
+    freqs = np.fft.fftfreq(grid) * grid  # integer modes
+    kx, ky, kz = np.meshgrid(freqs, freqs, freqs, indexing="ij")
+    k_mag = np.sqrt(kx**2 + ky**2 + kz**2)
+    k_bins = np.arange(0.5, grid // 2, 1.0)
+    shell = np.digitize(k_mag.ravel(), k_bins)
+    energy = np.bincount(
+        shell, weights=power.ravel(), minlength=len(k_bins) + 1
+    )
+    # Drop the k=0 (mean flow) bin and the Nyquist tail.
+    ks = np.arange(1, len(k_bins))
+    return PowerSpectrum(k=ks.astype(float), energy=energy[1 : len(k_bins)])
+
+
+def solenoidal_fraction(
+    particles: ParticleSet, box_size: float = 1.0, grid: int = 32
+) -> float:
+    """Fraction of velocity power in the divergence-free component.
+
+    Helmholtz split in Fourier space: compressive power is the
+    projection of ``v_hat`` onto ``k_hat``. Driven solenoidal
+    turbulence should stay predominantly divergence-free.
+    """
+    vx, vy, vz = _deposit_cic(particles, grid, box_size)
+    v_hat = np.stack(
+        [np.fft.fftn(f) / grid**3 for f in (vx, vy, vz)], axis=0
+    )
+    freqs = np.fft.fftfreq(grid) * grid
+    kx, ky, kz = np.meshgrid(freqs, freqs, freqs, indexing="ij")
+    k2 = kx**2 + ky**2 + kz**2
+    k2[0, 0, 0] = 1.0
+    dot = (v_hat[0] * kx + v_hat[1] * ky + v_hat[2] * kz) / k2
+    comp = np.stack([dot * kx, dot * ky, dot * kz], axis=0)
+    total = float(np.sum(np.abs(v_hat) ** 2)) - float(
+        np.sum(np.abs(v_hat[:, 0, 0, 0]) ** 2)
+    )
+    compressive = float(np.sum(np.abs(comp) ** 2))
+    if total <= 0.0:
+        return 1.0
+    return max(0.0, min(1.0, 1.0 - compressive / total))

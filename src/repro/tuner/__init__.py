@@ -1,0 +1,39 @@
+"""KernelTuner-style frequency/parameter tuning (DESIGN.md §2)."""
+
+from .observers import (
+    BenchmarkObserver,
+    EnergyObserver,
+    PowerObserver,
+    TimeObserver,
+    default_observers,
+)
+from .strategies import (
+    STRATEGIES,
+    brute_force,
+    enumerate_space,
+    greedy_descent,
+    random_sample,
+)
+from .tuner import (
+    FREQUENCY_PARAM,
+    sph_kernel_source,
+    tune_all_sph_functions,
+    tune_kernel,
+)
+
+__all__ = [
+    "BenchmarkObserver",
+    "EnergyObserver",
+    "PowerObserver",
+    "TimeObserver",
+    "default_observers",
+    "STRATEGIES",
+    "brute_force",
+    "enumerate_space",
+    "greedy_descent",
+    "random_sample",
+    "FREQUENCY_PARAM",
+    "sph_kernel_source",
+    "tune_all_sph_functions",
+    "tune_kernel",
+]

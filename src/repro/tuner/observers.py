@@ -1,0 +1,100 @@
+"""Benchmark observers (KernelTuner-style).
+
+KernelTuner attaches observers to kernel benchmarking runs to collect
+quantities beyond runtime. We provide the ones the paper's methodology
+needs: time, NVML power/energy, and the derived EDP objective.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict
+
+from ..hardware.gpu import SimulatedGpu
+
+
+class BenchmarkObserver(abc.ABC):
+    """Collects one or more metrics around each kernel execution."""
+
+    @abc.abstractmethod
+    def before_start(self, gpu: SimulatedGpu) -> None:
+        """Called immediately before one benchmark iteration."""
+
+    @abc.abstractmethod
+    def after_finish(self, gpu: SimulatedGpu) -> None:
+        """Called immediately after one benchmark iteration."""
+
+    @abc.abstractmethod
+    def get_results(self) -> Dict[str, float]:
+        """Averaged metrics over the observed iterations."""
+
+
+class TimeObserver(BenchmarkObserver):
+    """Wall (simulated) time per iteration, seconds."""
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self._total = 0.0
+        self._count = 0
+
+    def before_start(self, gpu: SimulatedGpu) -> None:
+        self._start = gpu.clock.now
+
+    def after_finish(self, gpu: SimulatedGpu) -> None:
+        self._total += gpu.clock.now - self._start
+        self._count += 1
+
+    def get_results(self) -> Dict[str, float]:
+        if self._count == 0:
+            return {"time": 0.0}
+        return {"time": self._total / self._count}
+
+
+class EnergyObserver(BenchmarkObserver):
+    """GPU board energy per iteration, joules (NVML counter deltas)."""
+
+    def __init__(self) -> None:
+        self._start_j = 0.0
+        self._total_j = 0.0
+        self._count = 0
+
+    def before_start(self, gpu: SimulatedGpu) -> None:
+        self._start_j = gpu.energy_j
+
+    def after_finish(self, gpu: SimulatedGpu) -> None:
+        self._total_j += gpu.energy_j - self._start_j
+        self._count += 1
+
+    def get_results(self) -> Dict[str, float]:
+        if self._count == 0:
+            return {"energy": 0.0}
+        return {"energy": self._total_j / self._count}
+
+
+class PowerObserver(BenchmarkObserver):
+    """Average board power per iteration, watts."""
+
+    def __init__(self) -> None:
+        self._start_t = 0.0
+        self._start_j = 0.0
+        self._powers = []
+
+    def before_start(self, gpu: SimulatedGpu) -> None:
+        self._start_t = gpu.clock.now
+        self._start_j = gpu.energy_j
+
+    def after_finish(self, gpu: SimulatedGpu) -> None:
+        dt = gpu.clock.now - self._start_t
+        dj = gpu.energy_j - self._start_j
+        if dt > 0:
+            self._powers.append(dj / dt)
+
+    def get_results(self) -> Dict[str, float]:
+        if not self._powers:
+            return {"power": 0.0}
+        return {"power": sum(self._powers) / len(self._powers)}
+
+
+def default_observers() -> list:
+    """The observer set the paper's tuning runs use."""
+    return [TimeObserver(), EnergyObserver(), PowerObserver()]

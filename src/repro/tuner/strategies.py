@@ -1,0 +1,97 @@
+"""Search strategies over tuning parameter spaces.
+
+KernelTuner's default is brute force — fine for the paper's use case,
+where the only parameter is the GPU clock over a ~28-bin window
+(§III-C). Random sampling and greedy neighborhood descent are provided
+for larger spaces (e.g. clock x block size).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, Iterable, List, Sequence
+
+#: A configuration is one concrete assignment of tunable parameters.
+Config = Dict[str, object]
+
+
+def enumerate_space(params: Dict[str, Sequence]) -> List[Config]:
+    """Cartesian product of all parameter values, in stable order."""
+    if not params:
+        return [{}]
+    names = list(params)
+    configs = []
+    for combo in itertools.product(*(params[n] for n in names)):
+        configs.append(dict(zip(names, combo)))
+    return configs
+
+
+def brute_force(params: Dict[str, Sequence]) -> List[Config]:
+    """Evaluate the entire search space (KernelTuner's default)."""
+    return enumerate_space(params)
+
+
+def random_sample(
+    params: Dict[str, Sequence], fraction: float = 0.5, seed: int = 0
+) -> List[Config]:
+    """Evaluate a random fraction of the space (at least one config)."""
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    space = enumerate_space(params)
+    k = max(1, int(round(fraction * len(space))))
+    rng = random.Random(seed)
+    return rng.sample(space, k)
+
+
+def greedy_descent(
+    params: Dict[str, Sequence],
+    evaluate: Callable[[Config], float],
+    seed: int = 0,
+    restarts: int = 2,
+) -> List[Config]:
+    """Greedy neighborhood descent with restarts.
+
+    Unlike the enumerative strategies, this one *drives* evaluation
+    itself (it needs scores to pick neighbors); it returns the list of
+    configurations it visited, in visit order.
+    """
+    names = list(params)
+    values = {n: list(params[n]) for n in names}
+    rng = random.Random(seed)
+    visited: List[Config] = []
+    seen = set()
+
+    def key(cfg: Config):
+        return tuple(cfg[n] for n in names)
+
+    def visit(cfg: Config) -> float:
+        if key(cfg) not in seen:
+            seen.add(key(cfg))
+            visited.append(cfg)
+        return evaluate(cfg)
+
+    for _ in range(max(restarts, 1)):
+        current = {n: rng.choice(values[n]) for n in names}
+        current_score = visit(current)
+        improved = True
+        while improved:
+            improved = False
+            for n in names:
+                idx = values[n].index(current[n])
+                for nidx in (idx - 1, idx + 1):
+                    if not 0 <= nidx < len(values[n]):
+                        continue
+                    cand = dict(current)
+                    cand[n] = values[n][nidx]
+                    score = visit(cand)
+                    if score < current_score:
+                        current, current_score = cand, score
+                        improved = True
+    return visited
+
+
+STRATEGIES = {
+    "brute_force": brute_force,
+    "random_sample": random_sample,
+}

@@ -1,0 +1,206 @@
+"""``tune_kernel`` — the KernelTuner-style entry point (§III-C).
+
+The paper uses KernelTuner not to tune kernel code parameters but to
+benchmark each SPH-EXA kernel repeatedly at different *device-level*
+GPU clocks and pick the most energy-efficient one:
+
+>>> results, best = tune_kernel(                       # doctest: +SKIP
+...     kernel_name="MomentumEnergy",
+...     kernel_source=sph_kernel_source("MomentumEnergy", 450**3),
+...     problem_size=450**3,
+...     params={"gpu_frequency_mhz": [1410, 1395, ..., 1005]},
+...     gpu=device, objective="edp")
+
+``gpu_frequency_mhz`` is recognized as the device-clock parameter and
+applied through ``nvmlDeviceSetApplicationsClocks`` semantics before
+benchmarking; other parameters (e.g. ``block_size``) affect the
+kernel's achieved efficiency through the source callable.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..hardware.gpu import SimulatedGpu
+from ..hardware.kernel import KernelLaunch
+from ..sph.workload import REFERENCE_NEIGHBORS, WorkloadModel
+from ..units import mhz
+from .observers import default_observers
+from .strategies import Config, STRATEGIES, greedy_descent
+
+#: The device-level tunable the paper sweeps.
+FREQUENCY_PARAM = "gpu_frequency_mhz"
+
+#: Block-size efficiency curve: a mild, realistic occupancy effect so
+#: the tuner has a genuine code-parameter space to search when asked.
+_BLOCK_SIZE_EFFICIENCY = {64: 0.82, 128: 0.95, 256: 1.00, 512: 0.93, 1024: 0.80}
+
+KernelSource = Callable[[Config], KernelLaunch]
+
+
+def sph_kernel_source(
+    function: str,
+    problem_size: int,
+    mean_neighbors: float = REFERENCE_NEIGHBORS,
+    with_gravity: bool = False,
+) -> KernelSource:
+    """Kernel source for one SPH-EXA function at a fixed problem size.
+
+    ``problem_size`` is the particle count (the paper fixes 450^3).
+    ``block_size`` in the configuration, if present, scales the work to
+    mimic occupancy effects.
+    """
+    model = WorkloadModel(problem_size, mean_neighbors, with_gravity)
+
+    def source(config: Config) -> KernelLaunch:
+        launches = model.launches_for(function)
+        total_flops = sum(l.flops for l in launches)
+        total_bytes = sum(l.bytes_moved for l in launches)
+        eff = 1.0
+        if "block_size" in config:
+            try:
+                eff = _BLOCK_SIZE_EFFICIENCY[int(config["block_size"])]
+            except KeyError:
+                raise ValueError(
+                    f"unsupported block_size {config['block_size']!r}"
+                ) from None
+        return KernelLaunch(
+            name=function,
+            flops=total_flops / eff,
+            bytes_moved=total_bytes,
+            power_intensity=launches[0].power_intensity,
+            launch_overhead=launches[0].launch_overhead,
+        )
+
+    return source
+
+
+def _objective_value(record: Dict[str, float], objective: str) -> float:
+    if objective == "time":
+        return record["time"]
+    if objective == "energy":
+        return record["energy"]
+    if objective == "edp":
+        return record["time"] * record["energy"]
+    raise ValueError(f"unknown objective {objective!r}")
+
+
+def _benchmark(
+    gpu: SimulatedGpu,
+    kernel: KernelLaunch,
+    config: Config,
+    iterations: int,
+) -> Dict[str, float]:
+    """Run one configuration ``iterations`` times and average metrics."""
+    if FREQUENCY_PARAM in config:
+        freq = float(config[FREQUENCY_PARAM])
+        quantized = gpu.spec.quantize_clock_hz(mhz(freq))
+        if abs(quantized - mhz(freq)) > 1e-3:
+            raise ValueError(
+                f"{freq} MHz is not a supported clock for {gpu.spec.name}"
+            )
+        gpu.set_application_clocks(gpu.spec.memory_clock_hz, mhz(freq))
+    observers = default_observers()
+    for _ in range(iterations):
+        for obs in observers:
+            obs.before_start(gpu)
+        gpu.execute(kernel)
+        for obs in observers:
+            obs.after_finish(gpu)
+    record: Dict[str, float] = dict(config)
+    for obs in observers:
+        record.update(obs.get_results())
+    return record
+
+
+def tune_kernel(
+    kernel_name: str,
+    kernel_source: KernelSource,
+    problem_size: int,
+    params: Dict[str, Sequence],
+    gpu: SimulatedGpu,
+    objective: str = "edp",
+    strategy: str = "brute_force",
+    iterations: int = 7,
+    strategy_options: Optional[Dict] = None,
+) -> Tuple[List[Dict[str, float]], Dict[str, float]]:
+    """Benchmark every (selected) configuration; return (results, best).
+
+    Mirrors KernelTuner's ``tune_kernel(kernel_name, kernel_source,
+    problem_size, params)`` signature with the simulated device passed
+    explicitly. Results are one record per configuration with ``time``
+    (s), ``energy`` (J) and ``power`` (W) fields; ``best`` minimizes
+    the objective (default EDP, as in the paper).
+    """
+    if problem_size <= 0:
+        raise ValueError("problem_size must be positive")
+    if not params:
+        raise ValueError("need at least one tunable parameter")
+    if iterations < 1:
+        raise ValueError("need at least one benchmark iteration")
+    options = strategy_options or {}
+
+    results: List[Dict[str, float]] = []
+
+    if strategy == "greedy":
+        cache: Dict[tuple, Dict[str, float]] = {}
+        names = list(params)
+
+        def evaluate(config: Config) -> float:
+            key = tuple(config[n] for n in names)
+            if key not in cache:
+                record = _benchmark(
+                    gpu, kernel_source(config), config, iterations
+                )
+                cache[key] = record
+                results.append(record)
+            return _objective_value(cache[key], objective)
+
+        greedy_descent(params, evaluate, **options)
+    else:
+        try:
+            select = STRATEGIES[strategy]
+        except KeyError:
+            known = ", ".join(sorted([*STRATEGIES, "greedy"]))
+            raise ValueError(
+                f"unknown strategy {strategy!r} (known: {known})"
+            ) from None
+        for config in select(params, **options):
+            results.append(
+                _benchmark(gpu, kernel_source(config), config, iterations)
+            )
+
+    best = min(results, key=lambda r: _objective_value(r, objective))
+    return results, best
+
+
+def tune_all_sph_functions(
+    gpu: SimulatedGpu,
+    problem_size: int,
+    frequencies_mhz: Sequence[float],
+    with_gravity: bool = False,
+    objective: str = "edp",
+    iterations: int = 3,
+) -> Dict[str, float]:
+    """Best clock per SPH function — the Fig. 2 experiment.
+
+    Returns ``{function: best_frequency_mhz}``, directly consumable by
+    :meth:`repro.core.ManDynPolicy.from_tuning`.
+    """
+    from ..sph.workload import function_names
+
+    best_freqs: Dict[str, float] = {}
+    for fn in function_names(with_gravity):
+        _, best = tune_kernel(
+            kernel_name=fn,
+            kernel_source=sph_kernel_source(
+                fn, problem_size, with_gravity=with_gravity
+            ),
+            problem_size=problem_size,
+            params={FREQUENCY_PARAM: list(frequencies_mhz)},
+            gpu=gpu,
+            objective=objective,
+            iterations=iterations,
+        )
+        best_freqs[fn] = float(best[FREQUENCY_PARAM])
+    return best_freqs

@@ -1,0 +1,86 @@
+"""Physical units and formatting helpers.
+
+All quantities in the library are carried in SI base units:
+
+* time        — seconds (simulated time, never wall clock)
+* frequency   — hertz (GPU clocks are usually quoted in MHz; helpers below)
+* power       — watts
+* energy      — joules
+
+The helpers here keep unit conversions in one place so that magic
+constants like ``1e6`` never appear inline in device models or
+benchmarks.
+"""
+
+from __future__ import annotations
+
+#: One megahertz in hertz.
+MHZ = 1.0e6
+
+#: One gigahertz in hertz.
+GHZ = 1.0e9
+
+#: One kilojoule in joules.
+KILOJOULE = 1.0e3
+
+#: One megajoule in joules.
+MEGAJOULE = 1.0e6
+
+#: One millisecond in seconds.
+MILLISECOND = 1.0e-3
+
+#: One microsecond in seconds.
+MICROSECOND = 1.0e-6
+
+#: One gigabyte in bytes.
+GIB = float(1 << 30)
+
+
+def mhz(value: float) -> float:
+    """Convert a frequency quoted in MHz to Hz."""
+    return value * MHZ
+
+
+def to_mhz(hz: float) -> float:
+    """Convert a frequency in Hz to MHz."""
+    return hz / MHZ
+
+
+def megajoules(joules: float) -> float:
+    """Convert joules to megajoules."""
+    return joules / MEGAJOULE
+
+
+def format_energy(joules: float) -> str:
+    """Human-readable energy string with an adaptive unit.
+
+    >>> format_energy(1234.0)
+    '1.23 kJ'
+    """
+    a = abs(joules)
+    if a >= MEGAJOULE:
+        return f"{joules / MEGAJOULE:.2f} MJ"
+    if a >= KILOJOULE:
+        return f"{joules / KILOJOULE:.2f} kJ"
+    return f"{joules:.2f} J"
+
+
+def format_time(seconds: float) -> str:
+    """Human-readable duration string with an adaptive unit.
+
+    >>> format_time(0.25)
+    '250.0 ms'
+    """
+    a = abs(seconds)
+    if a >= 60.0:
+        return f"{seconds / 60.0:.2f} min"
+    if a >= 1.0:
+        return f"{seconds:.2f} s"
+    if a >= MILLISECOND:
+        return f"{seconds / MILLISECOND:.1f} ms"
+    return f"{seconds / MICROSECOND:.1f} us"
+
+
+def format_frequency(hz: float) -> str:
+    """Human-readable frequency string (always MHz, as in the paper)."""
+    return f"{to_mhz(hz):.0f} MHz"

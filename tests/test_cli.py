@@ -1,0 +1,124 @@
+"""Command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_systems_lists_presets(capsys):
+    assert main(["systems"]) == 0
+    out = capsys.readouterr().out
+    assert "LUMI-G" in out and "CSCS-A100" in out and "miniHPC" in out
+    assert "pm_counters" in out
+
+
+def test_run_baseline(capsys):
+    rc = main(
+        ["run", "--steps", "2", "--particles", "1e7", "--policy", "baseline"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "time-to-solution" in out
+    assert "GPU energy per function" in out
+    assert "MomentumEnergy" in out
+
+
+def test_run_mandyn_with_freq_map(capsys):
+    freq_map = json.dumps({"MomentumEnergy": 1410.0, "XMass": 1005.0})
+    rc = main(
+        [
+            "run", "--steps", "2", "--particles", "1e7",
+            "--policy", "mandyn", "--freq", "1110",
+            "--freq-map", freq_map,
+        ]
+    )
+    assert rc == 0
+    assert "policy=ManDyn" in capsys.readouterr().out
+
+
+def test_run_static_requires_freq():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "static", "--steps", "1"])
+
+
+def test_run_unknown_policy_and_workload():
+    with pytest.raises(SystemExit):
+        main(["run", "--policy", "chaotic"])
+    with pytest.raises(SystemExit):
+        main(["run", "--workload", "sedov-not-a-workload"])
+
+
+def test_run_writes_report(tmp_path, capsys):
+    path = str(tmp_path / "report.json")
+    rc = main(
+        ["run", "--steps", "1", "--particles", "1e6", "--report", path]
+    )
+    assert rc == 0
+    from repro.core import EnergyReport
+
+    report = EnergyReport.load(path)
+    assert report.total_j() > 0
+
+
+def test_run_evrard_on_lumi(capsys):
+    rc = main(
+        [
+            "run", "--system", "LUMI-G", "--workload", "evrard",
+            "--ranks", "8", "--steps", "1", "--particles", "1e6",
+        ]
+    )
+    assert rc == 0
+    assert "Gravity" in capsys.readouterr().out
+
+
+def test_tune_prints_map(capsys):
+    rc = main(
+        [
+            "tune", "--particles", "91125000", "--stride", "9",
+            "--iterations", "1",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MomentumEnergy" in out
+    # The JSON map line is machine-readable.
+    json_line = [l for l in out.splitlines() if l.startswith("{")][0]
+    mapping = json.loads(json_line)
+    assert mapping["MomentumEnergy"] >= mapping["XMass"]
+
+
+def test_tune_on_amd_system(capsys):
+    rc = main(
+        [
+            "tune", "--system", "LUMI-G", "--particles", "1e7",
+            "--min-freq", "1200", "--stride", "4", "--iterations", "1",
+        ]
+    )
+    assert rc == 0
+    assert "LUMI-G" in capsys.readouterr().out
+
+
+def test_compare_table(capsys):
+    rc = main(
+        ["compare", "--steps", "2", "--particles", "2e7", "--freq", "1110"]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "static 1110" in out
+    assert "mandyn" in out
+
+
+def test_sacct_reports_energy(capsys):
+    rc = main(
+        [
+            "sacct", "--system", "CSCS-A100", "--ranks", "4",
+            "--steps", "2", "--particles", "1e7",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "ConsumedEnergy" in out
+    assert "COMPLETED" in out
+    assert "instrumented (PMT) window" in out

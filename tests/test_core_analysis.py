@@ -1,0 +1,122 @@
+"""Analysis helpers over gathered energy reports (card-share mapping)."""
+
+import pytest
+
+from repro.core import (
+    CardShareGpuSource,
+    DEVICE_CLASSES,
+    device_breakdown_percent,
+    function_share_percent,
+    make_gpu_sources,
+    normalize_series,
+    per_function_metrics,
+    run_metrics,
+    top_functions,
+)
+from repro.core.edp import Metrics
+from repro.core.energy import EnergyReport, FunctionEnergyRecord, RankEnergyReport
+from repro.hardware import KernelLaunch
+
+
+def _fake_report():
+    ranks = []
+    for r in range(2):
+        rec_a = FunctionEnergyRecord(function="MomentumEnergy")
+        rec_a.calls = 10
+        rec_a.time_s = 4.0
+        rec_a.device_j = {"GPU": 800.0, "CPU": 100.0, "Memory": 40.0, "Other": 60.0}
+        rec_b = FunctionEnergyRecord(function="XMass")
+        rec_b.calls = 10
+        rec_b.time_s = 1.0
+        rec_b.device_j = {"GPU": 200.0, "CPU": 25.0, "Memory": 10.0, "Other": 15.0}
+        ranks.append(
+            RankEnergyReport(
+                rank=r,
+                records={"MomentumEnergy": rec_a, "XMass": rec_b},
+                window_start_s=0.0,
+                window_end_s=5.0,
+                window_gpu_j=1000.0,
+            )
+        )
+    return EnergyReport(ranks=ranks)
+
+
+def test_device_breakdown_sums_to_100():
+    report = _fake_report()
+    pct = device_breakdown_percent(report)
+    assert set(pct) == set(DEVICE_CLASSES)
+    assert sum(pct.values()) == pytest.approx(100.0)
+    assert pct["GPU"] == pytest.approx(1000.0 / 1250.0 * 100.0)
+
+
+def test_function_share_per_device():
+    shares = function_share_percent(_fake_report(), device="GPU")
+    assert shares["MomentumEnergy"] == pytest.approx(80.0)
+    assert shares["XMass"] == pytest.approx(20.0)
+    with pytest.raises(ValueError):
+        function_share_percent(_fake_report(), device="TPU")
+
+
+def test_top_functions_ranked():
+    top = top_functions(_fake_report(), k=1)
+    assert top[0][0] == "MomentumEnergy"
+
+
+def test_run_metrics_total_vs_gpu_only():
+    report = _fake_report()
+    total = run_metrics(report)
+    gpu = run_metrics(report, gpu_only=True)
+    assert total.time_s == 5.0
+    assert gpu.energy_j == 2000.0
+    assert total.energy_j == 2500.0
+
+
+def test_per_function_metrics_averages_rank_time():
+    m = per_function_metrics(_fake_report())
+    assert m["MomentumEnergy"].time_s == pytest.approx(4.0)
+    assert m["MomentumEnergy"].energy_j == pytest.approx(1600.0)
+
+
+def test_normalize_series():
+    series = {
+        "1410": Metrics(time_s=1.0, energy_j=100.0),
+        "1005": Metrics(time_s=1.2, energy_j=80.0),
+    }
+    norm = normalize_series(series, "1410")
+    assert norm["1410"] == (1.0, 1.0, 1.0)
+    t, e, edp = norm["1005"]
+    assert t == pytest.approx(1.2)
+    assert e == pytest.approx(0.8)
+    assert edp == pytest.approx(0.96)
+    with pytest.raises(KeyError):
+        normalize_series(series, "missing")
+
+
+def test_card_share_source_splits_card_energy(lumi_cluster):
+    sources = make_gpu_sources(lumi_cluster)
+    assert all(isinstance(s, CardShareGpuSource) for s in sources)
+    gpus = lumi_cluster.gpus
+    gpus[0].execute(KernelLaunch("K", 1e12, 0.0, 1.0))
+    lumi_cluster.comm.barrier()
+    # Ranks 0 and 1 share card 0; each is attributed half the card.
+    card_total = gpus[0].energy_j + gpus[1].energy_j
+    assert sources[0].read_j() == pytest.approx(card_total / 2.0)
+    assert sources[1].read_j() == pytest.approx(card_total / 2.0)
+    # The share is inexact per GCD (the section IV-A caveat)...
+    assert sources[0].read_j() != pytest.approx(gpus[0].energy_j, rel=0.01)
+    # ...but exact for the card when summed.
+    assert sources[0].read_j() + sources[1].read_j() == pytest.approx(
+        card_total
+    )
+
+
+def test_nvidia_sources_are_exact(cscs_cluster):
+    sources = make_gpu_sources(cscs_cluster)
+    gpu = cscs_cluster.gpus[3]
+    gpu.execute(KernelLaunch("K", 1e12, 0.0, 1.0))
+    assert sources[3].read_j() == pytest.approx(gpu.energy_j)
+
+
+def test_card_share_validation(lumi_cluster):
+    with pytest.raises(ValueError):
+        CardShareGpuSource(lumi_cluster.nodes[0], 0, 0)

@@ -1,0 +1,171 @@
+"""Hooks, energy profiler, frequency policies and controller."""
+
+import pytest
+
+from repro.core import (
+    DvfsPolicy,
+    EnergyReport,
+    FrequencyController,
+    HookRegistry,
+    ManDynPolicy,
+    Metrics,
+    StaticFrequencyPolicy,
+    baseline_policy,
+    energy_delay_product,
+    make_profiler,
+)
+from repro.hardware import KernelLaunch
+from repro.units import to_mhz
+
+
+class RecordingHook:
+    def __init__(self):
+        self.events = []
+
+    def before_function(self, function, rank):
+        self.events.append(("before", function, rank))
+
+    def after_function(self, function, rank):
+        self.events.append(("after", function, rank))
+
+
+def test_hooks_fire_in_registration_order_and_reverse():
+    reg = HookRegistry()
+    a, b = RecordingHook(), RecordingHook()
+    reg.register(a)
+    reg.register(b)
+    order = []
+    a.before_function = lambda f, r: order.append("a-before")
+    b.before_function = lambda f, r: order.append("b-before")
+    a.after_function = lambda f, r: order.append("a-after")
+    b.after_function = lambda f, r: order.append("b-after")
+    reg.fire_before("F", 0)
+    reg.fire_after("F", 0)
+    assert order == ["a-before", "b-before", "b-after", "a-after"]
+
+
+def test_hook_registry_validation():
+    reg = HookRegistry()
+    h = RecordingHook()
+    reg.register(h)
+    with pytest.raises(ValueError):
+        reg.register(h)
+    reg.unregister(h)
+    with pytest.raises(ValueError):
+        reg.unregister(h)
+
+
+def test_policies_initial_modes():
+    assert StaticFrequencyPolicy(1005).initial_mode() == 1005.0
+    assert DvfsPolicy().initial_mode() is None
+    assert baseline_policy(1410).name == "baseline"
+    md = ManDynPolicy({"MomentumEnergy": 1410.0}, default_mhz=1005.0)
+    assert md.initial_mode() == 1005.0
+    assert md.frequency_for("MomentumEnergy") == 1410.0
+    assert md.frequency_for("XMass") == 1005.0
+
+
+def test_policy_validation():
+    with pytest.raises(ValueError):
+        StaticFrequencyPolicy(-5)
+    with pytest.raises(ValueError):
+        ManDynPolicy({"A": -1.0}, default_mhz=1000.0)
+    with pytest.raises(ValueError):
+        ManDynPolicy({}, default_mhz=0.0)
+
+
+def test_controller_applies_mandyn_per_function(mini_cluster):
+    policy = ManDynPolicy({"MomentumEnergy": 1410.0}, default_mhz=1005.0)
+    ctl = FrequencyController(mini_cluster.gpus, policy)
+    ctl.apply_initial_mode()
+    assert ctl.current_clock_mhz(0) == 1005.0
+    ctl.before_function("MomentumEnergy", 0)
+    assert ctl.current_clock_mhz(0) == 1410.0
+    ctl.before_function("XMass", 0)
+    assert ctl.current_clock_mhz(0) == 1005.0
+    # Repeated set to the same bin is skipped.
+    calls = ctl.clock_set_calls
+    ctl.before_function("XMass", 0)
+    assert ctl.clock_set_calls == calls
+
+
+def test_controller_dvfs_mode(mini_cluster):
+    ctl = FrequencyController(mini_cluster.gpus, DvfsPolicy())
+    ctl.apply_initial_mode()
+    assert mini_cluster.gpus[0].dvfs_active
+    ctl.restore_defaults()
+    assert not mini_cluster.gpus[0].dvfs_active
+    assert to_mhz(mini_cluster.gpus[0].application_clock_hz) == 1410.0
+
+
+def test_controller_requires_devices():
+    with pytest.raises(ValueError):
+        FrequencyController([], DvfsPolicy())
+
+
+def test_profiler_measures_function_energy(mini_cluster):
+    profiler = make_profiler(mini_cluster)
+    gpu = mini_cluster.gpus[0]
+    profiler.open_window()
+    profiler.before_function("MomentumEnergy", 0)
+    gpu.execute(KernelLaunch("MomentumEnergy", 1e12, 1e11, 1.0))
+    profiler.after_function("MomentumEnergy", 0)
+    profiler.close_window()
+    rec = profiler.reports[0].records["MomentumEnergy"]
+    assert rec.calls == 1
+    assert rec.time_s > 0
+    assert rec.device_j["GPU"] == pytest.approx(gpu.energy_j, rel=1e-6)
+    assert rec.device_j["CPU"] > 0  # time-proportional attribution
+    assert profiler.reports[0].window_gpu_j == pytest.approx(
+        gpu.energy_j, rel=1e-6
+    )
+
+
+def test_profiler_rejects_nesting_and_mismatches(mini_cluster):
+    profiler = make_profiler(mini_cluster)
+    profiler.before_function("A", 0)
+    with pytest.raises(RuntimeError):
+        profiler.before_function("B", 0)
+    with pytest.raises(RuntimeError):
+        profiler.after_function("B", 0)
+    profiler.after_function("A", 0)
+
+
+def test_profiler_window_must_open_before_close(mini_cluster):
+    profiler = make_profiler(mini_cluster)
+    with pytest.raises(RuntimeError):
+        profiler.close_window()
+
+
+def test_report_gather_save_load(tmp_path, mini_cluster):
+    profiler = make_profiler(mini_cluster)
+    gpu = mini_cluster.gpus[0]
+    profiler.open_window()
+    for fn in ("XMass", "MomentumEnergy"):
+        profiler.before_function(fn, 0)
+        gpu.execute(KernelLaunch(fn, 1e11, 1e10, 0.8))
+        profiler.after_function(fn, 0)
+    profiler.close_window()
+    report = profiler.gather(mini_cluster.comm)
+    path = str(tmp_path / "report.json")
+    report.save(path)
+    loaded = EnergyReport.load(path)
+    assert loaded.total_j() == pytest.approx(report.total_j())
+    assert set(loaded.aggregate_functions()) == {"XMass", "MomentumEnergy"}
+    assert loaded.max_window_time_s() == pytest.approx(
+        report.max_window_time_s()
+    )
+
+
+def test_edp_metric():
+    assert energy_delay_product(100.0, 2.0) == 200.0
+    with pytest.raises(ValueError):
+        energy_delay_product(-1.0, 1.0)
+    m = Metrics(time_s=2.0, energy_j=100.0)
+    base = Metrics(time_s=1.0, energy_j=100.0)
+    norm = m.normalized_to(base)
+    assert norm.time == 2.0
+    assert norm.energy == 1.0
+    assert norm.edp == 2.0
+    with pytest.raises(ValueError):
+        m.normalized_to(Metrics(time_s=0.0, energy_j=0.0))

@@ -1,0 +1,71 @@
+"""Language-efficiency model internals (Fig. 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.langbench import (
+    LANGUAGE_PROFILES,
+    LanguageResult,
+    language_efficiency,
+    nbody_reference_work,
+)
+
+
+def test_profiles_cover_both_device_classes():
+    devices = {p.device for p in LANGUAGE_PROFILES}
+    assert devices == {"cpu", "gpu"}
+    names = [p.name for p in LANGUAGE_PROFILES]
+    assert len(names) == len(set(names))
+
+
+def test_reference_work_deterministic():
+    a = nbody_reference_work(n_bodies=128, steps=3)
+    b = nbody_reference_work(n_bodies=128, steps=3)
+    assert a == b > 0
+
+
+def test_reference_work_scales_with_steps():
+    w1 = nbody_reference_work(n_bodies=128, steps=2)
+    w2 = nbody_reference_work(n_bodies=128, steps=4)
+    assert w2 == pytest.approx(2.0 * w1)
+
+
+def test_energy_scales_linearly_with_work():
+    small = {r.language: r for r in language_efficiency(1e15)}
+    large = {r.language: r for r in language_efficiency(2e15)}
+    for name in small:
+        assert large[name].time_s == pytest.approx(
+            2.0 * small[name].time_s
+        )
+        assert large[name].energy_j == pytest.approx(
+            2.0 * small[name].energy_j
+        )
+
+
+def test_compiled_cpu_languages_cluster_together():
+    results = {r.language: r for r in language_efficiency(1e16)}
+    cpp = results["C++"]
+    for name in ("Fortran", "Rust"):
+        assert results[name].time_s == pytest.approx(cpp.time_s, rel=0.1)
+
+
+def test_result_unit_helpers():
+    r = LanguageResult(
+        language="X", device="cpu", time_s=86400.0, energy_j=3.6e6
+    )
+    assert r.days == pytest.approx(1.0)
+    assert r.kwh == pytest.approx(1.0)
+
+
+def test_slower_cpu_language_never_uses_less_energy():
+    """On the same device at equal activity, slower implies hungrier."""
+    results = [r for r in language_efficiency(1e16) if r.device == "cpu"]
+    compiled = [
+        r for r in results
+        if r.language in ("C++", "Fortran", "Rust")
+    ]
+    interpreted = [r for r in results if "Python" in r.language]
+    for slow in interpreted:
+        for fast in compiled:
+            assert slow.time_s > fast.time_s
+            assert slow.energy_j > fast.energy_j

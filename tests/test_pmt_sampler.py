@@ -1,0 +1,98 @@
+"""Periodic PMT sampling (dump mode)."""
+
+import numpy as np
+import pytest
+
+from repro import nvml
+from repro.hardware import KernelLaunch, SimulatedGpu, VirtualClock, a100_sxm4_80gb
+from repro.pmt import PmtSampler, create
+
+
+@pytest.fixture
+def rig():
+    clk = VirtualClock()
+    gpu = SimulatedGpu(a100_sxm4_80gb(), clk)
+    nvml.attach_devices([gpu])
+    sensor = create("nvml", device_index=0)
+    return clk, gpu, sensor
+
+
+def test_sampler_takes_samples_at_period(rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    clk.advance(1.05)
+    series = sampler.stop()
+    # First immediate sample + 10 ticks inside [0, 1.05].
+    assert len(series) == 11
+    times = [s.timestamp_s for s in series]
+    assert times == sorted(times)
+    assert times[1] == pytest.approx(0.1)
+    assert times[-1] == pytest.approx(1.0)
+
+
+def test_sampler_power_matches_device_draw(rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.05)
+    sampler.start()
+    gpu.execute(KernelLaunch("K", flops=5e12, bytes_moved=0.0,
+                             power_intensity=1.0))
+    series = sampler.stop()
+    # Interior samples during a full-power kernel read ~TDP.
+    busy = [s.watts for s in series[2:-1]]
+    assert len(busy) > 3
+    assert np.allclose(busy, gpu.spec.max_power_w, rtol=1e-2)
+
+
+def test_sampler_energy_is_consistent_with_counter(rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.2)
+    sampler.start()
+    gpu.execute(KernelLaunch("K", flops=2e12, bytes_moved=1e11,
+                             power_intensity=0.8))
+    clk.advance(0.5)
+    series = sampler.stop()
+    # Cumulative joules are monotone and end near the device counter.
+    joules = [s.joules for s in series]
+    assert all(b >= a for a, b in zip(joules, joules[1:]))
+    assert joules[-1] <= gpu.energy_j + 1e-9
+    assert joules[-1] > 0.9 * gpu.energy_j  # last tick close to the end
+
+
+def test_sampler_interpolates_within_long_advances(rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    clk.advance(1.0)  # one advance crossing 10 ticks, idle power
+    series = sampler.stop()
+    idle_w = gpu.power_model.idle_power_w(gpu.current_clock_hz)
+    for s in series[1:]:
+        assert s.watts == pytest.approx(idle_w, rel=1e-6)
+
+
+def test_sampler_lifecycle_errors(rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    with pytest.raises(RuntimeError):
+        sampler.stop()
+    sampler.start()
+    with pytest.raises(RuntimeError):
+        sampler.start()
+    sampler.stop()
+    with pytest.raises(ValueError):
+        PmtSampler(sensor, clk, period_s=0.0)
+
+
+def test_dump_roundtrip(tmp_path, rig):
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    gpu.execute(KernelLaunch("K", 1e12, 0.0, 1.0))
+    sampler.stop()
+    path = str(tmp_path / "pmt.dump")
+    sampler.dump(path)
+    loaded = PmtSampler.load_dump(path)
+    assert len(loaded) == len(sampler.samples)
+    assert loaded[-1].joules == pytest.approx(
+        sampler.samples[-1].joules, abs=1e-5
+    )

@@ -1,0 +1,102 @@
+"""Property-based tests on SPH numerics invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sph import ParticleSet, default_kernel, find_neighbors
+from repro.sph.eos import IdealGasEOS
+from repro.sph.physics import (
+    compute_density_gradh,
+    compute_iad_divv_curlv,
+    compute_momentum_energy,
+    compute_xmass,
+    signal_velocity,
+)
+
+
+def _random_gas(seed: int, n: int = 60) -> ParticleSet:
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, 1, size=(n, 3))
+    return ParticleSet(
+        x=pos[:, 0], y=pos[:, 1], z=pos[:, 2],
+        vx=rng.normal(0, 0.3, n), vy=rng.normal(0, 0.3, n),
+        vz=rng.normal(0, 0.3, n),
+        m=rng.uniform(0.5, 2.0, n) / n,
+        h=rng.uniform(0.12, 0.25, n),
+        u=rng.uniform(0.5, 2.0, n),
+    )
+
+
+def _pipeline(p: ParticleSet):
+    kernel = default_kernel()
+    nlist = find_neighbors(p, box_size=1.0)
+    compute_xmass(p, nlist, kernel, 1.0)
+    compute_density_gradh(p, nlist, kernel, 1.0)
+    IdealGasEOS().apply(p)
+    compute_iad_divv_curlv(p, nlist, kernel, 1.0)
+    return nlist, kernel
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=15, deadline=None)
+def test_density_pressure_positive_for_any_configuration(seed):
+    p = _random_gas(seed)
+    _pipeline(p)
+    assert np.all(p.rho > 0)
+    assert np.all(p.p > 0)
+    assert np.all(p.c > 0)
+    assert np.all(np.isfinite(p.rho))
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=10, deadline=None)
+def test_momentum_conservation_for_any_configuration(seed):
+    p = _random_gas(seed)
+    nlist, kernel = _pipeline(p)
+    compute_momentum_energy(p, nlist, kernel, box_size=1.0)
+    net = np.array(
+        [np.sum(p.m * p.ax), np.sum(p.m * p.ay), np.sum(p.m * p.az)]
+    )
+    scale = np.sum(p.m * np.abs(p.ax)) + np.sum(p.m * np.abs(p.ay)) + 1e-30
+    assert np.all(np.abs(net) / scale < 1e-8)
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=10, deadline=None)
+def test_signal_velocity_dominates_sound_speed(seed):
+    p = _random_gas(seed)
+    nlist, _ = _pipeline(p)
+    vsig = signal_velocity(p, nlist, box_size=1.0)
+    assert np.all(vsig >= p.c - 1e-12)
+    assert np.all(np.isfinite(vsig))
+
+
+@given(st.integers(min_value=0, max_value=60))
+@settings(max_examples=10, deadline=None)
+def test_galilean_invariance_of_accelerations(seed):
+    """Boosting every velocity by a constant must not change dv/dt."""
+    p1 = _random_gas(seed)
+    p2 = _random_gas(seed)
+    p2.vx += 5.0
+    p2.vy -= 3.0
+    for p in (p1, p2):
+        nlist, kernel = _pipeline(p)
+        compute_momentum_energy(p, nlist, kernel, box_size=1.0)
+    assert np.allclose(p1.ax, p2.ax, atol=1e-10)
+    assert np.allclose(p1.ay, p2.ay, atol=1e-10)
+    assert np.allclose(p1.du, p2.du, atol=1e-10)
+
+
+@given(
+    st.integers(min_value=0, max_value=30),
+    st.floats(min_value=0.5, max_value=3.0),
+)
+@settings(max_examples=10, deadline=None)
+def test_mass_scaling_scales_density_linearly(seed, factor):
+    p1 = _random_gas(seed)
+    p2 = _random_gas(seed)
+    p2.m *= factor
+    _pipeline(p1)
+    _pipeline(p2)
+    assert np.allclose(p2.rho, factor * p1.rho, rtol=1e-10)

@@ -1,0 +1,64 @@
+"""ASCII chart rendering."""
+
+import pytest
+
+from repro.reporting import bar_chart, line_chart, sparkline
+
+
+def test_bar_chart_basic():
+    out = bar_chart({"a": 1.0, "b": 0.5}, width=20, title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert len(lines) == 3
+    # The largest bar is full width.
+    assert lines[1].count("█") == 20
+    assert lines[2].count("█") == 10
+
+
+def test_bar_chart_baseline_marker():
+    out = bar_chart({"x": 0.5}, width=20, baseline=1.0)
+    assert "|" in out  # the reference mark beyond the bar
+
+
+def test_bar_chart_value_suffix_and_empty():
+    out = bar_chart({"x": 2.0}, width=10, unit=" J")
+    assert out.endswith("2 J")
+    with pytest.raises(ValueError):
+        bar_chart({})
+
+
+def test_bar_chart_all_zero_values():
+    out = bar_chart({"a": 0.0, "b": 0.0}, width=10)
+    assert "█" not in out
+
+
+def test_line_chart_renders_grid():
+    points = [(0.0, 0.0), (1.0, 1.0), (2.0, 4.0), (3.0, 9.0)]
+    out = line_chart(points, width=30, height=8, title="quad",
+                     y_label="y", x_label="x")
+    lines = out.splitlines()
+    assert lines[0] == "quad"
+    assert out.count("•") >= 3  # some points may share a cell
+    assert "y" in out and "x" in out
+    # Axis labels carry the data range.
+    assert "9" in lines[1]
+    assert lines[-2].strip().startswith("0")
+
+
+def test_line_chart_needs_two_points():
+    with pytest.raises(ValueError):
+        line_chart([(0.0, 1.0)])
+
+
+def test_line_chart_degenerate_ranges():
+    out = line_chart([(0.0, 5.0), (0.0, 5.0), (0.0, 5.0)], width=10, height=4)
+    assert "•" in out  # flat data still renders
+
+
+def test_sparkline_shape():
+    s = sparkline([0, 1, 2, 3, 4, 5, 6, 7])
+    assert len(s) == 8
+    assert s[0] == "▁" and s[-1] == "█"
+    assert sparkline([1.0, 1.0, 1.0]) == "▁▁▁"
+    with pytest.raises(ValueError):
+        sparkline([])

@@ -1,0 +1,137 @@
+"""Initial conditions (turbulence, Evrard) and observables."""
+
+import numpy as np
+import pytest
+
+from repro.sph import find_neighbors, default_kernel
+from repro.sph.eos import IdealGasEOS
+from repro.sph.init import (
+    EvrardConfig,
+    TurbulenceConfig,
+    TurbulenceDriver,
+    make_evrard,
+    make_turbulence,
+)
+from repro.sph.observables import (
+    density_contrast,
+    energy_budget,
+    half_mass_radius,
+    rms_mach,
+)
+from repro.sph.physics import GravityConfig, compute_density_gradh, compute_xmass
+
+
+def test_turbulence_particle_count_and_box():
+    cfg = TurbulenceConfig(nside=8)
+    p = make_turbulence(cfg)
+    assert p.n == 512 == cfg.n_particles
+    assert np.all((0 <= p.x) & (p.x < 1.0))
+    assert np.all((0 <= p.y) & (p.y < 1.0))
+    assert np.all((0 <= p.z) & (p.z < 1.0))
+
+
+def test_turbulence_mass_and_mach():
+    cfg = TurbulenceConfig(nside=8, mach_rms=0.3)
+    p = make_turbulence(cfg)
+    assert p.total_mass() == pytest.approx(1.0)
+    v2 = p.vx**2 + p.vy**2 + p.vz**2
+    rms = np.sqrt(v2.mean())
+    assert rms == pytest.approx(0.3 * cfg.sound_speed, rel=1e-6)
+
+
+def test_turbulence_velocity_field_near_solenoidal_and_zero_mean():
+    p = make_turbulence(TurbulenceConfig(nside=10, seed=3))
+    assert abs(p.vx.mean()) < 1e-12
+    assert abs(p.vy.mean()) < 1e-12
+    assert abs(p.vz.mean()) < 1e-12
+
+
+def test_turbulence_deterministic_by_seed():
+    a = make_turbulence(TurbulenceConfig(nside=6, seed=5))
+    b = make_turbulence(TurbulenceConfig(nside=6, seed=5))
+    c = make_turbulence(TurbulenceConfig(nside=6, seed=6))
+    assert np.array_equal(a.x, b.x) and np.array_equal(a.vx, b.vx)
+    assert not np.array_equal(a.vx, c.vx)
+
+
+def test_turbulence_internal_energy_matches_sound_speed():
+    cfg = TurbulenceConfig(nside=6)
+    p = make_turbulence(cfg)
+    g = cfg.gamma
+    c2 = g * (g - 1.0) * p.u
+    assert np.allclose(np.sqrt(c2), cfg.sound_speed)
+
+
+def test_turbulence_driver_is_deterministic_and_solenoidal_scale():
+    cfg = TurbulenceConfig(nside=6, seed=2)
+    p = make_turbulence(cfg)
+    driver = TurbulenceDriver(cfg, amplitude=0.5)
+    a1 = driver.acceleration(p)
+    a2 = driver.acceleration(p)
+    assert np.allclose(a1, a2)
+    rms = np.sqrt(np.mean(np.sum(a1 * a1, axis=1)))
+    assert rms == pytest.approx(0.5 * cfg.sound_speed, rel=1e-6)
+
+
+def test_evrard_density_profile_is_one_over_r():
+    cfg = EvrardConfig(n_particles=6000, seed=9)
+    p = make_evrard(cfg)
+    r = np.sqrt(p.x**2 + p.y**2 + p.z**2)
+    assert r.max() <= cfg.radius + 1e-12
+    # Enclosed mass M(<r) = M (r/R)^2 for rho ~ 1/r.
+    for frac in (0.3, 0.5, 0.8):
+        enclosed = p.m[r < frac * cfg.radius].sum()
+        assert enclosed == pytest.approx(
+            cfg.total_mass * frac**2, rel=0.05
+        )
+
+
+def test_evrard_is_cold_and_at_rest():
+    cfg = EvrardConfig(n_particles=500)
+    p = make_evrard(cfg)
+    assert np.allclose(p.u, 0.05)
+    assert p.kinetic_energy() == 0.0
+
+
+def test_evrard_smoothing_lengths_grow_with_radius():
+    p = make_evrard(EvrardConfig(n_particles=4000, seed=1))
+    r = np.sqrt(p.x**2 + p.y**2 + p.z**2)
+    inner = p.h[r < 0.3].mean()
+    outer = p.h[r > 0.7].mean()
+    assert outer > inner  # lower density outside -> larger h
+
+
+def test_energy_budget_components():
+    p = make_evrard(EvrardConfig(n_particles=300, seed=2))
+    budget = energy_budget(p, GravityConfig(softening=0.01))
+    assert budget.kinetic == 0.0
+    assert budget.internal == pytest.approx(0.05, rel=1e-9)
+    assert budget.potential < 0
+    assert budget.total == pytest.approx(
+        budget.kinetic + budget.internal + budget.potential
+    )
+
+
+def test_rms_mach_requires_sound_speed():
+    p = make_turbulence(TurbulenceConfig(nside=6))
+    with pytest.raises(ValueError):
+        rms_mach(p)
+    nlist = find_neighbors(p, box_size=1.0)
+    kernel = default_kernel()
+    compute_xmass(p, nlist, kernel, 1.0)
+    compute_density_gradh(p, nlist, kernel, 1.0)
+    IdealGasEOS().apply(p)
+    m = rms_mach(p)
+    assert 0.2 < m < 0.4
+
+
+def test_density_contrast_and_half_mass_radius():
+    p = make_evrard(EvrardConfig(n_particles=3000, seed=3))
+    nlist = find_neighbors(p)
+    kernel = default_kernel()
+    compute_xmass(p, nlist, kernel)
+    compute_density_gradh(p, nlist, kernel)
+    assert density_contrast(p) > 1.5  # centrally concentrated
+    rh = half_mass_radius(p)
+    # M(<r) = M r^2 -> half mass at r = 1/sqrt(2).
+    assert rh == pytest.approx(1.0 / np.sqrt(2.0), rel=0.05)

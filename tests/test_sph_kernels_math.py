@@ -1,0 +1,98 @@
+"""Smoothing kernels: normalization, compact support, derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sph import CubicSplineKernel, WendlandC6Kernel, default_kernel
+
+
+@pytest.fixture(params=[CubicSplineKernel, WendlandC6Kernel])
+def kernel(request):
+    return request.param()
+
+
+def test_default_kernel_is_wendland():
+    assert isinstance(default_kernel(), WendlandC6Kernel)
+
+
+def test_kernel_normalizes_to_one_in_3d(kernel):
+    # Integral of W over R^3 = 4 pi int_0^2h W(r) r^2 dr = 1.
+    h = 1.0
+    r = np.linspace(1e-9, 2.0 * h, 20_000)
+    w = kernel.value(r, np.full_like(r, h))
+    integral = 4.0 * np.pi * np.trapezoid(w * r**2, r)
+    assert integral == pytest.approx(1.0, rel=1e-3)
+
+
+def test_compact_support(kernel):
+    h = np.array([1.0])
+    assert kernel.value(np.array([2.0]), h)[0] == 0.0
+    assert kernel.value(np.array([2.5]), h)[0] == 0.0
+    assert kernel.value(np.array([1.9]), h)[0] > 0.0
+
+
+def test_kernel_positive_inside_support(kernel):
+    r = np.linspace(0.0, 1.99, 100)
+    w = kernel.value(r, np.ones_like(r))
+    assert np.all(w > 0.0)
+
+
+def test_kernel_monotone_decreasing(kernel):
+    r = np.linspace(0.0, 1.99, 200)
+    w = kernel.value(r, np.ones_like(r))
+    assert np.all(np.diff(w) <= 1e-12)
+
+
+def test_gradient_negative_inside_support(kernel):
+    r = np.linspace(0.05, 1.9, 100)
+    g = kernel.grad_r(r, np.ones_like(r))
+    assert np.all(g <= 0.0)
+
+
+def test_gradient_matches_finite_difference(kernel):
+    h = np.ones(1)
+    eps = 1e-6
+    for r0 in (0.3, 0.9, 1.5):
+        num = (
+            kernel.value(np.array([r0 + eps]), h)
+            - kernel.value(np.array([r0 - eps]), h)
+        ) / (2 * eps)
+        ana = kernel.grad_r(np.array([r0]), h)
+        assert ana[0] == pytest.approx(num[0], rel=1e-4, abs=1e-8)
+
+
+def test_grad_h_matches_finite_difference(kernel):
+    r = np.array([0.7])
+    eps = 1e-6
+    num = (
+        kernel.value(r, np.array([1.0 + eps]))
+        - kernel.value(r, np.array([1.0 - eps]))
+    ) / (2 * eps)
+    ana = kernel.grad_h(r, np.array([1.0]))
+    assert ana[0] == pytest.approx(num[0], rel=1e-4, abs=1e-8)
+
+
+def test_self_value_matches_zero_distance(kernel):
+    h = np.array([0.7])
+    assert kernel.self_value(h)[0] == pytest.approx(
+        kernel.value(np.array([0.0]), h)[0]
+    )
+
+
+@given(st.floats(min_value=0.1, max_value=10.0))
+def test_scaling_with_h(h):
+    # W(r, h) = h^-3 W(r/h, 1).
+    kernel = WendlandC6Kernel()
+    r = np.array([0.5 * h])
+    direct = kernel.value(r, np.array([h]))
+    scaled = kernel.value(np.array([0.5]), np.array([1.0])) / h**3
+    assert direct[0] == pytest.approx(scaled[0], rel=1e-9)
+
+
+@given(st.floats(min_value=0.01, max_value=1.95))
+def test_wendland_below_cubic_tail(q):
+    # Both kernels are valid densities; check values are finite, >= 0.
+    for k in (CubicSplineKernel(), WendlandC6Kernel()):
+        v = k.value(np.array([q]), np.array([1.0]))[0]
+        assert np.isfinite(v) and v >= 0.0

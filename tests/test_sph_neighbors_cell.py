@@ -1,0 +1,104 @@
+"""Cell-list neighbor search cross-validated against KD-tree/brute force."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sph import ParticleSet, find_neighbors, find_neighbors_bruteforce
+from repro.sph.init import TurbulenceConfig, make_turbulence
+from repro.sph.neighbors_cell import find_neighbors_cell_list
+
+
+def _random_particles(n, seed, h, box=1.0):
+    rng = np.random.default_rng(seed)
+    pos = rng.uniform(0, box, size=(n, 3))
+    return ParticleSet(
+        x=pos[:, 0], y=pos[:, 1], z=pos[:, 2],
+        vx=np.zeros(n), vy=np.zeros(n), vz=np.zeros(n),
+        m=np.full(n, 1.0 / n), h=np.full(n, h), u=np.ones(n),
+    )
+
+
+def _same(nl_a, nl_b):
+    assert np.array_equal(nl_a.offsets, nl_b.offsets)
+    for i in range(nl_a.n):
+        assert set(nl_a.of(i)) == set(nl_b.of(i)), i
+
+
+def test_matches_kdtree_open_box():
+    p = _random_particles(120, seed=1, h=0.12)
+    _same(find_neighbors_cell_list(p), find_neighbors(p))
+
+
+def test_matches_kdtree_periodic():
+    p = _random_particles(100, seed=2, h=0.09)
+    _same(
+        find_neighbors_cell_list(p, box_size=1.0),
+        find_neighbors(p, box_size=1.0),
+    )
+
+
+def test_matches_bruteforce_small_periodic_grid():
+    # Large h relative to the box -> few cells per axis (aliasing path).
+    p = _random_particles(40, seed=3, h=0.3)
+    _same(
+        find_neighbors_cell_list(p, box_size=1.0),
+        find_neighbors_bruteforce(p, box_size=1.0),
+    )
+
+
+def test_variable_smoothing_lengths():
+    p = _random_particles(80, seed=4, h=0.1)
+    rng = np.random.default_rng(5)
+    p.h = rng.uniform(0.05, 0.15, size=p.n)
+    _same(find_neighbors_cell_list(p), find_neighbors(p))
+
+
+def test_turbulence_ic_agreement():
+    p = make_turbulence(TurbulenceConfig(nside=8, seed=9))
+    _same(
+        find_neighbors_cell_list(p, box_size=1.0),
+        find_neighbors(p, box_size=1.0),
+    )
+
+
+def test_empty_and_single_particle():
+    empty = ParticleSet.zeros(0)
+    nl = find_neighbors_cell_list(
+        ParticleSet(
+            x=np.array([0.5]), y=np.array([0.5]), z=np.array([0.5]),
+            vx=np.zeros(1), vy=np.zeros(1), vz=np.zeros(1),
+            m=np.ones(1), h=np.array([0.1]), u=np.ones(1),
+        )
+    )
+    assert nl.total_pairs == 0
+    nl0 = find_neighbors_cell_list(empty) if empty.n else None
+
+
+def test_out_of_box_positions_rejected():
+    p = _random_particles(10, seed=6, h=0.1)
+    p.x[0] = 1.5
+    with pytest.raises(ValueError):
+        find_neighbors_cell_list(p, box_size=1.0)
+
+
+def test_zero_radius_rejected():
+    p = _random_particles(5, seed=7, h=0.1)
+    p.h[:] = 0.0
+    with pytest.raises(ValueError):
+        find_neighbors_cell_list(p)
+
+
+@given(st.integers(min_value=0, max_value=50))
+@settings(max_examples=20, deadline=None)
+def test_property_agreement_with_kdtree(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(5, 60))
+    h = float(rng.uniform(0.05, 0.35))
+    p = _random_particles(n, seed=seed + 1000, h=h)
+    periodic = bool(rng.integers(0, 2))
+    box = 1.0 if periodic else None
+    _same(
+        find_neighbors_cell_list(p, box_size=box),
+        find_neighbors(p, box_size=box),
+    )

@@ -1,0 +1,94 @@
+"""NumericProblem internals: decomposition feedback, ordering guards."""
+
+import numpy as np
+import pytest
+
+from repro.sph import NumericProblem
+from repro.sph.init import TurbulenceConfig, make_turbulence, make_turbulence_eos
+
+
+@pytest.fixture
+def problem():
+    cfg = TurbulenceConfig(nside=8, seed=31)
+    parts = make_turbulence(cfg)
+    return NumericProblem(
+        particles=parts,
+        n_ranks=4,
+        eos=make_turbulence_eos(cfg),
+        box_size=cfg.box_size,
+    )
+
+
+def test_function_order_guards(problem):
+    with pytest.raises(RuntimeError):
+        problem.xmass()  # FindNeighbors has not run
+    problem.find_neighbors()
+    problem.xmass()
+    with pytest.raises(RuntimeError):
+        problem.update_quantities()  # no global dt yet
+
+
+def test_gravity_guard(problem):
+    with pytest.raises(RuntimeError):
+        problem.gravity_step()  # gravity not enabled
+
+
+def test_domain_decomp_populates_exchange_plan(problem):
+    problem.domain_decomp_and_sync()
+    assert problem.exchange_bytes is not None
+    assert problem.exchange_bytes.shape == (4, 4)
+    # First decomposition: no migrations yet, only halo traffic.
+    assert np.all(np.diag(problem.exchange_bytes) == 0.0)
+    assert problem.exchange_bytes.sum() > 0.0  # halos exist
+
+
+def test_migration_traffic_appears_after_motion(problem):
+    problem.domain_decomp_and_sync()
+    halo_only = problem.exchange_bytes.sum()
+    # Move particles significantly (in every coordinate: the Morton
+    # z-bits are the most significant, so x-only motion on a uniform
+    # lattice never crosses rank boundaries) and re-decompose.
+    rng = np.random.default_rng(5)
+    p = problem.particles
+    for arr in (p.x, p.y, p.z):
+        arr[:] = np.mod(arr + rng.uniform(0, 0.3, size=p.n), 1.0)
+    problem.domain_decomp_and_sync()
+    assert problem.exchange_bytes.sum() > halo_only
+
+
+def test_local_counts_balance(problem):
+    problem.domain_decomp_and_sync()
+    counts = problem.local_particle_counts()
+    assert counts.sum() == problem.particles.n
+    assert counts.max() - counts.min() <= problem.particles.n // 4
+
+
+def test_local_counts_before_decomposition_are_even(problem):
+    counts = problem.local_particle_counts()
+    assert counts.sum() == problem.particles.n
+    assert counts.max() - counts.min() <= 1
+
+
+def test_mean_neighbor_counts_per_rank(problem):
+    problem.domain_decomp_and_sync()
+    problem.find_neighbors()
+    means = problem.mean_neighbor_counts()
+    assert len(means) == 4
+    assert np.all(means > 10)
+
+
+def test_full_step_sequence(problem):
+    problem.domain_decomp_and_sync()
+    problem.find_neighbors()
+    problem.xmass()
+    problem.normalization_gradh()
+    problem.equation_of_state()
+    problem.iad_velocity_div_curl()
+    problem.momentum_energy()
+    dts = problem.local_timesteps()
+    assert len(dts) == 4
+    assert all(d == dts[0] for d in dts)
+    problem.set_global_dt(min(dts))
+    problem.update_quantities()
+    assert problem.step_index == 1
+    assert problem.previous_dt == min(dts)

@@ -1,0 +1,127 @@
+"""ParticleSet container and neighbor search."""
+
+import numpy as np
+import pytest
+
+from repro.sph import (
+    ParticleSet,
+    find_neighbors,
+    find_neighbors_bruteforce,
+    pair_displacements,
+)
+from repro.sph.init import TurbulenceConfig, make_turbulence
+
+
+def _random_particles(n=50, seed=0, box=None):
+    rng = np.random.default_rng(seed)
+    scale = box if box else 1.0
+    pos = rng.uniform(0, scale, size=(n, 3))
+    return ParticleSet(
+        x=pos[:, 0], y=pos[:, 1], z=pos[:, 2],
+        vx=np.zeros(n), vy=np.zeros(n), vz=np.zeros(n),
+        m=np.full(n, 1.0 / n), h=np.full(n, 0.2 * scale), u=np.full(n, 1.0),
+    )
+
+
+def test_particleset_validates_shapes():
+    with pytest.raises(ValueError):
+        ParticleSet(
+            x=np.zeros(3), y=np.zeros(2), z=np.zeros(3),
+            vx=np.zeros(3), vy=np.zeros(3), vz=np.zeros(3),
+            m=np.zeros(3), h=np.zeros(3), u=np.zeros(3),
+        )
+
+
+def test_ensure_derived_allocates_zeros():
+    p = ParticleSet.zeros(5)
+    assert p.rho is None
+    p.ensure_derived()
+    assert p.rho.shape == (5,)
+    assert p.c33.shape == (5,)
+
+
+def test_select_and_concatenate_roundtrip():
+    p = _random_particles(20)
+    first = p.select(np.arange(10))
+    second = p.select(np.arange(10, 20))
+    merged = ParticleSet.concatenate([first, second])
+    assert merged.n == 20
+    assert np.allclose(merged.x, p.x)
+
+
+def test_conserved_helpers():
+    p = _random_particles(10)
+    p.vx[:] = 1.0
+    assert p.total_mass() == pytest.approx(1.0)
+    assert p.kinetic_energy() == pytest.approx(0.5)
+    assert p.momentum()[0] == pytest.approx(1.0)
+    assert p.internal_energy() == pytest.approx(1.0)
+
+
+def test_neighbors_match_bruteforce_open_box():
+    p = _random_particles(60, seed=3)
+    fast = find_neighbors(p)
+    slow = find_neighbors_bruteforce(p)
+    assert np.array_equal(fast.offsets, slow.offsets)
+    for i in range(p.n):
+        assert set(fast.of(i)) == set(slow.of(i))
+
+
+def test_neighbors_match_bruteforce_periodic():
+    p = _random_particles(50, seed=4, box=1.0)
+    p.h[:] = 0.15
+    fast = find_neighbors(p, box_size=1.0)
+    slow = find_neighbors_bruteforce(p, box_size=1.0)
+    for i in range(p.n):
+        assert set(fast.of(i)) == set(slow.of(i))
+
+
+def test_self_excluded_from_neighbors():
+    p = _random_particles(30, seed=5)
+    nlist = find_neighbors(p)
+    for i in range(p.n):
+        assert i not in nlist.of(i)
+
+
+def test_periodic_wrapping_finds_cross_boundary_pairs():
+    n = 2
+    p = ParticleSet(
+        x=np.array([0.01, 0.99]), y=np.array([0.5, 0.5]),
+        z=np.array([0.5, 0.5]),
+        vx=np.zeros(n), vy=np.zeros(n), vz=np.zeros(n),
+        m=np.ones(n), h=np.full(n, 0.05), u=np.ones(n),
+    )
+    nlist = find_neighbors(p, box_size=1.0)
+    assert 1 in nlist.of(0)
+    open_list = find_neighbors(p)
+    assert 1 not in open_list.of(0)
+
+
+def test_positions_outside_periodic_box_rejected():
+    p = _random_particles(5)
+    p.x[0] = 1.5
+    with pytest.raises(ValueError):
+        find_neighbors(p, box_size=1.0)
+
+
+def test_neighbor_counts_and_stats():
+    p = make_turbulence(TurbulenceConfig(nside=8, seed=2))
+    nlist = find_neighbors(p, box_size=1.0)
+    counts = nlist.counts()
+    assert counts.sum() == nlist.total_pairs
+    assert nlist.mean_count() == pytest.approx(counts.mean())
+    # Target ~100 neighbors in a near-uniform box.
+    assert 50 < nlist.mean_count() < 200
+
+
+def test_pair_displacements_minimum_image():
+    p = ParticleSet(
+        x=np.array([0.02, 0.98]), y=np.array([0.5, 0.5]),
+        z=np.array([0.5, 0.5]),
+        vx=np.zeros(2), vy=np.zeros(2), vz=np.zeros(2),
+        m=np.ones(2), h=np.full(2, 0.05), u=np.ones(2),
+    )
+    nlist = find_neighbors(p, box_size=1.0)
+    dx, dy, dz, r, i_idx, j_idx = pair_displacements(p, nlist, box_size=1.0)
+    assert np.all(r < 0.1)  # wrapped distance, not 0.96
+    assert np.all(np.abs(dx) < 0.1)

@@ -1,0 +1,77 @@
+"""Velocity power spectrum and Helmholtz diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.sph import ParticleSet
+from repro.sph.init import TurbulenceConfig, make_turbulence
+from repro.sph.spectra import (
+    solenoidal_fraction,
+    velocity_power_spectrum,
+)
+
+
+def _single_mode_particles(n_side=16, mode=3, solenoidal=True):
+    """Particles sampling a single Fourier mode velocity field."""
+    grid = (np.arange(n_side) + 0.5) / n_side
+    gx, gy, gz = np.meshgrid(grid, grid, grid, indexing="ij")
+    pos = np.column_stack([gx.ravel(), gy.ravel(), gz.ravel()])
+    n = len(pos)
+    phase = 2.0 * np.pi * mode * pos[:, 0]
+    if solenoidal:
+        # v = (0, sin(2 pi m x), 0): div v = 0.
+        vx = np.zeros(n)
+        vy = np.sin(phase)
+        vz = np.zeros(n)
+    else:
+        # v = (sin(2 pi m x), 0, 0): purely compressive.
+        vx = np.sin(phase)
+        vy = np.zeros(n)
+        vz = np.zeros(n)
+    return ParticleSet(
+        x=pos[:, 0], y=pos[:, 1], z=pos[:, 2],
+        vx=vx, vy=vy, vz=vz,
+        m=np.full(n, 1.0 / n), h=np.full(n, 0.1), u=np.ones(n),
+    )
+
+
+def test_spectrum_peaks_at_injected_mode():
+    p = _single_mode_particles(mode=3)
+    spec = velocity_power_spectrum(p, grid=16)
+    assert spec.peak_k() == pytest.approx(3.0)
+    # Essentially all energy in that shell.
+    assert spec.energy[2] / spec.total_energy() > 0.9
+
+
+def test_spectrum_total_energy_matches_field_variance():
+    p = _single_mode_particles(mode=2)
+    spec = velocity_power_spectrum(p, grid=16)
+    # <v^2>/... : for sin, mean square is 1/2 (split between +k and -k).
+    assert spec.total_energy() == pytest.approx(0.5, rel=0.05)
+
+
+def test_turbulence_ic_spectrum_is_large_scale():
+    cfg = TurbulenceConfig(nside=16, k_max=2, seed=8)
+    p = make_turbulence(cfg)
+    spec = velocity_power_spectrum(p, grid=16)
+    assert spec.peak_k() <= cfg.k_max
+    low = spec.energy[: cfg.k_max].sum()
+    assert low / spec.total_energy() > 0.7
+
+
+def test_solenoidal_fraction_discriminates():
+    sol = _single_mode_particles(mode=2, solenoidal=True)
+    comp = _single_mode_particles(mode=2, solenoidal=False)
+    assert solenoidal_fraction(sol, grid=16) > 0.95
+    assert solenoidal_fraction(comp, grid=16) < 0.1
+
+
+def test_turbulence_ic_is_mostly_solenoidal():
+    p = make_turbulence(TurbulenceConfig(nside=16, seed=9))
+    assert solenoidal_fraction(p, grid=16) > 0.8
+
+
+def test_grid_validation():
+    p = _single_mode_particles()
+    with pytest.raises(ValueError):
+        velocity_power_spectrum(p, grid=2)
