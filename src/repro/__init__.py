@@ -16,6 +16,9 @@ substrate (see DESIGN.md):
   (octree domain decomposition, real SPH numerics, workload models);
 * ``repro.core``      — the paper's contribution: instrumentation for
   per-function energy measurement and dynamic GPU frequency scaling;
+* ``repro.telemetry`` — structured tracing + metrics: typed trace
+  events, a ring-buffer collector hooked into the step loop, Chrome
+  ``trace_event``/JSONL export and trace-vs-report reconciliation;
 * ``repro.tuner``     — KernelTuner-style frequency tuning;
 * ``repro.systems``   — the Table-I machine presets.
 
@@ -48,6 +51,7 @@ __all__ = [
     "slurm",
     "sph",
     "systems",
+    "telemetry",
     "tuner",
     "units",
 ]

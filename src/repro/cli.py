@@ -8,13 +8,19 @@ Gives downstream users the paper's workflow without writing Python::
     python -m repro compare --system miniHPC --particles 91125000
     python -m repro systems
     python -m repro sacct --system CSCS-A100 --ranks 8 --steps 5
+    python -m repro trace record --workload sedov --steps 4 \
+        --export trace.json
+    python -m repro trace summary --policy mandyn
 
-Every subcommand prints the same report tables the benchmarks use.
+Every subcommand prints the same report tables the benchmarks use;
+``trace`` records a structured run trace (Chrome ``trace_event`` JSON
+for Perfetto, compact JSONL for diffing) through ``repro.telemetry``.
 """
 
 from __future__ import annotations
 
 import argparse
+import importlib.metadata
 import json
 import sys
 from typing import Dict, List, Optional, Sequence
@@ -87,7 +93,17 @@ def _policy(
     )
 
 
-def _run_once(args, policy: FrequencyPolicy):
+def _version() -> str:
+    """Package version from installed metadata, else the source tree."""
+    try:
+        return importlib.metadata.version("repro")
+    except importlib.metadata.PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _run_once(args, policy: FrequencyPolicy, telemetry=None):
     cluster = Cluster(by_name(args.system), args.ranks)
     try:
         result = run_instrumented(
@@ -96,6 +112,7 @@ def _run_once(args, policy: FrequencyPolicy):
             args.particles,
             args.steps,
             policy=policy,
+            telemetry=telemetry,
         )
     finally:
         cluster.detach_management_library()
@@ -327,6 +344,87 @@ def cmd_sacct(args) -> int:
     return 0
 
 
+def _trace_run(args):
+    """Shared record/summary path: one traced instrumented run."""
+    from .telemetry import TraceCollector
+
+    system = by_name(args.system)
+    max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+    policy = _policy(args.policy, args.freq, args.freq_map, max_mhz)
+    collector = TraceCollector(max_events=args.max_events)
+    result, _ = _run_once(args, policy, telemetry=collector)
+    return collector, result, policy
+
+
+def cmd_trace_record(args) -> int:
+    from .telemetry import (
+        max_drift_s,
+        reconcile_with_report,
+        write_chrome_trace,
+        write_trace_jsonl,
+    )
+
+    collector, result, policy = _trace_run(args)
+    label = (
+        f"{_workload(args.workload)} on {args.system} "
+        f"({policy.name}, {args.steps} steps)"
+    )
+    print(
+        f"recorded {len(collector.events)} trace events "
+        f"({len(collector.spans())} spans) over {args.steps} steps; "
+        f"{collector.dropped} dropped"
+    )
+    rows = reconcile_with_report(collector.events, result.report)
+    print(f"max trace-vs-report drift: {max_drift_s(rows):.2e} s")
+    if args.export:
+        write_chrome_trace(args.export, collector.events, label=label)
+        print(f"Chrome trace_event JSON written to {args.export} "
+              "(open in Perfetto / chrome://tracing)")
+    if args.jsonl:
+        write_trace_jsonl(args.jsonl, collector.events)
+        print(f"JSONL trace written to {args.jsonl}")
+    if args.report:
+        result.report.save(args.report)
+        print(f"per-rank energy report written to {args.report}")
+    return 0
+
+
+def cmd_trace_summary(args) -> int:
+    from .telemetry import render_summary
+
+    collector, result, policy = _trace_run(args)
+    print(
+        f"workload={_workload(args.workload)} system={args.system} "
+        f"ranks={args.ranks} steps={args.steps} policy={policy.name}"
+    )
+    print()
+    print(render_summary(collector, result.report))
+    return 0
+
+
+def cmd_trace_export(args) -> int:
+    from .telemetry import read_trace_jsonl, write_chrome_trace
+
+    events = read_trace_jsonl(args.input)
+    write_chrome_trace(args.output, events)
+    print(
+        f"re-rendered {len(events)} events from {args.input} as Chrome "
+        f"trace_event JSON at {args.output}"
+    )
+    return 0
+
+
+TRACE_COMMANDS = {
+    "record": cmd_trace_record,
+    "summary": cmd_trace_summary,
+    "export": cmd_trace_export,
+}
+
+
+def cmd_trace(args) -> int:
+    return TRACE_COMMANDS[args.trace_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -334,6 +432,12 @@ def build_parser() -> argparse.ArgumentParser:
             "GPU frequency scaling for astrophysics simulations "
             "(SC 2024 reproduction)"
         ),
+    )
+    parser.add_argument(
+        "--version",
+        action="version",
+        version=f"%(prog)s {_version()}",
+        help="print the package version and exit",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -396,6 +500,46 @@ def build_parser() -> argparse.ArgumentParser:
     sacct_p.add_argument("--job-name", default="sphexa",
                          help="Slurm job name")
 
+    trace_p = sub.add_parser(
+        "trace",
+        help="record/inspect structured run traces (repro.telemetry)",
+    )
+    trace_sub = trace_p.add_subparsers(dest="trace_command", required=True)
+
+    def trace_common(p):
+        common(p)
+        p.add_argument("--policy", default="baseline",
+                       help="baseline | static | dvfs | mandyn")
+        p.add_argument("--freq", type=float, default=None,
+                       help="static clock / ManDyn default clock [MHz]")
+        p.add_argument("--freq-map", default=None,
+                       help="JSON {function: MHz} for ManDyn")
+        p.add_argument("--max-events", type=int, default=100_000,
+                       help="trace ring-buffer capacity")
+
+    rec_p = trace_sub.add_parser(
+        "record", help="run once and export the trace"
+    )
+    trace_common(rec_p)
+    rec_p.add_argument("--export", default=None,
+                       help="write Chrome trace_event JSON here (Perfetto)")
+    rec_p.add_argument("--jsonl", default=None,
+                       help="write the compact JSONL trace here")
+    rec_p.add_argument("--report", default=None,
+                       help="write the gathered energy report JSON here")
+
+    summ_p = trace_sub.add_parser(
+        "summary",
+        help="run once and print metrics + trace-vs-report reconciliation",
+    )
+    trace_common(summ_p)
+
+    exp_p = trace_sub.add_parser(
+        "export", help="re-render a JSONL trace as Chrome trace_event JSON"
+    )
+    exp_p.add_argument("input", help="JSONL trace from `trace record --jsonl`")
+    exp_p.add_argument("output", help="Chrome trace_event JSON destination")
+
     return parser
 
 
@@ -407,6 +551,7 @@ COMMANDS = {
     "tune": cmd_tune,
     "compare": cmd_compare,
     "sacct": cmd_sacct,
+    "trace": cmd_trace,
 }
 
 

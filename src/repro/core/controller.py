@@ -28,7 +28,10 @@ class FrequencyController:
     """Applies a :class:`FrequencyPolicy` around step functions."""
 
     def __init__(
-        self, gpus: List[SimulatedGpu], policy: FrequencyPolicy
+        self,
+        gpus: List[SimulatedGpu],
+        policy: FrequencyPolicy,
+        telemetry: Optional[object] = None,
     ) -> None:
         if not gpus:
             raise ValueError("controller needs at least one device")
@@ -36,6 +39,11 @@ class FrequencyController:
         self.policy = policy
         self._vendor = gpus[0].spec.vendor
         self.clock_set_calls = 0
+        #: Redundant requests elided (device already at the target bin).
+        self.clock_set_skipped = 0
+        #: Optional :class:`~repro.telemetry.TraceCollector` receiving
+        #: clock-change instants and skip/call metrics.
+        self.telemetry = telemetry
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -73,7 +81,12 @@ class FrequencyController:
         gpu = self._gpus[rank]
         quantized_hz = gpu.spec.quantize_clock_hz(freq_mhz * 1e6)
         if gpu.application_clock_hz == quantized_hz:
-            return  # already there: skip the (costly) library call
+            # Already there: skip the (costly) library call.
+            self.clock_set_skipped += 1
+            if self.telemetry is not None:
+                self.telemetry.record_clock_skip(rank, to_mhz(quantized_hz))
+            return
+        prev_hz = gpu.application_clock_hz
         self.clock_set_calls += 1
         if self._vendor == "nvidia":
             handle = nvml.nvmlDeviceGetHandleByIndex(rank)
@@ -90,12 +103,22 @@ class FrequencyController:
             levelzero.zesFrequencySetRange(
                 rank, levelzero.ZES_FREQ_DOMAIN_GPU, pinned, pinned
             )
+        if self.telemetry is not None:
+            self.telemetry.record_clock_set(
+                rank,
+                to_mhz(quantized_hz),
+                from_mhz=None if prev_hz is None else to_mhz(prev_hz),
+            )
 
     def _reset(self, rank: int) -> None:
         from .. import levelzero
 
         gpu = self._gpus[rank]
         if gpu.dvfs_active:
+            # The governor already owns the device: nothing to undo.
+            self.clock_set_skipped += 1
+            if self.telemetry is not None:
+                self.telemetry.record_clock_skip(rank, None)
             return
         self.clock_set_calls += 1
         if self._vendor == "nvidia":
@@ -110,6 +133,9 @@ class FrequencyController:
                 to_mhz(gpu.spec.min_clock_hz),
                 to_mhz(gpu.spec.max_clock_hz),
             )
+        if self.telemetry is not None:
+            self.telemetry.record_clock_set(rank, None, reset=True)
+            self.telemetry.record_dvfs_handover(rank)
 
     def current_clock_mhz(self, rank: int) -> float:
         """Current graphics clock of a rank's device, MHz."""

@@ -41,6 +41,13 @@ class HookRegistry:
             raise ValueError("hook already registered")
         self._hooks.append(hook)
 
+    def __len__(self) -> int:
+        """Number of registered hooks (observability cost accounting)."""
+        return len(self._hooks)
+
+    def __contains__(self, hook: object) -> bool:
+        return hook in self._hooks
+
     def unregister(self, hook: FunctionHook) -> None:
         try:
             self._hooks.remove(hook)

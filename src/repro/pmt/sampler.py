@@ -8,15 +8,28 @@ to a :class:`~repro.hardware.clock.VirtualClock` and takes a reading at
 every sampling-period boundary the clock crosses — deterministic, with
 zero perturbation of the measured code, like the CPU-side measurement
 threads the paper relies on (§III-A).
+
+Dump files are versioned: the first line is a ``# {"schema": 1, ...}``
+header shared with the telemetry JSONL trace export (see
+:mod:`repro.telemetry.events`), so the two export paths cannot silently
+diverge. Legacy dumps without a header still load. When a
+:class:`~repro.telemetry.TraceCollector` is attached, every sample is
+additionally emitted as a power counter event on the rank's counter
+track.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 from typing import List, Optional
 
 from ..hardware.clock import VirtualClock
+from ..telemetry.events import check_schema_header, schema_header
 from .base import PMT, State
+
+#: Column order of the dump-file payload lines.
+DUMP_COLUMNS = ("timestamp_s", "joules", "watts")
 
 
 @dataclass(frozen=True)
@@ -34,6 +47,17 @@ class PmtSampler:
     Average power per sample is derived from consecutive cumulative
     joule readings (robust even for backends that report no
     instantaneous watts).
+
+    Parameters
+    ----------
+    sensor / clock / period_s:
+        The PMT sensor, the rank-local clock it samples on, and the
+        sampling period in simulated seconds.
+    telemetry:
+        Optional :class:`~repro.telemetry.TraceCollector`; every sample
+        is mirrored as a ``power`` counter event for ``rank``.
+    rank:
+        Track identity of the emitted counter events.
     """
 
     def __init__(
@@ -41,6 +65,8 @@ class PmtSampler:
         sensor: PMT,
         clock: VirtualClock,
         period_s: float = 0.1,
+        telemetry=None,
+        rank: int = 0,
     ) -> None:
         if period_s <= 0.0:
             raise ValueError("sampling period must be positive")
@@ -50,6 +76,8 @@ class PmtSampler:
         self.samples: List[Sample] = []
         self._running = False
         self._last: Optional[State] = None
+        self._telemetry = telemetry
+        self._rank = rank
 
     @property
     def running(self) -> bool:
@@ -67,7 +95,7 @@ class PmtSampler:
         first = self._sensor.read()
         self._last = State(self._clock.now, first.joules, 0.0)
         self._segment_start_j = first.joules
-        self.samples.append(Sample(self._clock.now, first.joules, 0.0))
+        self._record(Sample(self._clock.now, first.joules, 0.0))
         self._clock.subscribe(self._on_advance)
 
     def stop(self) -> List[Sample]:
@@ -77,6 +105,16 @@ class PmtSampler:
         self._clock.unsubscribe(self._on_advance)
         self._running = False
         return list(self.samples)
+
+    def _record(self, sample: Sample) -> None:
+        self.samples.append(sample)
+        if self._telemetry is not None:
+            self._telemetry.emit_counter_sample(
+                "power",
+                self._rank,
+                {"watts": sample.watts, "joules": sample.joules},
+                ts=sample.timestamp_s,
+            )
 
     def _on_advance(self, t0: float, t1: float) -> None:
         assert self._last is not None
@@ -92,7 +130,7 @@ class PmtSampler:
             joules = start_j + (end_j - start_j) * frac
             dt = next_tick - self._last.timestamp_s
             watts = (joules - self._last.joules) / dt if dt > 0 else 0.0
-            self.samples.append(Sample(next_tick, joules, watts))
+            self._record(Sample(next_tick, joules, watts))
             self._last = State(next_tick, joules, watts)
             next_tick += self.period_s
         self._segment_start_j = end_j
@@ -100,20 +138,35 @@ class PmtSampler:
     # -- dump-file support ---------------------------------------------------
 
     def dump(self, path: str) -> None:
-        """Write the series as PMT-dump-style text lines."""
+        """Write the series as versioned PMT-dump-style text lines.
+
+        The header line carries the shared schema version; payload
+        floats use ``repr`` formatting so :meth:`load_dump` round-trips
+        every sample exactly.
+        """
+        header = schema_header(
+            "pmt-dump", columns=list(DUMP_COLUMNS), period_s=self.period_s
+        )
         with open(path, "w", encoding="ascii") as fh:
-            fh.write("# timestamp_s joules watts\n")
+            fh.write("# " + json.dumps(header, sort_keys=True) + "\n")
+            fh.write("# " + " ".join(DUMP_COLUMNS) + "\n")
             for s in self.samples:
-                fh.write(f"{s.timestamp_s:.6f} {s.joules:.6f} {s.watts:.3f}\n")
+                fh.write(f"{s.timestamp_s!r} {s.joules!r} {s.watts!r}\n")
 
     @staticmethod
     def load_dump(path: str) -> List[Sample]:
-        """Read a file written by :meth:`dump`."""
+        """Read a file written by :meth:`dump` (legacy headerless too)."""
         samples = []
         with open(path, encoding="ascii") as fh:
-            for line in fh:
-                if line.startswith("#") or not line.strip():
+            for i, line in enumerate(fh):
+                stripped = line.strip()
+                if not stripped:
                     continue
-                t, j, w = line.split()
+                if stripped.startswith("#"):
+                    body = stripped[1:].strip()
+                    if i == 0 and body.startswith("{"):
+                        check_schema_header(json.loads(body), "pmt-dump")
+                    continue
+                t, j, w = stripped.split()
                 samples.append(Sample(float(t), float(j), float(w)))
         return samples

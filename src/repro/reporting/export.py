@@ -1,10 +1,10 @@
-"""CSV/JSON export of benchmark rows (post-hoc analysis artifacts)."""
+"""CSV/JSON/JSONL export of benchmark rows (post-hoc analysis artifacts)."""
 
 from __future__ import annotations
 
 import csv
 import json
-from typing import Dict, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 
 def write_csv(
@@ -34,3 +34,30 @@ def read_json(path: str):
     """Read a JSON artifact."""
     with open(path, encoding="utf-8") as fh:
         return json.load(fh)
+
+
+def write_jsonl(
+    path: str, records: Iterable[Dict], header: Optional[Dict] = None
+) -> None:
+    """Write line-delimited JSON: optional header record, then records.
+
+    The telemetry layer writes traces this way (one compact record per
+    event, ``{"schema": ...}`` header first) so exports stream and diff
+    line-by-line.
+    """
+    with open(path, "w", encoding="utf-8") as fh:
+        if header is not None:
+            fh.write(json.dumps(header, sort_keys=True) + "\n")
+        for record in records:
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+
+
+def read_jsonl(path: str) -> List[Dict]:
+    """Read a JSONL file written by :func:`write_jsonl` (all records)."""
+    records = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records

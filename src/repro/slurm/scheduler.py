@@ -45,9 +45,15 @@ class SlurmController:
         self,
         accounting: AccountingDatabase | None = None,
         setup_model: JobSetupModel | None = None,
+        telemetry=None,
     ) -> None:
         self.accounting = accounting or AccountingDatabase()
         self.setup_model = setup_model or JobSetupModel()
+        #: Optional :class:`~repro.telemetry.TraceCollector`; the job
+        #: phases (scheduling+launch, accounting window) are emitted as
+        #: spans on the job track so the PMT-vs-Slurm gap of Fig. 3 is
+        #: visible directly in the trace.
+        self.telemetry = telemetry
         self._next_job_id = 1000
 
     def submit(
@@ -80,6 +86,9 @@ class SlurmController:
         job.start_time = max(c.now for c in cluster.clocks)
         job.state = JobState.RUNNING
         job.energy_at_start_j = self._read_all(plugin, cluster)
+        self._emit_phase(
+            "slurm:scheduling+launch", job, job.submit_time, job.start_time
+        )
 
         # --gpu-freq takes effect at launch, if the centre allows it.
         if spec.gpu_freq_mhz is not None:
@@ -108,6 +117,9 @@ class SlurmController:
             job.end_time = max(c.now for c in cluster.clocks)
             job.energy_at_end_j = self._read_all(plugin, cluster)
             self.accounting.record(job)
+            self._emit_phase(
+                "slurm:accounting-window", job, job.start_time, job.end_time
+            )
             raise
 
         # Epilog barrier, then close the accounting window.
@@ -116,7 +128,22 @@ class SlurmController:
         job.energy_at_end_j = self._read_all(plugin, cluster)
         job.state = JobState.COMPLETED
         self.accounting.record(job)
+        self._emit_phase(
+            "slurm:accounting-window", job, job.start_time, job.end_time
+        )
         return job
+
+    def _emit_phase(self, name: str, job: Job, t0: float, t1: float) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit_phase(
+                name,
+                rank=0,
+                t0=t0,
+                t1=t1,
+                job_id=job.job_id,
+                job_name=job.spec.name,
+                state=job.state.name,
+            )
 
     @staticmethod
     def _read_all(plugin, cluster: Any) -> dict:

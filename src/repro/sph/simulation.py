@@ -51,6 +51,7 @@ class SimulationResult:
     steps: int
     clock_set_calls: int
     dt_history: List[float] = field(default_factory=list)
+    clock_set_skipped: int = 0
 
     @property
     def edp(self) -> float:
@@ -74,6 +75,14 @@ class Simulation:
     numeric:
         Optional :class:`~repro.sph.numeric.NumericProblem` running the
         real physics alongside the cost model.
+    telemetry:
+        Optional :class:`~repro.telemetry.TraceCollector`. When given,
+        it is bound to the cluster, registered as the *innermost* hook
+        (so its spans cover exactly the profiler's measured windows)
+        and attached to the frequency controller for clock-change
+        instants. When ``None`` — the default — no extra hooks are
+        registered and the run is bit-for-bit identical to an
+        un-traced one.
     """
 
     def __init__(
@@ -84,6 +93,7 @@ class Simulation:
         policy: Optional[FrequencyPolicy] = None,
         numeric: Optional[NumericProblem] = None,
         mean_neighbors: float = REFERENCE_NEIGHBORS,
+        telemetry=None,
     ) -> None:
         self.cluster = cluster
         self.workload_name = workload_name
@@ -116,6 +126,15 @@ class Simulation:
         ):
             self.hooks.register(policy)
         self.hooks.register(self.profiler)
+        # Telemetry is opt-in and innermost: its spans open/close at the
+        # same clock readings as the profiler's, making the
+        # trace-vs-report reconciliation exact; a run without a
+        # collector registers no extra hooks at all.
+        self.telemetry = telemetry
+        if telemetry is not None:
+            telemetry.bind_cluster(cluster)
+            self.controller.telemetry = telemetry
+            self.hooks.register(telemetry)
         self.dt_history: List[float] = []
         self._initialized = False
 
@@ -155,6 +174,7 @@ class Simulation:
             steps=n_steps,
             clock_set_calls=self.controller.clock_set_calls,
             dt_history=list(self.dt_history),
+            clock_set_skipped=self.controller.clock_set_skipped,
         )
 
     # ------------------------------------------------------------------
@@ -165,6 +185,8 @@ class Simulation:
         for fn in self.functions:
             self._run_function(fn)
         self.profiler.mark_step()
+        if self.telemetry is not None:
+            self.telemetry.mark_step()
 
     def _run_function(self, fn: StepFunction) -> None:
         comm = self.cluster.comm
@@ -304,6 +326,7 @@ def run_instrumented(
     policy: Optional[FrequencyPolicy] = None,
     numeric: Optional[NumericProblem] = None,
     mean_neighbors: float = REFERENCE_NEIGHBORS,
+    telemetry=None,
 ) -> SimulationResult:
     """Convenience wrapper: build, initialize and run a simulation."""
     sim = Simulation(
@@ -313,5 +336,6 @@ def run_instrumented(
         policy=policy,
         numeric=numeric,
         mean_neighbors=mean_neighbors,
+        telemetry=telemetry,
     )
     return sim.run(n_steps)

@@ -1,0 +1,106 @@
+"""repro.telemetry — structured tracing and metrics for instrumented runs.
+
+The paper's contribution is *observability of energy behaviour*:
+per-function, per-device measurement through SPH-EXA's hook points
+(§III-B) plus NVML clock instrumentation (§III-D). This package turns
+those point measurements into analyzable runs, Score-P-style:
+
+* :mod:`~repro.telemetry.events` — typed trace events (spans, instants,
+  counter samples) with per-rank/per-track identity and monotonic
+  simulated timestamps, plus the shared ``{"schema": 1}`` file header;
+* :mod:`~repro.telemetry.metrics` — labeled counters/gauges/histograms
+  with a ``snapshot()`` API;
+* :mod:`~repro.telemetry.collector` — the bounded ring-buffer
+  :class:`TraceCollector`, a drop-in ``FunctionHook`` plus explicit
+  emit APIs for the frequency controller, PMT sampler and Slurm
+  scheduler;
+* :mod:`~repro.telemetry.chrome_trace` — lossless export to Chrome
+  ``trace_event`` JSON (Perfetto / ``chrome://tracing``) and compact
+  JSONL for programmatic diffing;
+* :mod:`~repro.telemetry.summary` — roll-ups and the
+  trace-vs-:class:`EnergyReport` reconciliation check.
+
+Telemetry is strictly opt-in: without a collector no extra hooks are
+registered and a run's reported numbers are bit-for-bit unchanged.
+
+Quickstart::
+
+    from repro.systems import Cluster, mini_hpc
+    from repro.sph import run_instrumented
+    from repro.telemetry import TraceCollector, write_chrome_trace
+
+    cluster = Cluster(mini_hpc(), n_ranks=1)
+    trace = TraceCollector.for_cluster(cluster)
+    result = run_instrumented(
+        cluster, "SedovBlast", 1e6, n_steps=4, telemetry=trace
+    )
+    write_chrome_trace("run.json", trace.events)  # open in Perfetto
+"""
+
+from .chrome_trace import (
+    read_trace_jsonl,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_trace_jsonl,
+)
+from .collector import DEFAULT_MAX_EVENTS, TraceCollector
+from .events import (
+    SCHEMA_VERSION,
+    TRACK_CLOCKS,
+    TRACK_COUNTERS,
+    TRACK_FUNCTIONS,
+    TRACK_JOB,
+    TRACKS,
+    CounterEvent,
+    InstantEvent,
+    SpanEvent,
+    TraceEvent,
+    check_schema_header,
+    from_record,
+    schema_header,
+    to_record,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .summary import (
+    RECONCILE_TOL_S,
+    FunctionTraceSummary,
+    ReconciliationRow,
+    max_drift_s,
+    reconcile_with_report,
+    render_summary,
+    summarize_functions,
+)
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TRACKS",
+    "TRACK_FUNCTIONS",
+    "TRACK_CLOCKS",
+    "TRACK_COUNTERS",
+    "TRACK_JOB",
+    "SpanEvent",
+    "InstantEvent",
+    "CounterEvent",
+    "TraceEvent",
+    "to_record",
+    "from_record",
+    "schema_header",
+    "check_schema_header",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceCollector",
+    "DEFAULT_MAX_EVENTS",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "write_trace_jsonl",
+    "read_trace_jsonl",
+    "FunctionTraceSummary",
+    "ReconciliationRow",
+    "RECONCILE_TOL_S",
+    "summarize_functions",
+    "reconcile_with_report",
+    "max_drift_s",
+    "render_summary",
+]

@@ -1,0 +1,213 @@
+"""Typed trace events: the unified event model of the observability layer.
+
+The paper's measurement infrastructure produces three distinct signal
+shapes, which Score-P-style tracing systems model as three event kinds:
+
+* **duration spans** — one per instrumented step function per rank per
+  step (the §III-B hook windows);
+* **instant events** — point-in-time occurrences: NVML/ROCm application
+  clock changes (§III-D), DVFS governor handovers, Slurm job state
+  transitions;
+* **counter samples** — periodic readings of continuous quantities:
+  power, frequency, temperature (the PMT dump-mode series of §III-A).
+
+Every event carries a *track identity*: the rank it belongs to (one
+process per rank in the Chrome-trace layout) and a named track within
+that rank (kernels vs. clocks vs. power counters vs. job phases).
+Timestamps are monotonic *simulated* seconds from the rank-local
+:class:`~repro.hardware.clock.VirtualClock`, so traces are bit-for-bit
+deterministic.
+
+The module also owns the on-disk schema version shared by every
+line-oriented export in the repository (trace JSONL, PMT dump files):
+a ``{"schema": 1, ...}`` header guards against silent format drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Union
+
+#: Version of the line-oriented export schema (trace JSONL, PMT dumps).
+SCHEMA_VERSION = 1
+
+#: Track for step-function duration spans (the kernel work of a rank).
+TRACK_FUNCTIONS = "kernels"
+
+#: Track for application-clock changes and DVFS transitions.
+TRACK_CLOCKS = "clocks"
+
+#: Track for periodic counter samples (power, frequency, temperature).
+TRACK_COUNTERS = "power"
+
+#: Track for Slurm job-phase spans (scheduling, accounting window).
+TRACK_JOB = "job"
+
+#: All known tracks in the Chrome-trace thread layout order.
+TRACKS = (TRACK_FUNCTIONS, TRACK_CLOCKS, TRACK_COUNTERS, TRACK_JOB)
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """A duration span: one hook window or job phase on one rank."""
+
+    name: str
+    rank: int
+    t0_s: float
+    t1_s: float
+    track: str = TRACK_FUNCTIONS
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.t1_s < self.t0_s:
+            raise ValueError(
+                f"span {self.name!r} ends before it starts "
+                f"({self.t1_s} < {self.t0_s})"
+            )
+
+    @property
+    def ts_s(self) -> float:
+        """Sort timestamp (span start)."""
+        return self.t0_s
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1_s - self.t0_s
+
+
+@dataclass(frozen=True)
+class InstantEvent:
+    """A point-in-time occurrence (clock change, state transition)."""
+
+    name: str
+    rank: int
+    ts_s: float
+    track: str = TRACK_CLOCKS
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CounterEvent:
+    """One sample of one or more continuous quantities."""
+
+    name: str
+    rank: int
+    ts_s: float
+    values: Mapping[str, float] = field(default_factory=dict)
+    track: str = TRACK_COUNTERS
+
+
+TraceEvent = Union[SpanEvent, InstantEvent, CounterEvent]
+
+
+def event_sort_key(event: TraceEvent):
+    """Stable chronological ordering: time, then rank, then track."""
+    return (event.ts_s, event.rank, event.track)
+
+
+# ---------------------------------------------------------------------------
+# JSONL record conversion (compact export for programmatic diffing)
+# ---------------------------------------------------------------------------
+
+def to_record(event: TraceEvent) -> Dict[str, Any]:
+    """One event as a plain JSON-serializable record.
+
+    The ``ph`` phase letters intentionally match the Chrome trace_event
+    convention (``X`` complete span, ``i`` instant, ``C`` counter) so a
+    JSONL line maps 1:1 onto its Chrome-export counterpart.
+    """
+    if isinstance(event, SpanEvent):
+        rec: Dict[str, Any] = {
+            "ph": "X",
+            "name": event.name,
+            "rank": event.rank,
+            "track": event.track,
+            "ts": event.t0_s,
+            "dur": event.duration_s,
+            # The exact endpoint too: ``ts + dur`` can differ from the
+            # recorded ``t1`` by an ulp, and the JSONL export must be
+            # lossless for diffing.
+            "t1": event.t1_s,
+        }
+        if event.args:
+            rec["args"] = dict(event.args)
+        return rec
+    if isinstance(event, InstantEvent):
+        rec = {
+            "ph": "i",
+            "name": event.name,
+            "rank": event.rank,
+            "track": event.track,
+            "ts": event.ts_s,
+        }
+        if event.args:
+            rec["args"] = dict(event.args)
+        return rec
+    if isinstance(event, CounterEvent):
+        return {
+            "ph": "C",
+            "name": event.name,
+            "rank": event.rank,
+            "track": event.track,
+            "ts": event.ts_s,
+            "values": dict(event.values),
+        }
+    raise TypeError(f"not a trace event: {event!r}")
+
+
+def from_record(record: Mapping[str, Any]) -> TraceEvent:
+    """Inverse of :func:`to_record`."""
+    ph = record.get("ph")
+    if ph == "X":
+        t0 = float(record["ts"])
+        t1 = record.get("t1")
+        return SpanEvent(
+            name=record["name"],
+            rank=int(record["rank"]),
+            t0_s=t0,
+            t1_s=float(t1) if t1 is not None else t0 + float(record["dur"]),
+            track=record.get("track", TRACK_FUNCTIONS),
+            args=dict(record.get("args", {})),
+        )
+    if ph == "i":
+        return InstantEvent(
+            name=record["name"],
+            rank=int(record["rank"]),
+            ts_s=float(record["ts"]),
+            track=record.get("track", TRACK_CLOCKS),
+            args=dict(record.get("args", {})),
+        )
+    if ph == "C":
+        return CounterEvent(
+            name=record["name"],
+            rank=int(record["rank"]),
+            ts_s=float(record["ts"]),
+            values={k: float(v) for k, v in record.get("values", {}).items()},
+            track=record.get("track", TRACK_COUNTERS),
+        )
+    raise ValueError(f"unknown event phase {ph!r} in record {record!r}")
+
+
+# ---------------------------------------------------------------------------
+# Shared schema header (trace JSONL and PMT dump files)
+# ---------------------------------------------------------------------------
+
+def schema_header(kind: str, **extra: Any) -> Dict[str, Any]:
+    """The versioned first-record of every line-oriented export."""
+    header: Dict[str, Any] = {"schema": SCHEMA_VERSION, "kind": kind}
+    header.update(extra)
+    return header
+
+
+def check_schema_header(header: Mapping[str, Any], kind: str) -> None:
+    """Validate a parsed header; raise ``ValueError`` on any mismatch."""
+    version = header.get("schema")
+    if not isinstance(version, int):
+        raise ValueError(f"missing schema version in header {header!r}")
+    if version > SCHEMA_VERSION:
+        raise ValueError(
+            f"file has schema {version}, this build reads <= {SCHEMA_VERSION}"
+        )
+    got = header.get("kind")
+    if got != kind:
+        raise ValueError(f"expected a {kind!r} file, found {got!r}")

@@ -1,0 +1,168 @@
+"""Lightweight labeled metrics: counters, gauges, histograms.
+
+A deliberately small registry in the spirit of the client-side halves
+of Prometheus/StatsD: the simulation-side instrumentation increments
+counters (clock-set calls, redundant-set skips, ring-buffer drops),
+sets gauges (last observed power), and feeds histograms (per-function
+latency and energy). ``snapshot()`` renders everything into plain
+dictionaries keyed by ``name{label=value,...}`` series strings, which
+is what ``repro trace summary`` prints and what tests assert against.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+from typing import Dict, Iterable, Mapping, Optional, Sequence, Tuple
+
+LabelKey = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Mapping[str, object]) -> LabelKey:
+    return tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def series_key(name: str, labels: LabelKey) -> str:
+    """Render ``name{label=value,...}`` (plain ``name`` when unlabeled)."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={v}" for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (last-write-wins)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+#: Default histogram bucket upper bounds (seconds-ish scale).
+DEFAULT_BOUNDS: Tuple[float, ...] = (1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0, 60.0)
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max tracking."""
+
+    __slots__ = ("bounds", "bucket_counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        bounds = tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        if list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted")
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # +inf overflow bucket
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self.bucket_counts[bisect.bisect_left(self.bounds, value)] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        buckets = {
+            f"le={b:g}": n for b, n in zip(self.bounds, self.bucket_counts)
+        }
+        buckets["le=+inf"] = self.bucket_counts[-1]
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "mean": self.mean,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+            "buckets": buckets,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create registry of labeled metric series."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+
+    # -- get-or-create accessors ---------------------------------------------
+
+    def counter(self, name: str, /, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
+
+    def gauge(self, name: str, /, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        return gauge
+
+    def histogram(
+        self,
+        name: str,
+        /,
+        bounds: Optional[Sequence[float]] = None,
+        **labels: object,
+    ) -> Histogram:
+        key = (name, _label_key(labels))
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(bounds)
+        return histogram
+
+    # -- aggregation ----------------------------------------------------------
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter name across all its label sets."""
+        return sum(
+            c.value for (n, _), c in self._counters.items() if n == name
+        )
+
+    def counter_names(self) -> Iterable[str]:
+        return sorted({n for n, _ in self._counters})
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Everything, as plain dicts keyed by rendered series name."""
+        return {
+            "counters": {
+                series_key(n, labels): c.value
+                for (n, labels), c in sorted(self._counters.items())
+            },
+            "gauges": {
+                series_key(n, labels): g.value
+                for (n, labels), g in sorted(self._gauges.items())
+            },
+            "histograms": {
+                series_key(n, labels): h.snapshot()
+                for (n, labels), h in sorted(self._histograms.items())
+            },
+        }

@@ -1,0 +1,186 @@
+"""Trace roll-ups and trace-vs-report reconciliation.
+
+The summary layer answers two questions about a recorded run:
+
+1. *What happened?* — per-function span roll-ups (count, total, mean,
+   min, max) and the metrics snapshot.
+2. *Can the trace be trusted?* — the summed span durations per function
+   are reconciled against the :class:`~repro.core.energy.EnergyReport`
+   the profiler gathered independently. Both observers read the same
+   rank-local clocks through the same hook windows, so any drift above
+   float-sum noise is an instrumentation bug. This mirrors the paper's
+   own cross-validation of PMT against Slurm accounting (Fig. 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from ..reporting import render_table
+from .events import TRACK_FUNCTIONS, SpanEvent, TraceEvent
+
+#: Allowed trace-vs-report drift: pure float-summation noise.
+RECONCILE_TOL_S = 1e-6
+
+
+@dataclass(frozen=True)
+class FunctionTraceSummary:
+    """Roll-up of every span of one function across ranks and steps."""
+
+    function: str
+    spans: int
+    total_s: float
+    min_s: float
+    max_s: float
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.spans if self.spans else 0.0
+
+
+def summarize_functions(
+    events: Iterable[TraceEvent],
+) -> Dict[str, FunctionTraceSummary]:
+    """Per-function span roll-ups from a trace, keyed by function name."""
+    acc: Dict[str, List[float]] = {}
+    for event in events:
+        if isinstance(event, SpanEvent) and event.track == TRACK_FUNCTIONS:
+            acc.setdefault(event.name, []).append(event.duration_s)
+    return {
+        name: FunctionTraceSummary(
+            function=name,
+            spans=len(durations),
+            total_s=sum(durations),
+            min_s=min(durations),
+            max_s=max(durations),
+        )
+        for name, durations in acc.items()
+    }
+
+
+@dataclass(frozen=True)
+class ReconciliationRow:
+    """Trace-vs-report comparison for one function."""
+
+    function: str
+    trace_time_s: float
+    report_time_s: float
+
+    @property
+    def drift_s(self) -> float:
+        return self.trace_time_s - self.report_time_s
+
+    def ok(self, tol_s: float = RECONCILE_TOL_S) -> bool:
+        return abs(self.drift_s) <= tol_s
+
+
+def reconcile_with_report(
+    events: Iterable[TraceEvent], report
+) -> List[ReconciliationRow]:
+    """Compare summed span time per function against an energy report.
+
+    ``report`` is any object with the
+    :meth:`~repro.core.energy.EnergyReport.aggregate_functions` shape.
+    Functions present on only one side appear with ``0.0`` on the other
+    (a completeness failure the caller can assert on).
+    """
+    traced = summarize_functions(events)
+    reported = report.aggregate_functions()
+    rows = []
+    for name in sorted(set(traced) | set(reported)):
+        trace_s = traced[name].total_s if name in traced else 0.0
+        report_s = reported[name].time_s if name in reported else 0.0
+        rows.append(
+            ReconciliationRow(
+                function=name, trace_time_s=trace_s, report_time_s=report_s
+            )
+        )
+    return rows
+
+
+def max_drift_s(rows: Iterable[ReconciliationRow]) -> float:
+    """Largest absolute trace-vs-report drift across functions."""
+    return max((abs(r.drift_s) for r in rows), default=0.0)
+
+
+def render_summary(collector, report=None) -> str:
+    """Human-readable summary: metrics snapshot, roll-ups, reconciliation.
+
+    ``collector`` is a :class:`~repro.telemetry.collector.TraceCollector`;
+    ``report`` an optional gathered :class:`EnergyReport` to reconcile
+    against. This is what ``repro trace summary`` prints.
+    """
+    sections: List[str] = []
+    snapshot = collector.metrics.snapshot()
+
+    counter_rows = [[k, f"{v:g}"] for k, v in snapshot["counters"].items()]
+    for name in ("clock_set_calls", "clock_set_skipped"):
+        total = collector.metrics.counter_total(name)
+        counter_rows.append([f"{name} (total)", f"{total:g}"])
+    sections.append(
+        render_table(["counter", "value"], counter_rows, title="counters")
+    )
+
+    if snapshot["gauges"]:
+        gauge_rows = [[k, f"{v:g}"] for k, v in snapshot["gauges"].items()]
+        sections.append(
+            render_table(["gauge", "value"], gauge_rows, title="gauges")
+        )
+
+    hist_rows = [
+        [k, h["count"], f"{h['sum']:.4f}", f"{h['mean']:.4f}",
+         f"{h['min']:.4f}", f"{h['max']:.4f}"]
+        for k, h in snapshot["histograms"].items()
+        if h["count"]
+    ]
+    if hist_rows:
+        sections.append(
+            render_table(
+                ["histogram", "count", "sum", "mean", "min", "max"],
+                hist_rows,
+                title="histograms",
+            )
+        )
+
+    summaries = summarize_functions(collector.events)
+    if summaries:
+        fn_rows = [
+            [s.function, s.spans, f"{s.total_s:.4f}", f"{s.mean_s:.4f}"]
+            for s in sorted(
+                summaries.values(), key=lambda s: -s.total_s
+            )
+        ]
+        sections.append(
+            render_table(
+                ["function", "spans", "total [s]", "mean [s]"],
+                fn_rows,
+                title="per-function trace roll-up",
+            )
+        )
+
+    if report is not None:
+        rows = reconcile_with_report(collector.events, report)
+        rec_rows = [
+            [r.function, f"{r.trace_time_s:.6f}", f"{r.report_time_s:.6f}",
+             f"{r.drift_s:+.2e}", "ok" if r.ok() else "DRIFT"]
+            for r in rows
+        ]
+        sections.append(
+            render_table(
+                ["function", "trace [s]", "report [s]", "drift [s]", ""],
+                rec_rows,
+                title="trace vs EnergyReport reconciliation",
+            )
+        )
+        sections.append(
+            f"max trace-vs-report drift: {max_drift_s(rows):.2e} s "
+            f"(tolerance {RECONCILE_TOL_S:g} s)"
+        )
+
+    if collector.dropped:
+        sections.append(
+            f"warning: ring buffer overflowed, {collector.dropped} oldest "
+            "events dropped (raise max_events for full traces)"
+        )
+    return "\n\n".join(sections)

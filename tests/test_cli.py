@@ -110,6 +110,81 @@ def test_compare_table(capsys):
     assert "mandyn" in out
 
 
+def test_version_flag_prints_and_exits_zero(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert out.startswith("repro ")
+    assert out.strip() != "repro"  # an actual version string follows
+
+
+def test_help_lists_trace_and_version():
+    from repro.cli import build_parser
+
+    text = build_parser().format_help()
+    assert "--version" in text
+    assert "trace" in text
+
+
+def test_trace_record_writes_chrome_and_jsonl(tmp_path, capsys):
+    chrome = str(tmp_path / "trace.json")
+    jsonl = str(tmp_path / "trace.jsonl")
+    rc = main(
+        [
+            "trace", "record", "--workload", "sedov", "--steps", "4",
+            "--particles", "1e6", "--export", chrome, "--jsonl", jsonl,
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "recorded" in out and "trace events" in out
+    drift_line = [
+        l for l in out.splitlines() if "max trace-vs-report drift" in l
+    ][0]
+    assert float(drift_line.split(":")[1].split("s")[0]) < 1e-6
+    with open(chrome, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert payload["otherData"]["schema"] == 1
+    assert any(e["ph"] == "X" for e in payload["traceEvents"])
+    from repro.telemetry import read_trace_jsonl
+
+    assert len(read_trace_jsonl(jsonl)) > 0
+
+
+def test_trace_summary_mandyn_counts_clock_sets(capsys):
+    rc = main(
+        [
+            "trace", "summary", "--workload", "sedov", "--steps", "2",
+            "--particles", "1e6", "--policy", "mandyn",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "policy=ManDyn" in out
+    counts_line = [
+        l for l in out.splitlines() if "clock_set_calls (total)" in l
+    ][0]
+    assert float(counts_line.split()[-1]) > 0
+    assert "trace vs EnergyReport reconciliation" in out
+
+
+def test_trace_export_rerenders_jsonl(tmp_path, capsys):
+    jsonl = str(tmp_path / "trace.jsonl")
+    chrome = str(tmp_path / "rendered.json")
+    assert main(
+        [
+            "trace", "record", "--workload", "sedov", "--steps", "1",
+            "--particles", "1e6", "--jsonl", jsonl,
+        ]
+    ) == 0
+    assert main(["trace", "export", jsonl, chrome]) == 0
+    assert "re-rendered" in capsys.readouterr().out
+    with open(chrome, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    assert any(e["ph"] == "X" for e in payload["traceEvents"])
+
+
 def test_sacct_reports_energy(capsys):
     rc = main(
         [

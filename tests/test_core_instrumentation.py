@@ -89,6 +89,47 @@ def test_controller_applies_mandyn_per_function(mini_cluster):
     assert ctl.clock_set_calls == calls
 
 
+def test_redundant_clock_set_skips_vendor_call(mini_cluster, monkeypatch):
+    """Regression: a repeated set to the current bin must not reach NVML.
+
+    The spy wraps ``nvmlDeviceSetApplicationsClocks`` so a skipped call
+    is observable at the vendor boundary, not just in the counters.
+    """
+    from repro import nvml
+    from repro.telemetry import TraceCollector
+
+    real_set = nvml.nvmlDeviceSetApplicationsClocks
+    vendor_calls = []
+
+    def spy(handle, mem_mhz, gfx_mhz):
+        vendor_calls.append(gfx_mhz)
+        return real_set(handle, mem_mhz, gfx_mhz)
+
+    monkeypatch.setattr(nvml, "nvmlDeviceSetApplicationsClocks", spy)
+
+    collector = TraceCollector(clocks=mini_cluster.clocks)
+    policy = ManDynPolicy({"MomentumEnergy": 1410.0}, default_mhz=1005.0)
+    ctl = FrequencyController(
+        mini_cluster.gpus, policy, telemetry=collector
+    )
+    ctl.apply_initial_mode()  # 1005: performed
+    ctl.before_function("MomentumEnergy", 0)  # 1410: performed
+    assert len(vendor_calls) == 2
+    calls, skips = ctl.clock_set_calls, ctl.clock_set_skipped
+
+    # Same bin again: elided before the vendor library.
+    ctl.before_function("MomentumEnergy", 0)
+    assert len(vendor_calls) == 2
+    assert ctl.clock_set_calls == calls
+    assert ctl.clock_set_skipped == skips + 1
+
+    snap = collector.metrics.snapshot()
+    assert snap["counters"]["clock_set_skipped{rank=0}"] == 1.0
+    assert snap["counters"]["clock_set_calls{rank=0}"] == 2.0
+    # Skips emit no instant: the clock track reflects performed calls.
+    assert len(collector.instants()) == 2
+
+
 def test_controller_dvfs_mode(mini_cluster):
     ctl = FrequencyController(mini_cluster.gpus, DvfsPolicy())
     ctl.apply_initial_mode()

@@ -66,6 +66,14 @@ def test_energy_report(monkeypatch, capsys, tmp_path):
     assert (tmp_path / "energy_report.json").exists()
 
 
+def test_trace_run(monkeypatch, capsys, tmp_path):
+    monkeypatch.chdir(tmp_path)  # the example writes trace_run.json
+    out = _run_example(monkeypatch, capsys, "trace_run", ["2", "2"])
+    assert "Chrome trace written to trace_run.json" in out
+    assert "trace vs EnergyReport reconciliation" in out
+    assert (tmp_path / "trace_run.json").exists()
+
+
 def test_examples_directory_complete():
     shipped = {f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")}
     assert {
@@ -76,4 +84,5 @@ def test_examples_directory_complete():
         "energy_report.py",
         "tune_frequencies.py",
         "autodyn_two_run.py",
+        "trace_run.py",
     } <= shipped

@@ -96,3 +96,85 @@ def test_dump_roundtrip(tmp_path, rig):
     assert loaded[-1].joules == pytest.approx(
         sampler.samples[-1].joules, abs=1e-5
     )
+
+
+def test_dump_has_versioned_header_and_roundtrips_exactly(tmp_path, rig):
+    import json
+
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.07)
+    sampler.start()
+    gpu.execute(KernelLaunch("K", 3e12, 1e11, 0.9))
+    clk.advance(0.31)
+    sampler.stop()
+    path = str(tmp_path / "pmt.dump")
+    sampler.dump(path)
+
+    lines = open(path, encoding="ascii").read().splitlines()
+    assert lines[0].startswith("# {")
+    header = json.loads(lines[0][1:].strip())
+    assert header["schema"] == 1
+    assert header["kind"] == "pmt-dump"
+    assert header["columns"] == ["timestamp_s", "joules", "watts"]
+    assert header["period_s"] == pytest.approx(0.07)
+
+    # repr-formatted floats make the round trip bit-exact.
+    assert PmtSampler.load_dump(path) == sampler.samples
+
+
+def test_dump_load_rejects_future_schema(tmp_path, rig):
+    import json
+
+    clk, gpu, sensor = rig
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    clk.advance(0.2)
+    sampler.stop()
+    path = tmp_path / "pmt.dump"
+    sampler.dump(str(path))
+    lines = path.read_text(encoding="ascii").splitlines()
+    header = json.loads(lines[0][1:].strip())
+    header["schema"] = 99
+    lines[0] = "# " + json.dumps(header)
+    bad = tmp_path / "future.dump"
+    bad.write_text("\n".join(lines) + "\n", encoding="ascii")
+    with pytest.raises(ValueError):
+        PmtSampler.load_dump(str(bad))
+
+
+def test_load_dump_accepts_legacy_headerless_files(tmp_path):
+    path = tmp_path / "legacy.dump"
+    path.write_text(
+        "# timestamp_s joules watts\n"
+        "0.0 0.0 0.0\n"
+        "0.1 25.0 250.0\n",
+        encoding="ascii",
+    )
+    loaded = PmtSampler.load_dump(str(path))
+    assert len(loaded) == 2
+    assert loaded[1].watts == 250.0
+
+
+def test_sampler_mirrors_samples_to_telemetry(rig):
+    from repro.telemetry import TraceCollector
+
+    clk, gpu, sensor = rig
+    collector = TraceCollector()
+    sampler = PmtSampler(
+        sensor, clk, period_s=0.1, telemetry=collector, rank=3
+    )
+    sampler.start()
+    gpu.execute(KernelLaunch("K", 1e12, 0.0, 1.0))
+    clk.advance(0.25)
+    series = sampler.stop()
+    counters = [c for c in collector.counters() if c.name == "power"]
+    assert len(counters) == len(series)
+    for event, sample in zip(counters, series):
+        assert event.rank == 3
+        assert event.ts_s == sample.timestamp_s
+        assert event.values == {
+            "watts": sample.watts, "joules": sample.joules
+        }
+    snap = collector.metrics.snapshot()
+    assert snap["counters"]["counter_samples{name=power}"] == len(series)
+    assert snap["gauges"]["last_power_joules{rank=3}"] == series[-1].joules

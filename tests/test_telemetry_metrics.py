@@ -1,0 +1,70 @@
+"""Metrics registry: counters, gauges, histograms, snapshots."""
+
+import pytest
+
+from repro.telemetry import Counter, Gauge, Histogram, MetricsRegistry
+
+
+def test_counter_monotonic():
+    c = Counter()
+    c.inc()
+    c.inc(2.5)
+    assert c.value == 3.5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_last_write_wins():
+    g = Gauge()
+    g.set(10.0)
+    g.set(3.0)
+    assert g.value == 3.0
+
+
+def test_histogram_buckets_and_stats():
+    h = Histogram(bounds=(1.0, 10.0))
+    for v in (0.5, 5.0, 50.0, 2.0):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["count"] == 4
+    assert snap["sum"] == pytest.approx(57.5)
+    assert snap["min"] == 0.5 and snap["max"] == 50.0
+    assert snap["buckets"] == {"le=1": 1, "le=10": 2, "le=+inf": 1}
+
+
+def test_histogram_rejects_unsorted_bounds():
+    with pytest.raises(ValueError):
+        Histogram(bounds=(10.0, 1.0))
+
+
+def test_registry_get_or_create_by_labels():
+    reg = MetricsRegistry()
+    a = reg.counter("hits", rank=0)
+    b = reg.counter("hits", rank=0)
+    c = reg.counter("hits", rank=1)
+    assert a is b and a is not c
+    a.inc(3)
+    c.inc(1)
+    assert reg.counter_total("hits") == 4.0
+    assert reg.counter_total("misses") == 0.0
+
+
+def test_snapshot_series_keys():
+    reg = MetricsRegistry()
+    reg.counter("calls", rank=0, vendor="nvidia").inc()
+    reg.counter("plain").inc(2)
+    reg.gauge("power_w", rank=1).set(400.0)
+    reg.histogram("latency_s", bounds=(1.0,), function="XMass").observe(0.2)
+    snap = reg.snapshot()
+    assert snap["counters"]["calls{rank=0,vendor=nvidia}"] == 1.0
+    assert snap["counters"]["plain"] == 2.0
+    assert snap["gauges"]["power_w{rank=1}"] == 400.0
+    hist = snap["histograms"]["latency_s{function=XMass}"]
+    assert hist["count"] == 1 and hist["mean"] == pytest.approx(0.2)
+
+
+def test_empty_histogram_snapshot_has_no_minmax():
+    snap = Histogram().snapshot()
+    assert snap["count"] == 0
+    assert snap["min"] is None and snap["max"] is None
+    assert snap["mean"] == 0.0
