@@ -425,6 +425,128 @@ def cmd_trace(args) -> int:
     return TRACE_COMMANDS[args.trace_command](args)
 
 
+def cmd_faults_list(args) -> int:
+    from .faults import SCENARIO_DESCRIPTIONS, build_plan, scenario_names
+
+    rows = []
+    for name in scenario_names():
+        plan = build_plan(name, seed=args.seed)
+        rows.append([name, str(len(plan)), SCENARIO_DESCRIPTIONS[name]])
+    print(
+        render_table(
+            ["scenario", "specs", "description"],
+            rows,
+            title=f"fault scenarios (seed {args.seed})",
+        )
+    )
+    return 0
+
+
+def cmd_faults_run(args) -> int:
+    """One resilient run under a fault scenario + degradation report."""
+    from .core import ResilienceConfig
+    from .faults import FaultInjector, build_plan
+    from .pmt import PmtSampler, create
+    from .telemetry import TraceCollector
+
+    system = by_name(args.system)
+    max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+    policy = _policy(args.policy, args.freq, args.freq_map, max_mhz)
+    plan = build_plan(args.scenario, seed=args.seed, n_ranks=args.ranks)
+    injector = FaultInjector(plan)
+    collector = TraceCollector(max_events=args.max_events)
+    cluster = Cluster(system, args.ranks)
+    sampler = None
+    try:
+        if system.pmt_backend in ("nvml", "rocm"):
+            sensor = injector.wrap_sensor(
+                create(system.pmt_backend, device_index=0), rank=0
+            )
+            sampler = PmtSampler(
+                sensor, cluster.clocks[0], period_s=args.sample_period
+            )
+            sampler.start()
+        result = run_instrumented(
+            cluster,
+            _workload(args.workload),
+            args.particles,
+            args.steps,
+            policy=policy,
+            telemetry=collector,
+            resilience=ResilienceConfig(),
+            faults=injector,
+        )
+        if sampler is not None:
+            sampler.stop()
+    finally:
+        cluster.detach_management_library()
+
+    print(plan.describe())
+    print()
+    status = f"{result.steps}/{args.steps}"
+    if result.preempted:
+        status += " (preempted)"
+    degraded = (
+        ", ".join(str(r) for r in result.degraded_ranks)
+        if result.degraded_ranks
+        else "none"
+    )
+    print(
+        f"steps completed  : {status}\n"
+        f"faults injected  : {result.faults_injected}\n"
+        f"retries          : {result.retries}\n"
+        f"degraded ranks   : {degraded}\n"
+        f"time-to-solution : {format_time(result.elapsed_s)}\n"
+        f"GPU energy       : {format_energy(result.gpu_energy_j)}"
+    )
+    if sampler is not None:
+        print(
+            f"power sampling   : {len(sampler.samples)} samples, "
+            f"{sampler.failed_reads} failed reads, "
+            f"{len(sampler.gaps)} gaps bridged, "
+            f"{sampler.monotonicity_violations} readings clamped"
+        )
+    if injector.records:
+        print()
+        rows = [
+            [
+                f"{r.t_s:.6f}",
+                "-" if r.rank is None else str(r.rank),
+                r.kind.value,
+                r.op,
+                str(r.call_index),
+            ]
+            for r in injector.records
+        ]
+        print(
+            render_table(
+                ["t [s]", "rank", "kind", "op", "call #"],
+                rows,
+                title="injected faults",
+            )
+        )
+    for rank_report in result.report.ranks:
+        if rank_report.degraded:
+            print(
+                f"\nrank {rank_report.rank} DEGRADED: "
+                f"{rank_report.degraded_reason}"
+            )
+    if args.report:
+        result.report.save(args.report)
+        print(f"\nper-rank energy report written to {args.report}")
+    return 0
+
+
+FAULTS_COMMANDS = {
+    "list": cmd_faults_list,
+    "run": cmd_faults_run,
+}
+
+
+def cmd_faults(args) -> int:
+    return FAULTS_COMMANDS[args.faults_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -540,6 +662,41 @@ def build_parser() -> argparse.ArgumentParser:
     exp_p.add_argument("input", help="JSONL trace from `trace record --jsonl`")
     exp_p.add_argument("output", help="Chrome trace_event JSON destination")
 
+    faults_p = sub.add_parser(
+        "faults",
+        help="fault-injection scenarios and resilient runs (repro.faults)",
+    )
+    faults_sub = faults_p.add_subparsers(dest="faults_command", required=True)
+
+    list_p = faults_sub.add_parser(
+        "list", help="list the named fault scenarios"
+    )
+    list_p.add_argument("--seed", type=int, default=0,
+                        help="plan seed used for the listing")
+
+    frun_p = faults_sub.add_parser(
+        "run",
+        help="run one resilient simulation under a fault scenario "
+             "and print the degradation report",
+    )
+    common(frun_p)
+    frun_p.add_argument("--scenario", default="chaos",
+                        help="fault scenario name (see `faults list`)")
+    frun_p.add_argument("--seed", type=int, default=20240,
+                        help="fault plan seed (same seed = same faults)")
+    frun_p.add_argument("--policy", default="mandyn",
+                        help="baseline | static | dvfs | mandyn")
+    frun_p.add_argument("--freq", type=float, default=None,
+                        help="static clock / ManDyn default clock [MHz]")
+    frun_p.add_argument("--freq-map", default=None,
+                        help="JSON {function: MHz} for ManDyn")
+    frun_p.add_argument("--max-events", type=int, default=100_000,
+                        help="trace ring-buffer capacity")
+    frun_p.add_argument("--sample-period", type=float, default=0.5,
+                        help="power sampling period [simulated s]")
+    frun_p.add_argument("--report", default=None,
+                        help="write the gathered energy report JSON here")
+
     return parser
 
 
@@ -552,6 +709,7 @@ COMMANDS = {
     "compare": cmd_compare,
     "sacct": cmd_sacct,
     "trace": cmd_trace,
+    "faults": cmd_faults,
 }
 
 

@@ -15,7 +15,11 @@ from .characterize import (
     characterize_functions,
     recommend_frequencies,
 )
-from .controller import FrequencyController
+from .controller import (
+    DegradationRecord,
+    FrequencyController,
+    ResilienceConfig,
+)
 from .edp import Metrics, NormalizedMetrics, energy_delay_product
 from .energy import (
     DEVICE_CLASSES,
@@ -52,6 +56,8 @@ __all__ = [
     "characterize_functions",
     "recommend_frequencies",
     "FrequencyController",
+    "ResilienceConfig",
+    "DegradationRecord",
     "Metrics",
     "NormalizedMetrics",
     "energy_delay_product",

@@ -16,12 +16,77 @@ requested bin, as the real instrumentation does.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from .. import nvml, rocm
 from ..hardware.gpu import SimulatedGpu
+from ..nvml.errors import (
+    NVML_FATAL_ERROR_CODES,
+    NVML_TRANSIENT_ERROR_CODES,
+    NVMLError,
+)
+from ..rocm.smi import (
+    RSMI_FATAL_STATUS_CODES,
+    RSMI_TRANSIENT_STATUS_CODES,
+    RocmSmiError,
+)
 from ..units import to_mhz
 from .freq_policy import FrequencyPolicy
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Retry/degradation policy for management-library failures.
+
+    Without a config (the default) the controller is fail-loud: any
+    vendor error propagates, matching the behaviour real instrumented
+    runs exhibit when NVML misbehaves and nobody handles it.
+
+    With a config, transient errors (NVML ``TIMEOUT``/``UNKNOWN``,
+    RSMI ``BUSY``) are retried up to ``max_retries`` times with a
+    deterministic exponential backoff burned on the rank's simulated
+    clock. Fatal errors (``GPU_IS_LOST``, ``AMDGPU_RESTART_ERR``) trip
+    the rank's circuit breaker immediately; other errors (not
+    supported, no permission) trip it after ``breaker_threshold``
+    consecutive failed operations. A tripped breaker hands the device
+    to its DVFS governor and stops issuing vendor calls for that rank —
+    the run completes, degraded instead of dead.
+    """
+
+    max_retries: int = 2
+    backoff_s: float = 0.002
+    backoff_multiplier: float = 2.0
+    breaker_threshold: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.backoff_s < 0.0:
+            raise ValueError("backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Deterministic backoff before retry ``attempt`` (0-based)."""
+        return self.backoff_s * self.backoff_multiplier**attempt
+
+
+@dataclass(frozen=True)
+class DegradationRecord:
+    """One rank handed to its DVFS governor by the circuit breaker."""
+
+    rank: int
+    time_s: float
+    reason: str
+
+    def describe(self) -> str:
+        return (
+            f"rank {self.rank} degraded to DVFS governor at "
+            f"t={self.time_s:.6f}s: {self.reason}"
+        )
 
 
 class FrequencyController:
@@ -32,6 +97,7 @@ class FrequencyController:
         gpus: List[SimulatedGpu],
         policy: FrequencyPolicy,
         telemetry: Optional[object] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ) -> None:
         if not gpus:
             raise ValueError("controller needs at least one device")
@@ -44,6 +110,16 @@ class FrequencyController:
         #: Optional :class:`~repro.telemetry.TraceCollector` receiving
         #: clock-change instants and skip/call metrics.
         self.telemetry = telemetry
+        #: ``None`` = fail-loud (vendor errors propagate unchanged).
+        self.resilience = resilience
+        #: Breaker trips, in trip order.
+        self.degradations: List[DegradationRecord] = []
+        #: Transient-error retries performed across all ranks.
+        self.retries_performed = 0
+        #: Vendor errors observed (including ones absorbed by retries).
+        self.vendor_errors = 0
+        self._consecutive_failures: Dict[int, int] = {}
+        self._degraded: Dict[int, DegradationRecord] = {}
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -57,13 +133,35 @@ class FrequencyController:
                 self._set(rank, initial)
 
     def restore_defaults(self) -> None:
-        """Pin every device back to its default clock (run end)."""
+        """Pin every device back to its default clock (run end).
+
+        Degraded ranks are left with their DVFS governor — their
+        management library is the thing that failed.
+        """
         for rank, gpu in enumerate(self._gpus):
+            if self.is_degraded(rank):
+                continue
             self._set(rank, to_mhz(gpu.spec.default_clock_hz))
+
+    # -- degradation state ------------------------------------------------------
+
+    def is_degraded(self, rank: int) -> bool:
+        """Has this rank's circuit breaker tripped?"""
+        return rank in self._degraded
+
+    @property
+    def degraded_ranks(self) -> List[int]:
+        """Ranks running under their DVFS governor, ascending."""
+        return sorted(self._degraded)
+
+    def degradation_for(self, rank: int) -> Optional[DegradationRecord]:
+        return self._degraded.get(rank)
 
     # -- hook interface --------------------------------------------------------
 
     def before_function(self, function: str, rank: int) -> None:
+        if self.is_degraded(rank):
+            return
         target = self.policy.frequency_for(function)
         if target is not None:
             self._set(rank, target)
@@ -73,11 +171,97 @@ class FrequencyController:
         # nothing to do here.
         return
 
+    # -- resilience core ---------------------------------------------------------
+
+    @staticmethod
+    def _classify(exc: Exception) -> str:
+        """``"transient"``, ``"fatal"`` or ``"hard"`` for a vendor error."""
+        if isinstance(exc, NVMLError):
+            if exc.value in NVML_TRANSIENT_ERROR_CODES:
+                return "transient"
+            if exc.value in NVML_FATAL_ERROR_CODES:
+                return "fatal"
+            return "hard"
+        if isinstance(exc, RocmSmiError):
+            if exc.status in RSMI_TRANSIENT_STATUS_CODES:
+                return "transient"
+            if exc.status in RSMI_FATAL_STATUS_CODES:
+                return "fatal"
+            return "hard"
+        return "hard"
+
+    def _degrade(self, rank: int, reason: str) -> None:
+        """Trip the rank's breaker: hand the device to its governor."""
+        gpu = self._gpus[rank]
+        # Local handover — the management library is what failed, so the
+        # device model is released directly (a lost device reappears
+        # under default DVFS management after driver recovery).
+        if not gpu.dvfs_active:
+            gpu.reset_application_clocks()
+        record = DegradationRecord(
+            rank=rank, time_s=gpu.clock.now, reason=reason
+        )
+        self._degraded[rank] = record
+        self.degradations.append(record)
+        if self.telemetry is not None:
+            self.telemetry.record_degradation(rank, reason)
+            self.telemetry.record_dvfs_handover(rank)
+
+    def _guarded(self, rank: int, op: str, call: Callable[[], None]) -> bool:
+        """Run a vendor call under the resilience policy.
+
+        Returns ``True`` when the call (or a retry of it) succeeded.
+        With no :class:`ResilienceConfig` the call is fail-loud. With
+        one, transient errors retry with deterministic backoff, and
+        repeated or fatal failures trip the rank's circuit breaker —
+        after which the method reports ``False`` and the caller records
+        nothing, because nothing happened on the device.
+        """
+        cfg = self.resilience
+        if cfg is None:
+            call()
+            return True
+        attempt = 0
+        while True:
+            try:
+                call()
+            except (NVMLError, RocmSmiError) as exc:
+                self.vendor_errors += 1
+                severity = self._classify(exc)
+                if severity == "transient" and attempt < cfg.max_retries:
+                    self._gpus[rank].clock.advance(
+                        cfg.backoff_for_attempt(attempt)
+                    )
+                    attempt += 1
+                    self.retries_performed += 1
+                    if self.telemetry is not None:
+                        self.telemetry.record_retry(
+                            rank, op, attempt, str(exc)
+                        )
+                    continue
+                if severity == "fatal":
+                    self._degrade(rank, f"{op}: {exc}")
+                    return False
+                failures = self._consecutive_failures.get(rank, 0) + 1
+                self._consecutive_failures[rank] = failures
+                if failures >= cfg.breaker_threshold:
+                    self._degrade(
+                        rank,
+                        f"{op}: {exc} "
+                        f"({failures} consecutive failed operations)",
+                    )
+                return False
+            else:
+                self._consecutive_failures[rank] = 0
+                return True
+
     # -- device access through the management library ---------------------------
 
     def _set(self, rank: int, freq_mhz: float) -> None:
         from .. import levelzero
 
+        if self.is_degraded(rank):
+            return
         gpu = self._gpus[rank]
         quantized_hz = gpu.spec.quantize_clock_hz(freq_mhz * 1e6)
         if gpu.application_clock_hz == quantized_hz:
@@ -88,21 +272,27 @@ class FrequencyController:
             return
         prev_hz = gpu.application_clock_hz
         self.clock_set_calls += 1
-        if self._vendor == "nvidia":
-            handle = nvml.nvmlDeviceGetHandleByIndex(rank)
-            mem_mhz = nvml.nvmlDeviceGetSupportedMemoryClocks(handle)[0]
-            nvml.nvmlDeviceSetApplicationsClocks(
-                handle, mem_mhz, int(round(to_mhz(quantized_hz)))
-            )
-        elif self._vendor == "amd":
-            rocm.rsmi_dev_gpu_clk_freq_set(
-                rank, rocm.RSMI_CLK_TYPE_SYS, quantized_hz
-            )
-        else:  # intel: pin via a degenerate Sysman frequency range
-            pinned = to_mhz(quantized_hz)
-            levelzero.zesFrequencySetRange(
-                rank, levelzero.ZES_FREQ_DOMAIN_GPU, pinned, pinned
-            )
+
+        def do_set() -> None:
+            if self._vendor == "nvidia":
+                handle = nvml.nvmlDeviceGetHandleByIndex(rank)
+                mem_mhz = nvml.nvmlDeviceGetSupportedMemoryClocks(handle)[0]
+                nvml.nvmlDeviceSetApplicationsClocks(
+                    handle, mem_mhz, int(round(to_mhz(quantized_hz)))
+                )
+            elif self._vendor == "amd":
+                rocm.rsmi_dev_gpu_clk_freq_set(
+                    rank, rocm.RSMI_CLK_TYPE_SYS, quantized_hz
+                )
+            else:  # intel: pin via a degenerate Sysman frequency range
+                pinned = to_mhz(quantized_hz)
+                levelzero.zesFrequencySetRange(
+                    rank, levelzero.ZES_FREQ_DOMAIN_GPU, pinned, pinned
+                )
+
+        op = "set_application_clocks"
+        if not self._guarded(rank, op, do_set):
+            return
         if self.telemetry is not None:
             self.telemetry.record_clock_set(
                 rank,
@@ -113,6 +303,8 @@ class FrequencyController:
     def _reset(self, rank: int) -> None:
         from .. import levelzero
 
+        if self.is_degraded(rank):
+            return
         gpu = self._gpus[rank]
         if gpu.dvfs_active:
             # The governor already owns the device: nothing to undo.
@@ -121,18 +313,23 @@ class FrequencyController:
                 self.telemetry.record_clock_skip(rank, None)
             return
         self.clock_set_calls += 1
-        if self._vendor == "nvidia":
-            handle = nvml.nvmlDeviceGetHandleByIndex(rank)
-            nvml.nvmlDeviceResetApplicationsClocks(handle)
-        elif self._vendor == "amd":
-            rocm.rsmi_dev_gpu_clk_freq_reset(rank)
-        else:
-            levelzero.zesFrequencySetRange(
-                rank,
-                levelzero.ZES_FREQ_DOMAIN_GPU,
-                to_mhz(gpu.spec.min_clock_hz),
-                to_mhz(gpu.spec.max_clock_hz),
-            )
+
+        def do_reset() -> None:
+            if self._vendor == "nvidia":
+                handle = nvml.nvmlDeviceGetHandleByIndex(rank)
+                nvml.nvmlDeviceResetApplicationsClocks(handle)
+            elif self._vendor == "amd":
+                rocm.rsmi_dev_gpu_clk_freq_reset(rank)
+            else:
+                levelzero.zesFrequencySetRange(
+                    rank,
+                    levelzero.ZES_FREQ_DOMAIN_GPU,
+                    to_mhz(gpu.spec.min_clock_hz),
+                    to_mhz(gpu.spec.max_clock_hz),
+                )
+
+        if not self._guarded(rank, "reset_application_clocks", do_reset):
+            return
         if self.telemetry is not None:
             self.telemetry.record_clock_set(rank, None, reset=True)
             self.telemetry.record_dvfs_handover(rank)

@@ -102,6 +102,11 @@ class RankEnergyReport:
     window_start_s: Optional[float] = None
     window_end_s: Optional[float] = None
     window_gpu_j: float = 0.0
+    #: True when this rank's frequency-control circuit breaker tripped
+    #: and the device finished the run under its DVFS governor.
+    degraded: bool = False
+    #: Human-readable reason for the degradation, when degraded.
+    degraded_reason: Optional[str] = None
 
     @property
     def window_time_s(self) -> float:
@@ -275,6 +280,19 @@ class EnergyReport:
         """GPU energy over the instrumented window, all ranks."""
         return sum(r.window_gpu_j for r in self.ranks)
 
+    def degraded_ranks(self) -> List[int]:
+        """Ranks that finished the run degraded to DVFS, ascending."""
+        return sorted(r.rank for r in self.ranks if r.degraded)
+
+    def mark_degraded(self, rank: int, reason: str) -> None:
+        """Flag one rank's report as degraded (set by the run loop)."""
+        for rank_report in self.ranks:
+            if rank_report.rank == rank:
+                rank_report.degraded = True
+                rank_report.degraded_reason = reason
+                return
+        raise ValueError(f"no rank {rank} in this report")
+
     # -- persistence (post-hoc analysis files, §III-B) -----------------------
 
     def save(self, path: str) -> None:
@@ -286,6 +304,8 @@ class EnergyReport:
                     "window_start_s": r.window_start_s,
                     "window_end_s": r.window_end_s,
                     "window_gpu_j": r.window_gpu_j,
+                    "degraded": r.degraded,
+                    "degraded_reason": r.degraded_reason,
                     "records": {
                         name: asdict(rec) for name, rec in r.records.items()
                     },
@@ -318,6 +338,8 @@ class EnergyReport:
                     window_start_s=rd["window_start_s"],
                     window_end_s=rd["window_end_s"],
                     window_gpu_j=rd.get("window_gpu_j", 0.0),
+                    degraded=rd.get("degraded", False),
+                    degraded_reason=rd.get("degraded_reason"),
                 )
             )
         return EnergyReport(ranks=ranks)

@@ -1,0 +1,38 @@
+"""Fault injection and resilience (docs/robustness.md).
+
+Seeded, deterministic fault plans (:class:`FaultPlan`) interpreted by a
+:class:`FaultInjector` that wraps the simulated vendor layers —
+:mod:`repro.nvml`, :mod:`repro.rocm`, PMT sensors and the Slurm-style
+job loop — so the frequency-scaling pipeline can be tested against the
+failure modes production nodes actually exhibit: denied or unsupported
+clock controls, lost devices, management-library latency spikes, power
+counters that drop out, stick or run backwards, and mid-run preemption.
+"""
+
+from .injector import FaultInjector, InjectionRecord, JobPreempted
+from .plan import (
+    OP_JOB_STEP,
+    OP_PMT_READ,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    preemption_after_steps,
+    preemption_at,
+)
+from .scenarios import SCENARIO_DESCRIPTIONS, build_plan, scenario_names
+
+__all__ = [
+    "FaultInjector",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectionRecord",
+    "JobPreempted",
+    "OP_JOB_STEP",
+    "OP_PMT_READ",
+    "SCENARIO_DESCRIPTIONS",
+    "build_plan",
+    "preemption_after_steps",
+    "preemption_at",
+    "scenario_names",
+]

@@ -1,0 +1,418 @@
+"""Deterministic fault injection over the vendor layers.
+
+The :class:`FaultInjector` interprets a
+:class:`~repro.faults.plan.FaultPlan` at run time. It intercepts
+management-library calls by patching the *package attributes* of
+:mod:`repro.nvml` and :mod:`repro.rocm` — every caller in this codebase
+(controller, PMT backends, analysis) resolves vendor entry points
+through those attributes, so patching them captures the full call
+surface without touching any call site. PMT sensors are wrapped
+explicitly (:meth:`FaultInjector.wrap_sensor`) because sensor objects
+are constructed per rank, and job preemption is polled by the run loop
+(:meth:`FaultInjector.check_preemption`).
+
+Everything the injector decides is deterministic: per-``(op, rank)``
+call counts, simulated-time triggers against the rank's
+:class:`~repro.hardware.clock.VirtualClock`, and a single
+``random.Random(plan.seed)`` for probabilistic strikes. Rerunning the
+same plan against the same workload reproduces byte-identical fault
+timing, injection records and final reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import random
+
+from .. import nvml as _nvml_pkg
+from .. import rocm as _rocm_pkg
+from ..hardware.clock import VirtualClock
+from ..nvml.errors import (
+    NVML_ERROR_GPU_IS_LOST,
+    NVML_ERROR_NO_PERMISSION,
+    NVML_ERROR_NOT_SUPPORTED,
+    NVML_ERROR_TIMEOUT,
+    NVMLError,
+)
+from ..pmt.base import PMT, PowerReadError, State
+from ..rocm.smi import (
+    RSMI_STATUS_AMDGPU_RESTART_ERR,
+    RSMI_STATUS_BUSY,
+    RSMI_STATUS_NOT_SUPPORTED,
+    RSMI_STATUS_PERMISSION,
+    RocmSmiError,
+)
+from .plan import OP_JOB_STEP, OP_PMT_READ, FaultKind, FaultPlan, FaultSpec
+
+
+class JobPreempted(RuntimeError):
+    """The scheduler revoked the allocation mid-run (Slurm preemption)."""
+
+    def __init__(self, time_s: float, steps_done: int) -> None:
+        self.time_s = time_s
+        self.steps_done = steps_done
+        super().__init__(
+            f"job preempted at t={time_s:.6f}s after {steps_done} steps"
+        )
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One fault actually delivered (not merely scheduled)."""
+
+    op: str
+    rank: Optional[int]
+    kind: FaultKind
+    call_index: int
+    t_s: float
+
+    def describe(self) -> str:
+        where = "?" if self.rank is None else str(self.rank)
+        return (
+            f"t={self.t_s:9.6f}s rank {where}: {self.kind.value} "
+            f"on {self.op} (call #{self.call_index})"
+        )
+
+
+#: NVML entry points the injector can strike.
+_NVML_OPS = (
+    "nvmlDeviceSetApplicationsClocks",
+    "nvmlDeviceResetApplicationsClocks",
+    "nvmlDeviceGetHandleByIndex",
+    "nvmlDeviceGetSupportedMemoryClocks",
+    "nvmlDeviceGetSupportedGraphicsClocks",
+    "nvmlDeviceGetTotalEnergyConsumption",
+    "nvmlDeviceGetPowerUsage",
+)
+
+#: ROCm SMI entry points the injector can strike.
+_ROCM_OPS = (
+    "rsmi_dev_gpu_clk_freq_set",
+    "rsmi_dev_gpu_clk_freq_reset",
+    "rsmi_dev_power_ave_get",
+    "rsmi_dev_energy_count_get",
+)
+
+_NVML_ERROR_OF_KIND = {
+    FaultKind.NOT_SUPPORTED: NVML_ERROR_NOT_SUPPORTED,
+    FaultKind.NO_PERMISSION: NVML_ERROR_NO_PERMISSION,
+    FaultKind.GPU_IS_LOST: NVML_ERROR_GPU_IS_LOST,
+    FaultKind.TIMEOUT: NVML_ERROR_TIMEOUT,
+}
+
+_ROCM_STATUS_OF_KIND = {
+    FaultKind.NOT_SUPPORTED: RSMI_STATUS_NOT_SUPPORTED,
+    FaultKind.NO_PERMISSION: RSMI_STATUS_PERMISSION,
+    FaultKind.GPU_IS_LOST: RSMI_STATUS_AMDGPU_RESTART_ERR,
+    FaultKind.TIMEOUT: RSMI_STATUS_BUSY,
+}
+
+
+def _rank_of_call(args: Tuple[Any, ...]) -> Optional[int]:
+    """Best-effort device index of a vendor call.
+
+    NVML passes an opaque handle with an ``index`` attribute; ROCm SMI
+    passes the device index as the first positional argument.
+    """
+    if not args:
+        return None
+    first = args[0]
+    index = getattr(first, "index", None)
+    if index is not None:
+        return int(index)
+    if isinstance(first, int):
+        return first
+    return None
+
+
+@dataclass
+class _SpecState:
+    """Mutable per-spec bookkeeping, keyed by rank."""
+
+    strikes: Dict[Optional[int], int] = field(default_factory=dict)
+
+
+class FaultInjector:
+    """Interpret a :class:`FaultPlan` against the vendor layers.
+
+    Parameters
+    ----------
+    plan:
+        The seeded fault plan to execute.
+    clocks:
+        Per-rank virtual clocks; needed for ``at_time_s`` triggers and
+        to burn latency on TIMEOUT/LATENCY strikes. Usually supplied via
+        :meth:`bind_cluster`.
+    telemetry:
+        Optional :class:`~repro.telemetry.TraceCollector`; every
+        delivered fault is recorded on its faults track.
+    """
+
+    def __init__(
+        self,
+        plan: FaultPlan,
+        clocks: Optional[Sequence[VirtualClock]] = None,
+        telemetry: Optional[Any] = None,
+    ) -> None:
+        self.plan = plan
+        self.telemetry = telemetry
+        self._clocks: List[VirtualClock] = list(clocks or [])
+        self._rng = random.Random(plan.seed)
+        self._calls: Dict[Tuple[str, Optional[int]], int] = {}
+        self._spec_state: List[_SpecState] = [
+            _SpecState() for _ in plan.specs
+        ]
+        self.records: List[InjectionRecord] = []
+        self._installed = 0
+        self._saved_nvml: Dict[str, Callable[..., Any]] = {}
+        self._saved_rocm: Dict[str, Callable[..., Any]] = {}
+
+    # ------------------------------------------------------------------
+    # Wiring
+    # ------------------------------------------------------------------
+
+    def bind_cluster(self, cluster: Any) -> "FaultInjector":
+        """Adopt a cluster's per-rank clocks (chainable)."""
+        self._clocks = list(cluster.clocks)
+        return self
+
+    def install(self) -> "FaultInjector":
+        """Patch the vendor packages. Reference counted and idempotent.
+
+        Use as a context manager where possible::
+
+            with injector:
+                sim.run(n_steps)
+        """
+        self._installed += 1
+        if self._installed > 1:
+            return self
+        for name in _NVML_OPS:
+            original = getattr(_nvml_pkg, name)
+            self._saved_nvml[name] = original
+            setattr(_nvml_pkg, name, self._wrap(name, original))
+        for name in _ROCM_OPS:
+            original = getattr(_rocm_pkg, name)
+            self._saved_rocm[name] = original
+            setattr(_rocm_pkg, name, self._wrap(name, original))
+        return self
+
+    def uninstall(self) -> None:
+        """Undo :meth:`install` (last reference restores the packages)."""
+        if self._installed == 0:
+            return
+        self._installed -= 1
+        if self._installed > 0:
+            return
+        for name, original in self._saved_nvml.items():
+            setattr(_nvml_pkg, name, original)
+        for name, original in self._saved_rocm.items():
+            setattr(_rocm_pkg, name, original)
+        self._saved_nvml.clear()
+        self._saved_rocm.clear()
+
+    def __enter__(self) -> "FaultInjector":
+        return self.install()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.uninstall()
+
+    # ------------------------------------------------------------------
+    # Decision core
+    # ------------------------------------------------------------------
+
+    def _now(self, rank: Optional[int]) -> float:
+        if rank is not None and 0 <= rank < len(self._clocks):
+            return self._clocks[rank].now
+        if self._clocks:
+            return max(c.now for c in self._clocks)
+        return 0.0
+
+    def _burn(self, rank: Optional[int], dt: float) -> None:
+        if dt <= 0.0:
+            return
+        if rank is not None and 0 <= rank < len(self._clocks):
+            self._clocks[rank].advance(dt)
+
+    def _decide(
+        self, op: str, rank: Optional[int]
+    ) -> Optional[Tuple[FaultSpec, int]]:
+        """Count this call and return the striking spec, if any.
+
+        Specs are consulted in plan order; the first armed spec whose
+        probability draw (if any) succeeds wins. Call counts advance on
+        every call, struck or not, so ``after_calls`` is stable no
+        matter how earlier specs fire.
+        """
+        key = (op, rank)
+        n = self._calls.get(key, 0) + 1
+        self._calls[key] = n
+        now = self._now(rank)
+        for i, spec in enumerate(self.plan.specs):
+            if not spec.matches(op, rank):
+                continue
+            armed = True
+            if spec.after_calls is not None or spec.at_time_s is not None:
+                armed = False
+                if spec.after_calls is not None and n >= spec.after_calls:
+                    armed = True
+                if spec.at_time_s is not None and now >= spec.at_time_s:
+                    armed = True
+            if not armed:
+                continue
+            state = self._spec_state[i]
+            if (
+                spec.count is not None
+                and state.strikes.get(rank, 0) >= spec.count
+            ):
+                continue
+            if (
+                spec.probability is not None
+                and self._rng.random() >= spec.probability
+            ):
+                continue
+            state.strikes[rank] = state.strikes.get(rank, 0) + 1
+            return spec, n
+        return None
+
+    def _record(
+        self, op: str, rank: Optional[int], kind: FaultKind, call_index: int
+    ) -> None:
+        rec = InjectionRecord(
+            op=op,
+            rank=rank,
+            kind=kind,
+            call_index=call_index,
+            t_s=self._now(rank),
+        )
+        self.records.append(rec)
+        if self.telemetry is not None:
+            self.telemetry.record_fault_injected(
+                rank if rank is not None else -1, op, kind.value, ts=rec.t_s
+            )
+
+    # ------------------------------------------------------------------
+    # Vendor-call interception
+    # ------------------------------------------------------------------
+
+    def _wrap(self, op: str, original: Callable[..., Any]) -> Callable[..., Any]:
+        def wrapper(*args: Any, **kwargs: Any) -> Any:
+            rank = _rank_of_call(args)
+            hit = self._decide(op, rank)
+            if hit is None:
+                return original(*args, **kwargs)
+            spec, call_index = hit
+            if spec.kind in (FaultKind.TIMEOUT, FaultKind.LATENCY):
+                self._burn(rank, spec.latency_s)
+            self._record(op, rank, spec.kind, call_index)
+            if spec.kind is FaultKind.LATENCY:
+                return original(*args, **kwargs)
+            if op.startswith("rsmi_"):
+                raise RocmSmiError(_ROCM_STATUS_OF_KIND[spec.kind])
+            raise NVMLError(_NVML_ERROR_OF_KIND[spec.kind])
+
+        wrapper.__name__ = op
+        wrapper.__wrapped__ = original  # type: ignore[attr-defined]
+        return wrapper
+
+    # ------------------------------------------------------------------
+    # PMT sensor faults
+    # ------------------------------------------------------------------
+
+    def wrap_sensor(self, sensor: PMT, rank: int = 0) -> PMT:
+        """Wrap a PMT sensor so reads consult the plan's ``pmt.read`` specs."""
+        return _FaultyPMT(self, sensor, rank)
+
+    # ------------------------------------------------------------------
+    # Job preemption
+    # ------------------------------------------------------------------
+
+    def check_preemption(self, steps_done: int = 0) -> None:
+        """Raise :class:`JobPreempted` if a preemption spec strikes now.
+
+        Called once per simulation step by the run loop (pseudo-op
+        ``slurm.job``); harmless no-op with no preemption specs.
+        """
+        hit = self._decide(OP_JOB_STEP, None)
+        if hit is None:
+            return
+        spec, call_index = hit
+        self._record(OP_JOB_STEP, None, spec.kind, call_index)
+        if spec.kind is FaultKind.PREEMPT:
+            raise JobPreempted(self._now(None), steps_done)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        """Aggregate delivered faults for the degradation report."""
+        by_kind: Dict[str, int] = {}
+        by_op: Dict[str, int] = {}
+        by_rank: Dict[str, int] = {}
+        for rec in self.records:
+            by_kind[rec.kind.value] = by_kind.get(rec.kind.value, 0) + 1
+            by_op[rec.op] = by_op.get(rec.op, 0) + 1
+            rk = "-" if rec.rank is None else str(rec.rank)
+            by_rank[rk] = by_rank.get(rk, 0) + 1
+        return {
+            "plan": self.plan.name,
+            "seed": self.plan.seed,
+            "total_injected": len(self.records),
+            "by_kind": by_kind,
+            "by_op": by_op,
+            "by_rank": by_rank,
+        }
+
+
+class _FaultyPMT(PMT):
+    """PMT decorator delivering sensor faults from a fault plan."""
+
+    platform = "faulty"
+
+    def __init__(self, injector: FaultInjector, inner: PMT, rank: int) -> None:
+        self._injector = injector
+        self._inner = inner
+        self._rank = rank
+        self._last_good: Optional[State] = None
+
+    @property
+    def inner(self) -> PMT:
+        return self._inner
+
+    def read(self) -> State:
+        inj = self._injector
+        hit = inj._decide(OP_PMT_READ, self._rank)
+        if hit is None:
+            state = self._inner.read()
+            self._last_good = state
+            return state
+        spec, call_index = hit
+        inj._record(OP_PMT_READ, self._rank, spec.kind, call_index)
+        if spec.kind is FaultKind.DROPOUT:
+            raise PowerReadError(
+                f"power counter dropout on rank {self._rank}"
+            )
+        if spec.kind is FaultKind.STUCK:
+            if self._last_good is None:
+                # Nothing to be stuck at yet: surface as a dropout.
+                raise PowerReadError(
+                    f"power counter stale before first read on rank "
+                    f"{self._rank}"
+                )
+            return self._last_good
+        if spec.kind is FaultKind.NON_MONOTONE:
+            real = self._inner.read()
+            # Deliberately NOT stored as last good: the bogus reading
+            # must not contaminate stuck-fault replays.
+            return State(
+                timestamp_s=real.timestamp_s,
+                joules=real.joules - spec.magnitude_j,
+                watts=real.watts,
+            )
+        # Non-sensor kinds on pmt.read degrade to a read error.
+        raise PowerReadError(
+            f"injected {spec.kind.value} on pmt.read (rank {self._rank})"
+        )

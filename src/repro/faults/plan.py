@@ -1,0 +1,212 @@
+"""Deterministic fault plans.
+
+A :class:`FaultPlan` is a seeded, ordered list of :class:`FaultSpec`
+entries describing *what* goes wrong, *where* (which management-library
+operation, which rank) and *when* (call count, simulated time, or a
+seeded per-call probability). The plan itself is pure data — the
+:class:`~repro.faults.injector.FaultInjector` interprets it at run time
+— so the same ``(plan, workload)`` pair always produces byte-identical
+fault timing, which is what lets resilience tests assert exact
+degradation behaviour instead of "it crashed somewhere".
+
+The failure modes mirror what the measurement literature documents on
+production nodes (Simsek et al., arXiv:2312.05102; Calore et al.,
+arXiv:1703.02788): unsupported / permission-denied clock controls,
+devices dropping off the bus, management-library latency spikes, power
+counters that drop out, stick, or run backwards, and jobs preempted
+mid-run.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from fnmatch import fnmatchcase
+from typing import List, Optional, Tuple
+
+
+class FaultKind(enum.Enum):
+    """What the injected fault does at the matched call site."""
+
+    #: Raise the layer's Not Supported error (clock bin not offered).
+    NOT_SUPPORTED = "not-supported"
+    #: Raise the layer's Insufficient Permissions error.
+    NO_PERMISSION = "no-permission"
+    #: Raise the layer's device-lost error (fatal: it will not return).
+    GPU_IS_LOST = "gpu-is-lost"
+    #: Burn ``latency_s`` of simulated time, then raise a timeout error.
+    TIMEOUT = "timeout"
+    #: Burn ``latency_s`` of simulated time, then succeed (slow call).
+    LATENCY = "latency"
+    #: PMT read failure: raise :class:`~repro.pmt.base.PowerReadError`.
+    DROPOUT = "dropout"
+    #: PMT read returns the previous (stale) reading unchanged.
+    STUCK = "stuck"
+    #: PMT read returns a counter value ``magnitude_j`` joules *lower*.
+    NON_MONOTONE = "non-monotone"
+    #: Slurm-style preemption: the run loop is interrupted mid-run.
+    PREEMPT = "preempt"
+
+
+#: Kinds that only make sense on the ``pmt.read`` pseudo-operation.
+SENSOR_KINDS = frozenset(
+    {FaultKind.DROPOUT, FaultKind.STUCK, FaultKind.NON_MONOTONE}
+)
+
+#: The pseudo-operation name sensor wrappers consult.
+OP_PMT_READ = "pmt.read"
+
+#: The pseudo-operation name the per-step preemption check consults.
+OP_JOB_STEP = "slurm.job"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Parameters
+    ----------
+    op:
+        Operation to strike — a management-library entry-point name
+        (``"nvmlDeviceSetApplicationsClocks"``), optionally with
+        ``fnmatch`` wildcards (``"rsmi_dev_gpu_clk_freq_*"``), or one
+        of the pseudo-ops :data:`OP_PMT_READ` / :data:`OP_JOB_STEP`.
+    kind:
+        The failure mode (:class:`FaultKind`).
+    rank:
+        Only strike calls for this rank/device index; ``None`` = all.
+    after_calls:
+        Arm once the per-``(op, rank)`` call count reaches this
+        (1-based: ``after_calls=3`` arms on the third call).
+    at_time_s:
+        Arm at the first matching call at/after this simulated time.
+        When both triggers are given, either one arms the fault. A spec
+        with neither trigger is armed from the first call.
+    count:
+        Strike at most this many times per rank; ``None`` = permanent
+        (every matching call from arming on).
+    probability:
+        When set, each armed call only strikes with this probability,
+        drawn from the plan's seeded RNG (deterministic per run).
+    latency_s:
+        Simulated latency burned by :attr:`FaultKind.TIMEOUT` and
+        :attr:`FaultKind.LATENCY` strikes.
+    magnitude_j:
+        Backwards jump of a :attr:`FaultKind.NON_MONOTONE` reading.
+    """
+
+    op: str
+    kind: FaultKind
+    rank: Optional[int] = None
+    after_calls: Optional[int] = None
+    at_time_s: Optional[float] = None
+    count: Optional[int] = None
+    probability: Optional[float] = None
+    latency_s: float = 0.005
+    magnitude_j: float = 5.0
+
+    def __post_init__(self) -> None:
+        if not self.op:
+            raise ValueError("fault spec needs an operation name")
+        if self.after_calls is not None and self.after_calls < 1:
+            raise ValueError("after_calls is 1-based and must be >= 1")
+        if self.count is not None and self.count < 1:
+            raise ValueError("count must be >= 1 (None = permanent)")
+        if self.probability is not None and not 0.0 < self.probability <= 1.0:
+            raise ValueError("probability must be in (0, 1]")
+        if self.latency_s < 0.0:
+            raise ValueError("latency must be non-negative")
+        if self.kind in SENSOR_KINDS and not fnmatchcase(
+            OP_PMT_READ, self.op
+        ):
+            raise ValueError(
+                f"{self.kind.value} faults only apply to {OP_PMT_READ!r}"
+            )
+        if self.kind is FaultKind.PREEMPT and not fnmatchcase(
+            OP_JOB_STEP, self.op
+        ):
+            raise ValueError(
+                f"preempt faults only apply to {OP_JOB_STEP!r}"
+            )
+
+    def matches(self, op: str, rank: Optional[int]) -> bool:
+        """Does this spec target the call site ``(op, rank)``?"""
+        if self.rank is not None and rank != self.rank:
+            return False
+        return fnmatchcase(op, self.op)
+
+    @property
+    def permanent(self) -> bool:
+        return self.count is None
+
+    def describe(self) -> str:
+        """One human-readable line for plan listings and reports."""
+        where = "all ranks" if self.rank is None else f"rank {self.rank}"
+        when = []
+        if self.after_calls is not None:
+            when.append(f"call >= {self.after_calls}")
+        if self.at_time_s is not None:
+            when.append(f"t >= {self.at_time_s:g}s")
+        trigger = " or ".join(when) if when else "immediately"
+        extent = "permanent" if self.permanent else f"{self.count}x"
+        prob = (
+            f", p={self.probability:g}" if self.probability is not None else ""
+        )
+        return (
+            f"{self.kind.value} on {self.op} ({where}, {trigger}, "
+            f"{extent}{prob})"
+        )
+
+
+@dataclass
+class FaultPlan:
+    """A seeded, ordered collection of fault specs.
+
+    The seed drives every probabilistic decision the injector makes, so
+    two runs of the same plan against the same deterministic workload
+    inject identical faults at identical instants.
+    """
+
+    seed: int = 0
+    specs: List[FaultSpec] = field(default_factory=list)
+    name: str = "custom"
+
+    def add(self, spec: FaultSpec) -> "FaultPlan":
+        """Append a spec (chainable builder)."""
+        self.specs.append(spec)
+        return self
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+    def describe(self) -> str:
+        """Multi-line, human-readable plan listing."""
+        lines = [f"fault plan {self.name!r} (seed {self.seed}):"]
+        if not self.specs:
+            lines.append("  (no faults)")
+        for i, spec in enumerate(self.specs):
+            lines.append(f"  [{i}] {spec.describe()}")
+        return "\n".join(lines)
+
+
+def preemption_at(time_s: float) -> FaultSpec:
+    """Convenience spec: preempt the job at simulated time ``time_s``."""
+    return FaultSpec(
+        op=OP_JOB_STEP, kind=FaultKind.PREEMPT, at_time_s=time_s, count=1
+    )
+
+
+def preemption_after_steps(n_steps: int) -> FaultSpec:
+    """Convenience spec: preempt the job before step ``n_steps + 1``."""
+    return FaultSpec(
+        op=OP_JOB_STEP,
+        kind=FaultKind.PREEMPT,
+        after_calls=n_steps + 1,
+        count=1,
+    )
+
+
+Gap = Tuple[float, float]

@@ -1,0 +1,166 @@
+"""Named fault scenarios for the CLI and CI fault matrix.
+
+Each scenario builds a :class:`~repro.faults.plan.FaultPlan` from a
+seed and a rank count. They cover both vendor spellings of every
+operation (NVML and ROCm SMI) so the same scenario name exercises
+NVIDIA- and AMD-backed systems alike — unmatched ops simply never
+fire.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from .plan import (
+    OP_PMT_READ,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    preemption_after_steps,
+)
+
+#: Clock-set entry points on both vendors (wildcards, see FaultSpec.op).
+_CLOCK_SET_OPS = ("nvmlDeviceSetApplicationsClocks", "rsmi_dev_gpu_clk_freq_set")
+
+
+def _gpu_lost(seed: int, n_ranks: int) -> FaultPlan:
+    """Rank 0's device falls off the bus partway through the run."""
+    plan = FaultPlan(seed=seed, name="gpu-lost")
+    for op in _CLOCK_SET_OPS:
+        plan.add(
+            FaultSpec(
+                op=op, kind=FaultKind.GPU_IS_LOST, rank=0, after_calls=3
+            )
+        )
+    return plan
+
+
+def _flaky_clocks(seed: int, n_ranks: int) -> FaultPlan:
+    """Transient timeouts on a fraction of clock-set calls, all ranks."""
+    plan = FaultPlan(seed=seed, name="flaky-clocks")
+    for op in _CLOCK_SET_OPS:
+        plan.add(
+            FaultSpec(
+                op=op,
+                kind=FaultKind.TIMEOUT,
+                probability=0.2,
+                latency_s=0.002,
+            )
+        )
+    return plan
+
+
+def _no_permission(seed: int, n_ranks: int) -> FaultPlan:
+    """Site policy revokes clock control on the last rank from the start."""
+    plan = FaultPlan(seed=seed, name="no-permission")
+    rank = max(n_ranks - 1, 0)
+    for op in _CLOCK_SET_OPS:
+        plan.add(FaultSpec(op=op, kind=FaultKind.NO_PERMISSION, rank=rank))
+    return plan
+
+
+def _power_dropout(seed: int, n_ranks: int) -> FaultPlan:
+    """Intermittent power-counter read failures on every rank."""
+    return FaultPlan(seed=seed, name="power-dropout").add(
+        FaultSpec(
+            op=OP_PMT_READ,
+            kind=FaultKind.DROPOUT,
+            probability=0.15,
+        )
+    )
+
+
+def _stale_power(seed: int, n_ranks: int) -> FaultPlan:
+    """Stuck counters plus an occasional backwards jump on rank 0."""
+    plan = FaultPlan(seed=seed, name="stale-power")
+    plan.add(
+        FaultSpec(
+            op=OP_PMT_READ,
+            kind=FaultKind.STUCK,
+            after_calls=2,
+            probability=0.25,
+        )
+    )
+    plan.add(
+        FaultSpec(
+            op=OP_PMT_READ,
+            kind=FaultKind.NON_MONOTONE,
+            rank=0,
+            after_calls=4,
+            count=2,
+            magnitude_j=3.0,
+        )
+    )
+    return plan
+
+
+def _preempt_mid_run(seed: int, n_ranks: int) -> FaultPlan:
+    """Slurm preempts the job after a handful of steps."""
+    return FaultPlan(seed=seed, name="preempt-mid-run").add(
+        preemption_after_steps(3)
+    )
+
+
+def _chaos(seed: int, n_ranks: int) -> FaultPlan:
+    """Everything at once, at low probability — the soak scenario."""
+    plan = FaultPlan(seed=seed, name="chaos")
+    for op in _CLOCK_SET_OPS:
+        plan.add(
+            FaultSpec(op=op, kind=FaultKind.TIMEOUT, probability=0.1)
+        )
+        plan.add(
+            FaultSpec(op=op, kind=FaultKind.NOT_SUPPORTED, probability=0.05)
+        )
+    plan.add(
+        FaultSpec(op=OP_PMT_READ, kind=FaultKind.DROPOUT, probability=0.1)
+    )
+    plan.add(
+        FaultSpec(
+            op=OP_PMT_READ,
+            kind=FaultKind.NON_MONOTONE,
+            probability=0.05,
+            magnitude_j=2.0,
+        )
+    )
+    return plan
+
+
+_BUILDERS: Dict[str, Callable[[int, int], FaultPlan]] = {
+    "gpu-lost": _gpu_lost,
+    "flaky-clocks": _flaky_clocks,
+    "no-permission": _no_permission,
+    "power-dropout": _power_dropout,
+    "stale-power": _stale_power,
+    "preempt-mid-run": _preempt_mid_run,
+    "chaos": _chaos,
+}
+
+SCENARIO_DESCRIPTIONS: Dict[str, str] = {
+    "gpu-lost": "rank 0's GPU is permanently lost after its 3rd clock set",
+    "flaky-clocks": "20% of clock-set calls time out transiently",
+    "no-permission": "clock control denied on the last rank from the start",
+    "power-dropout": "15% of power-counter reads fail",
+    "stale-power": "stuck counters, plus backwards jumps on rank 0",
+    "preempt-mid-run": "Slurm preempts the job after 3 steps",
+    "chaos": "all of the above at low probability (soak test)",
+}
+
+
+def scenario_names() -> List[str]:
+    """Known scenario names, stable order."""
+    return list(_BUILDERS)
+
+
+def build_plan(name: str, seed: int = 0, n_ranks: int = 1) -> FaultPlan:
+    """Build a named scenario's fault plan.
+
+    Raises ``ValueError`` for unknown names, listing what exists.
+    """
+    try:
+        builder = _BUILDERS[name]
+    except KeyError:
+        known = ", ".join(scenario_names())
+        raise ValueError(
+            f"unknown fault scenario {name!r} (known: {known})"
+        ) from None
+    return builder(seed, n_ranks)

@@ -9,6 +9,7 @@ NVML_ERROR_NOT_SUPPORTED = 3
 NVML_ERROR_NO_PERMISSION = 4
 NVML_ERROR_ALREADY_INITIALIZED = 5
 NVML_ERROR_NOT_FOUND = 6
+NVML_ERROR_TIMEOUT = 10
 NVML_ERROR_GPU_IS_LOST = 15
 NVML_ERROR_UNKNOWN = 999
 
@@ -20,9 +21,18 @@ _ERROR_STRINGS = {
     NVML_ERROR_NO_PERMISSION: "Insufficient Permissions",
     NVML_ERROR_ALREADY_INITIALIZED: "Already Initialized",
     NVML_ERROR_NOT_FOUND: "Not Found",
+    NVML_ERROR_TIMEOUT: "Timeout",
     NVML_ERROR_GPU_IS_LOST: "GPU is lost",
     NVML_ERROR_UNKNOWN: "Unknown Error",
 }
+
+#: Codes worth retrying: the call may succeed moments later.
+NVML_TRANSIENT_ERROR_CODES = frozenset(
+    {NVML_ERROR_TIMEOUT, NVML_ERROR_UNKNOWN}
+)
+
+#: Codes after which the device will not come back this run.
+NVML_FATAL_ERROR_CODES = frozenset({NVML_ERROR_GPU_IS_LOST})
 
 
 class NVMLError(Exception):
@@ -34,5 +44,14 @@ class NVMLError(Exception):
 
 
 def nvmlErrorString(result: int) -> str:
-    """Human-readable string for an NVML return code."""
-    return _ERROR_STRINGS.get(result, f"Unknown Error code {result}")
+    """Human-readable string for an NVML return code.
+
+    Codes missing from the table (future driver versions, injected
+    faults) degrade to a readable ``"unknown error code <n>"`` message
+    rather than a bare ``KeyError`` or numeric repr — error paths must
+    never themselves raise while being formatted.
+    """
+    try:
+        return _ERROR_STRINGS[result]
+    except (KeyError, TypeError):
+        return f"unknown error code {result}"

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from typing import Any
 
-from .base import PMT, State
+from .base import PMT, PowerReadError, State
 from .cray_backend import CrayPMT
 from .dummy import DummyPMT
 from .levelzero_backend import LevelZeroPMT
@@ -53,6 +53,7 @@ def create(platform: str, **kwargs: Any) -> PMT:
 
 __all__ = [
     "PMT",
+    "PowerReadError",
     "State",
     "create",
     "CrayPMT",

@@ -17,6 +17,16 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+class PowerReadError(RuntimeError):
+    """A sensor read failed (counter dropout, stale node, lost device).
+
+    Raised by fault-injecting sensor wrappers and by backends whose
+    underlying counters went away mid-run. :class:`~repro.pmt.sampler.PmtSampler`
+    treats it as a gap to be marked and interpolated over; direct
+    callers of :meth:`PMT.read` see it as an ordinary exception.
+    """
+
+
 @dataclass(frozen=True)
 class State:
     """One sensor reading.

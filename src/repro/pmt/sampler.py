@@ -22,11 +22,11 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from ..hardware.clock import VirtualClock
 from ..telemetry.events import check_schema_header, schema_header
-from .base import PMT, State
+from .base import PMT, PowerReadError, State
 
 #: Column order of the dump-file payload lines.
 DUMP_COLUMNS = ("timestamp_s", "joules", "watts")
@@ -47,6 +47,15 @@ class PmtSampler:
     Average power per sample is derived from consecutive cumulative
     joule readings (robust even for backends that report no
     instantaneous watts).
+
+    Failed reads (:class:`~repro.pmt.base.PowerReadError`) do not kill
+    the sampler: the failed interval becomes a *gap*, and once the
+    sensor recovers, the ticks that fell inside the gap are back-filled
+    by the same piecewise-constant interpolation used for in-advance
+    ticks — the series stays on the sampling grid with no holes, and
+    every bridged gap is listed in :attr:`gaps` (and on the telemetry
+    faults track). A monotonicity guard clamps counter readings that
+    run backwards, so one bogus reading cannot produce negative power.
 
     Parameters
     ----------
@@ -78,23 +87,43 @@ class PmtSampler:
         self._last: Optional[State] = None
         self._telemetry = telemetry
         self._rank = rank
+        self._segment_start_j = 0.0
+        self._segment_start_t = 0.0
+        #: Bridged sampling gaps as ``(start_s, end_s)`` intervals.
+        self.gaps: List[Tuple[float, float]] = []
+        #: Sensor reads that raised :class:`PowerReadError`.
+        self.failed_reads = 0
+        #: Readings clamped by the monotonicity guard.
+        self.monotonicity_violations = 0
+        self._gap_start: Optional[float] = None
 
     @property
     def running(self) -> bool:
         return self._running
+
+    @property
+    def in_gap(self) -> bool:
+        """Is the sampler currently bridging failed reads?"""
+        return self._gap_start is not None
 
     def start(self) -> None:
         """Begin sampling (takes an immediate first reading).
 
         Construct/start the sampler *after* the devices are attached to
         the clock so its listener observes post-update counter values.
+
+        The first reading happens *before* the sampler marks itself
+        running: if the sensor is already broken at start, the error
+        propagates and the sampler can be started again once the sensor
+        recovers (it does not wedge in a half-started state).
         """
         if self._running:
             raise RuntimeError("sampler is already running")
-        self._running = True
         first = self._sensor.read()
+        self._running = True
         self._last = State(self._clock.now, first.joules, 0.0)
         self._segment_start_j = first.joules
+        self._segment_start_t = self._clock.now
         self._record(Sample(self._clock.now, first.joules, 0.0))
         self._clock.subscribe(self._on_advance)
 
@@ -104,6 +133,9 @@ class PmtSampler:
             raise RuntimeError("sampler is not running")
         self._clock.unsubscribe(self._on_advance)
         self._running = False
+        if self._gap_start is not None:
+            # The sensor never recovered: close the gap at stop time.
+            self._close_gap(self._clock.now)
         return list(self.samples)
 
     def _record(self, sample: Sample) -> None:
@@ -116,17 +148,45 @@ class PmtSampler:
                 ts=sample.timestamp_s,
             )
 
+    def _close_gap(self, end_t: float) -> None:
+        assert self._gap_start is not None
+        gap = (self._gap_start, end_t)
+        self.gaps.append(gap)
+        self._gap_start = None
+        if self._telemetry is not None:
+            self._telemetry.record_power_gap(
+                self._rank, gap[0], gap[1], reason="power read failed"
+            )
+
     def _on_advance(self, t0: float, t1: float) -> None:
         assert self._last is not None
         # Subscribed after the devices: this read carries the t1 value;
         # power is piecewise constant over the advance, so ticks inside
         # it interpolate exactly.
-        end_j = self._sensor.read().joules
+        try:
+            end_j = self._sensor.read().joules
+        except PowerReadError:
+            # Leave the pending ticks unplayed; they are back-filled by
+            # interpolation over the whole gap on the next good read.
+            self.failed_reads += 1
+            if self._gap_start is None:
+                self._gap_start = t0
+            return
+        if self._gap_start is not None:
+            self._close_gap(t1)
+        if end_j < self._segment_start_j:
+            # A counter must not run backwards; clamp the reading so the
+            # derived power can never go negative from one bad sample.
+            self.monotonicity_violations += 1
+            end_j = self._segment_start_j
+        # Interpolation spans the segment since the last *good* read —
+        # identical to [t0, t1] when no reads failed in between.
         start_j = self._segment_start_j
-        span = t1 - t0
+        start_t = self._segment_start_t
+        span = t1 - start_t
         next_tick = self._last.timestamp_s + self.period_s
         while next_tick <= t1 + 1e-12:
-            frac = 0.0 if span <= 0 else (next_tick - t0) / span
+            frac = 0.0 if span <= 0 else (next_tick - start_t) / span
             joules = start_j + (end_j - start_j) * frac
             dt = next_tick - self._last.timestamp_s
             watts = (joules - self._last.joules) / dt if dt > 0 else 0.0
@@ -134,6 +194,7 @@ class PmtSampler:
             self._last = State(next_tick, joules, watts)
             next_tick += self.period_s
         self._segment_start_j = end_j
+        self._segment_start_t = t1
 
     # -- dump-file support ---------------------------------------------------
 

@@ -21,11 +21,42 @@ from ..hardware.gpu import SimulatedGpu
 RSMI_STATUS_SUCCESS = 0
 RSMI_STATUS_INVALID_ARGS = 1
 RSMI_STATUS_NOT_SUPPORTED = 2
+RSMI_STATUS_PERMISSION = 4
 RSMI_STATUS_INIT_ERROR = 8
+RSMI_STATUS_BUSY = 16
+RSMI_STATUS_AMDGPU_RESTART_ERR = 19
 
 #: rsmi_clk_type_t subset
 RSMI_CLK_TYPE_SYS = 0
 RSMI_CLK_TYPE_MEM = 4
+
+_STATUS_STRINGS = {
+    RSMI_STATUS_SUCCESS: "Success",
+    RSMI_STATUS_INVALID_ARGS: "Invalid Arguments",
+    RSMI_STATUS_NOT_SUPPORTED: "Not Supported",
+    RSMI_STATUS_PERMISSION: "Insufficient Permissions",
+    RSMI_STATUS_INIT_ERROR: "Initialization Error",
+    RSMI_STATUS_BUSY: "Device Busy",
+    RSMI_STATUS_AMDGPU_RESTART_ERR: "AMDGPU Restart (device lost)",
+}
+
+#: Statuses worth retrying: the call may succeed moments later.
+RSMI_TRANSIENT_STATUS_CODES = frozenset({RSMI_STATUS_BUSY})
+
+#: Statuses after which the device will not come back this run.
+RSMI_FATAL_STATUS_CODES = frozenset({RSMI_STATUS_AMDGPU_RESTART_ERR})
+
+
+def rsmi_status_string(status: int) -> str:
+    """Human-readable string for an rsmi status code.
+
+    Unknown statuses degrade to a readable ``"unknown rsmi status <n>"``
+    message, same contract as :func:`repro.nvml.errors.nvmlErrorString`.
+    """
+    try:
+        return _STATUS_STRINGS[status]
+    except (KeyError, TypeError):
+        return f"unknown rsmi status {status}"
 
 
 class RocmSmiError(Exception):
@@ -33,7 +64,7 @@ class RocmSmiError(Exception):
 
     def __init__(self, status: int) -> None:
         self.status = status
-        super().__init__(f"rsmi status {status}")
+        super().__init__(rsmi_status_string(status))
 
 
 @dataclass

@@ -24,6 +24,7 @@ class JobState(enum.Enum):
     COMPLETED = "COMPLETED"
     FAILED = "FAILED"
     CANCELLED = "CANCELLED"
+    PREEMPTED = "PREEMPTED"
 
 
 #: Slurm's symbolic --gpu-freq keywords.

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from ..faults.injector import JobPreempted
 from .accounting import AccountingDatabase
 from .energy_plugins import get_plugin
 from .job import Job, JobSpec, JobState, resolve_gpu_freq_keyword
@@ -112,6 +113,18 @@ class SlurmController:
 
         try:
             job.result = app(cluster, job)
+        except JobPreempted:
+            # Preemption is a scheduler decision, not an application
+            # failure: close the accounting window (Slurm accounts the
+            # consumed allocation) and return the job as PREEMPTED.
+            job.state = JobState.PREEMPTED
+            job.end_time = max(c.now for c in cluster.clocks)
+            job.energy_at_end_j = self._read_all(plugin, cluster)
+            self.accounting.record(job)
+            self._emit_phase(
+                "slurm:accounting-window", job, job.start_time, job.end_time
+            )
+            return job
         except Exception:
             job.state = JobState.FAILED
             job.end_time = max(c.now for c in cluster.clocks)

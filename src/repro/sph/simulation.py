@@ -17,15 +17,17 @@ the instrumented SPH-EXA of the paper:
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
-from ..core.controller import FrequencyController
+from ..core.controller import FrequencyController, ResilienceConfig
 from ..core.energy import EnergyProfiler, EnergyReport, make_profiler
 from ..core.freq_policy import FrequencyPolicy, baseline_policy
 from ..core.hooks import HookRegistry
+from ..faults.injector import FaultInjector, JobPreempted
 from ..units import to_mhz
 from .numeric import NumericProblem
 from .propagator import StepFunction, propagator_for
@@ -52,10 +54,22 @@ class SimulationResult:
     clock_set_calls: int
     dt_history: List[float] = field(default_factory=list)
     clock_set_skipped: int = 0
+    #: Ranks whose frequency control degraded to the DVFS governor.
+    degraded_ranks: List[int] = field(default_factory=list)
+    #: True when the run was cut short by a (simulated) Slurm preemption.
+    preempted: bool = False
+    #: Faults delivered by the attached injector during the run.
+    faults_injected: int = 0
+    #: Transient-error retries the controller performed.
+    retries: int = 0
 
     @property
     def edp(self) -> float:
         return self.elapsed_s * self.gpu_energy_j
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.degraded_ranks)
 
 
 class Simulation:
@@ -83,6 +97,19 @@ class Simulation:
         instants. When ``None`` — the default — no extra hooks are
         registered and the run is bit-for-bit identical to an
         un-traced one.
+    resilience:
+        Optional :class:`~repro.core.controller.ResilienceConfig`. When
+        given, the frequency controller retries transient
+        management-library errors and degrades failing ranks to their
+        DVFS governor instead of propagating; when ``None`` — the
+        default — vendor errors are fail-loud, exactly as before.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector`. When given, it
+        is bound to the cluster's clocks (and the telemetry collector,
+        if any), installed over the vendor layers for the duration of
+        :meth:`run`, and polled for job preemption once per step. A
+        preempted run returns a partial result flagged ``preempted``
+        rather than raising.
     """
 
     def __init__(
@@ -94,6 +121,8 @@ class Simulation:
         numeric: Optional[NumericProblem] = None,
         mean_neighbors: float = REFERENCE_NEIGHBORS,
         telemetry=None,
+        resilience: Optional[ResilienceConfig] = None,
+        faults: Optional[FaultInjector] = None,
     ) -> None:
         self.cluster = cluster
         self.workload_name = workload_name
@@ -114,7 +143,9 @@ class Simulation:
                 to_mhz(cluster.gpus[0].spec.default_clock_hz)
             )
         self.policy = policy
-        self.controller = FrequencyController(cluster.gpus, policy)
+        self.controller = FrequencyController(
+            cluster.gpus, policy, resilience=resilience
+        )
         self.profiler: EnergyProfiler = make_profiler(cluster)
         self.hooks = HookRegistry()
         # Controller outside, profiler inside: clock-set latency before a
@@ -135,6 +166,11 @@ class Simulation:
             telemetry.bind_cluster(cluster)
             self.controller.telemetry = telemetry
             self.hooks.register(telemetry)
+        self.faults = faults
+        if faults is not None:
+            faults.bind_cluster(cluster)
+            if telemetry is not None and faults.telemetry is None:
+                faults.telemetry = telemetry
         self.dt_history: List[float] = []
         self._initialized = False
 
@@ -158,23 +194,56 @@ class Simulation:
         self._initialized = True
 
     def run(self, n_steps: int) -> SimulationResult:
-        """Execute ``n_steps`` of the instrumented time-stepping loop."""
+        """Execute ``n_steps`` of the instrumented time-stepping loop.
+
+        With a fault injector attached, the vendor layers are wrapped
+        for the duration of the run (including initialization — the
+        initial clock pin can fail too), preemption is polled between
+        steps, and the result carries the degradation outcome: which
+        ranks fell back to DVFS, whether the run was preempted, and how
+        many faults were delivered.
+        """
         if n_steps < 1:
             raise ValueError("need at least one step")
-        self.initialize()
-        self.profiler.open_window()
-        for _ in range(n_steps):
-            self._run_step()
-        self.profiler.close_window()
+        injected = self.faults
+        steps_done = 0
+        preempted = False
+        with injected if injected is not None else nullcontext():
+            self.initialize()
+            self.profiler.open_window()
+            try:
+                for _ in range(n_steps):
+                    if injected is not None:
+                        injected.check_preemption(steps_done)
+                    self._run_step()
+                    steps_done += 1
+            except JobPreempted as exc:
+                preempted = True
+                if self.telemetry is not None:
+                    self.telemetry.emit_instant(
+                        "job-preempted",
+                        0,
+                        track="faults",
+                        steps_done=exc.steps_done,
+                    )
+            self.profiler.close_window()
         report = self.profiler.gather(self.cluster.comm)
+        for degradation in self.controller.degradations:
+            report.mark_degraded(degradation.rank, degradation.reason)
         return SimulationResult(
             report=report,
             elapsed_s=report.max_window_time_s(),
             gpu_energy_j=report.total_window_gpu_j(),
-            steps=n_steps,
+            steps=steps_done,
             clock_set_calls=self.controller.clock_set_calls,
             dt_history=list(self.dt_history),
             clock_set_skipped=self.controller.clock_set_skipped,
+            degraded_ranks=self.controller.degraded_ranks,
+            preempted=preempted,
+            faults_injected=(
+                len(injected.records) if injected is not None else 0
+            ),
+            retries=self.controller.retries_performed,
         )
 
     # ------------------------------------------------------------------
@@ -327,6 +396,8 @@ def run_instrumented(
     numeric: Optional[NumericProblem] = None,
     mean_neighbors: float = REFERENCE_NEIGHBORS,
     telemetry=None,
+    resilience: Optional[ResilienceConfig] = None,
+    faults: Optional[FaultInjector] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build, initialize and run a simulation."""
     sim = Simulation(
@@ -337,5 +408,7 @@ def run_instrumented(
         numeric=numeric,
         mean_neighbors=mean_neighbors,
         telemetry=telemetry,
+        resilience=resilience,
+        faults=faults,
     )
     return sim.run(n_steps)

@@ -48,6 +48,7 @@ from .events import (
     SCHEMA_VERSION,
     TRACK_CLOCKS,
     TRACK_COUNTERS,
+    TRACK_FAULTS,
     TRACK_FUNCTIONS,
     TRACK_JOB,
     TRACKS,
@@ -78,6 +79,7 @@ __all__ = [
     "TRACK_CLOCKS",
     "TRACK_COUNTERS",
     "TRACK_JOB",
+    "TRACK_FAULTS",
     "SpanEvent",
     "InstantEvent",
     "CounterEvent",

@@ -30,6 +30,7 @@ from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 from .events import (
     TRACK_CLOCKS,
     TRACK_COUNTERS,
+    TRACK_FAULTS,
     TRACK_FUNCTIONS,
     TRACK_JOB,
     CounterEvent,
@@ -276,6 +277,47 @@ class TraceCollector:
     def record_dvfs_handover(self, rank: int) -> None:
         """The device was handed to its DVFS governor."""
         self.emit_instant("dvfs-governor", rank, track=TRACK_CLOCKS)
+
+    # -- fault / resilience track ----------------------------------------------
+
+    def record_fault_injected(
+        self, rank: int, op: str, kind: str, ts: Optional[float] = None
+    ) -> None:
+        """One fault delivered by the fault injector."""
+        self.emit_instant(
+            "fault-injected", rank, ts=ts, track=TRACK_FAULTS, op=op, kind=kind
+        )
+        self.metrics.counter("faults_injected", kind=kind).inc()
+
+    def record_retry(
+        self, rank: int, op: str, attempt: int, error: str
+    ) -> None:
+        """One transient-error retry performed by a resilient caller."""
+        self.emit_instant(
+            "fault-retry",
+            rank,
+            track=TRACK_FAULTS,
+            op=op,
+            attempt=attempt,
+            error=error,
+        )
+        self.metrics.counter("fault_retries", rank=rank).inc()
+
+    def record_degradation(self, rank: int, reason: str) -> None:
+        """A rank's circuit breaker tripped: device handed to DVFS."""
+        self.emit_instant(
+            "rank-degraded", rank, track=TRACK_FAULTS, reason=reason
+        )
+        self.metrics.counter("ranks_degraded").inc()
+
+    def record_power_gap(
+        self, rank: int, t0: float, t1: float, reason: str
+    ) -> None:
+        """A power-sampling gap that was bridged by interpolation."""
+        self.emit_phase(
+            "power-gap", rank, t0, t1, track=TRACK_FAULTS, reason=reason
+        )
+        self.metrics.counter("power_read_gaps", rank=rank).inc()
 
     def emit_counter_sample(
         self,

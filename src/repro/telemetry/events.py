@@ -43,8 +43,12 @@ TRACK_COUNTERS = "power"
 #: Track for Slurm job-phase spans (scheduling, accounting window).
 TRACK_JOB = "job"
 
+#: Track for injected faults and resilience actions (retries, breaker
+#: trips, DVFS degradations, power-sampling gaps).
+TRACK_FAULTS = "faults"
+
 #: All known tracks in the Chrome-trace thread layout order.
-TRACKS = (TRACK_FUNCTIONS, TRACK_CLOCKS, TRACK_COUNTERS, TRACK_JOB)
+TRACKS = (TRACK_FUNCTIONS, TRACK_CLOCKS, TRACK_COUNTERS, TRACK_JOB, TRACK_FAULTS)
 
 
 @dataclass(frozen=True)

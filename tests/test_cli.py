@@ -197,3 +197,68 @@ def test_sacct_reports_energy(capsys):
     assert "ConsumedEnergy" in out
     assert "COMPLETED" in out
     assert "instrumented (PMT) window" in out
+
+
+def test_faults_list_shows_scenarios(capsys):
+    assert main(["faults", "list"]) == 0
+    out = capsys.readouterr().out
+    assert "fault scenarios" in out
+    assert "gpu-lost" in out
+    assert "flaky-clocks" in out
+    assert "preempt-mid-run" in out
+    assert "chaos" in out
+
+
+def test_faults_run_gpu_lost_degrades_and_reports(tmp_path, capsys):
+    path = str(tmp_path / "degraded.json")
+    rc = main(
+        [
+            "faults", "run", "--scenario", "gpu-lost",
+            "--ranks", "2", "--steps", "3", "--particles", "1e5",
+            "--seed", "20240", "--report", path,
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "steps completed  : 3/3" in out
+    assert "degraded ranks   : 0" in out
+    assert "gpu-is-lost" in out
+    assert "rank 0 DEGRADED" in out
+    from repro.core import EnergyReport
+
+    assert EnergyReport.load(path).degraded_ranks() == [0]
+
+
+def test_faults_run_preemption_scenario(capsys):
+    rc = main(
+        [
+            "faults", "run", "--scenario", "preempt-mid-run",
+            "--steps", "6", "--particles", "1e5",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "(preempted)" in out
+    assert "steps completed  : 3/6" in out
+
+
+def test_faults_run_power_dropout_reports_sampler_gaps(capsys):
+    rc = main(
+        [
+            "faults", "run", "--scenario", "power-dropout",
+            "--steps", "4", "--particles", "1e5", "--seed", "7",
+        ]
+    )
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "power sampling" in out
+
+
+def test_faults_run_unknown_scenario_fails_loud():
+    with pytest.raises(ValueError, match="gpu-lost"):
+        main(["faults", "run", "--scenario", "not-a-scenario"])
+
+
+def test_help_lists_faults():
+    with pytest.raises(SystemExit):
+        main(["--help"])

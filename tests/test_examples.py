@@ -85,4 +85,14 @@ def test_examples_directory_complete():
         "tune_frequencies.py",
         "autodyn_two_run.py",
         "trace_run.py",
+        "fault_injection.py",
     } <= shipped
+
+
+def test_fault_injection(monkeypatch, capsys):
+    out = _run_example(
+        monkeypatch, capsys, "fault_injection", ["2", "4", "20240"]
+    )
+    assert "degraded ranks: [0]" in out
+    assert "faults injected" in out
+    assert "telemetry faults track" in out

@@ -1,0 +1,116 @@
+"""FaultPlan / FaultSpec model: validation, matching, scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faults import (
+    OP_JOB_STEP,
+    OP_PMT_READ,
+    SCENARIO_DESCRIPTIONS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    build_plan,
+    preemption_after_steps,
+    preemption_at,
+    scenario_names,
+)
+
+
+def test_spec_validation_rejects_bad_values():
+    with pytest.raises(ValueError):
+        FaultSpec(op="", kind=FaultKind.TIMEOUT)
+    with pytest.raises(ValueError):
+        FaultSpec(op="x", kind=FaultKind.TIMEOUT, after_calls=0)
+    with pytest.raises(ValueError):
+        FaultSpec(op="x", kind=FaultKind.TIMEOUT, count=0)
+    with pytest.raises(ValueError):
+        FaultSpec(op="x", kind=FaultKind.TIMEOUT, probability=0.0)
+    with pytest.raises(ValueError):
+        FaultSpec(op="x", kind=FaultKind.TIMEOUT, probability=1.5)
+    with pytest.raises(ValueError):
+        FaultSpec(op="x", kind=FaultKind.TIMEOUT, latency_s=-1.0)
+
+
+def test_sensor_kinds_only_apply_to_pmt_read():
+    for kind in (FaultKind.DROPOUT, FaultKind.STUCK, FaultKind.NON_MONOTONE):
+        with pytest.raises(ValueError):
+            FaultSpec(op="nvmlDeviceGetPowerUsage", kind=kind)
+        FaultSpec(op=OP_PMT_READ, kind=kind)  # fine
+
+
+def test_preempt_only_applies_to_job_op():
+    with pytest.raises(ValueError):
+        FaultSpec(op=OP_PMT_READ, kind=FaultKind.PREEMPT)
+    FaultSpec(op=OP_JOB_STEP, kind=FaultKind.PREEMPT)  # fine
+
+
+def test_matching_is_rank_aware_and_supports_wildcards():
+    spec = FaultSpec(
+        op="rsmi_dev_gpu_clk_freq_*", kind=FaultKind.TIMEOUT, rank=1
+    )
+    assert spec.matches("rsmi_dev_gpu_clk_freq_set", 1)
+    assert spec.matches("rsmi_dev_gpu_clk_freq_reset", 1)
+    assert not spec.matches("rsmi_dev_gpu_clk_freq_set", 0)
+    assert not spec.matches("rsmi_dev_power_ave_get", 1)
+    wild = FaultSpec(op="*", kind=FaultKind.TIMEOUT)
+    assert wild.matches("anything", None)
+
+
+def test_describe_mentions_trigger_and_extent():
+    spec = FaultSpec(
+        op="nvmlDeviceSetApplicationsClocks",
+        kind=FaultKind.GPU_IS_LOST,
+        rank=0,
+        after_calls=3,
+    )
+    text = spec.describe()
+    assert "gpu-is-lost" in text
+    assert "rank 0" in text
+    assert "call >= 3" in text
+    assert "permanent" in text
+    bounded = FaultSpec(
+        op="x", kind=FaultKind.TIMEOUT, count=2, probability=0.5
+    )
+    assert "2x" in bounded.describe()
+    assert "p=0.5" in bounded.describe()
+
+
+def test_plan_builder_is_chainable_and_iterable():
+    plan = (
+        FaultPlan(seed=3)
+        .add(FaultSpec(op="a", kind=FaultKind.TIMEOUT))
+        .add(FaultSpec(op="b", kind=FaultKind.NO_PERMISSION))
+    )
+    assert len(plan) == 2
+    assert [s.op for s in plan] == ["a", "b"]
+    listing = plan.describe()
+    assert "seed 3" in listing
+    assert "[1]" in listing
+
+
+def test_empty_plan_describes_itself():
+    assert "(no faults)" in FaultPlan().describe()
+
+
+def test_preemption_helpers():
+    at = preemption_at(2.5)
+    assert at.kind is FaultKind.PREEMPT and at.at_time_s == 2.5
+    after = preemption_after_steps(3)
+    assert after.after_calls == 4 and after.count == 1
+
+
+def test_every_scenario_builds_and_is_described():
+    names = scenario_names()
+    assert set(names) == set(SCENARIO_DESCRIPTIONS)
+    for name in names:
+        plan = build_plan(name, seed=11, n_ranks=4)
+        assert plan.seed == 11
+        assert plan.name == name
+        assert len(plan) >= 1
+
+
+def test_unknown_scenario_raises_with_known_names():
+    with pytest.raises(ValueError, match="gpu-lost"):
+        build_plan("not-a-scenario")

@@ -128,4 +128,20 @@ def test_shutdown_reference_counting(devices):
 
 def test_error_strings():
     assert nvml.nvmlErrorString(nvml.NVML_SUCCESS) == "Success"
-    assert "Unknown" in nvml.nvmlErrorString(12345)
+
+
+def test_error_string_unknown_code_formats_readably():
+    # Codes outside the table (future drivers, fault injection) must
+    # degrade to a readable message, never a KeyError mid-error-path.
+    assert nvml.nvmlErrorString(12345) == "unknown error code 12345"
+    assert nvml.nvmlErrorString(-1) == "unknown error code -1"
+    # Unhashable garbage degrades the same way instead of raising.
+    assert nvml.nvmlErrorString([3]) == "unknown error code [3]"
+
+
+def test_nvml_error_carries_code_and_readable_message():
+    err = nvml.NVMLError(nvml.NVML_ERROR_GPU_IS_LOST)
+    assert err.value == nvml.NVML_ERROR_GPU_IS_LOST
+    assert "GPU is lost" in str(err)
+    exotic = nvml.NVMLError(777)
+    assert "unknown error code 777" in str(exotic)

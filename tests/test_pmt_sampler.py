@@ -178,3 +178,147 @@ def test_sampler_mirrors_samples_to_telemetry(rig):
     snap = collector.metrics.snapshot()
     assert snap["counters"]["counter_samples{name=power}"] == len(series)
     assert snap["gauges"]["last_power_joules{rank=3}"] == series[-1].joules
+
+
+# -- resilience: failed reads, gaps, monotonicity ----------------------------
+
+
+class _FlakySensor:
+    """Scriptable sensor: perfect counter unless told to fail or skew.
+
+    Integrates energy on its own clock subscription, like the device
+    models do — construct it *before* the sampler so its counter is
+    up to date when the sampler's listener reads it.
+    """
+
+    platform = "test"
+
+    def __init__(self, clock, watts=100.0):
+        self._clock = clock
+        self._watts = watts
+        self._joules = 0.0
+        self.fail_now = False
+        self.offset_j = 0.0
+        clock.subscribe(self._integrate)
+
+    def _integrate(self, t0, t1):
+        self._joules += self._watts * (t1 - t0)
+
+    def read(self):
+        from repro.pmt import PowerReadError, State
+
+        if self.fail_now:
+            raise PowerReadError("injected sensor failure")
+        return State(
+            self._clock.now, self._joules + self.offset_j, self._watts
+        )
+
+
+def test_start_with_broken_sensor_does_not_wedge():
+    from repro.pmt import PmtSampler, PowerReadError
+
+    clk = VirtualClock()
+    sensor = _FlakySensor(clk)
+    sensor.fail_now = True
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    # Regression: the first read used to happen after _running was set,
+    # leaving a failed start() wedged (start and stop both unusable).
+    with pytest.raises(PowerReadError):
+        sampler.start()
+    assert not sampler.running
+    with pytest.raises(RuntimeError):
+        sampler.stop()  # never started
+    sensor.fail_now = False
+    sampler.start()  # recovers cleanly
+    clk.advance(0.2)
+    series = sampler.stop()
+    assert len(series) == 3
+
+
+def test_failed_reads_become_gaps_and_ticks_are_backfilled():
+    from repro.pmt import PmtSampler
+
+    clk = VirtualClock()
+    sensor = _FlakySensor(clk, watts=100.0)
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    clk.advance(0.2)  # good: ticks 0.1, 0.2
+    sensor.fail_now = True
+    clk.advance(0.2)  # failed
+    assert sampler.in_gap
+    clk.advance(0.2)  # failed again: same gap
+    sensor.fail_now = False
+    clk.advance(0.2)  # recovery read at t=0.8 back-fills the gap
+    series = sampler.stop()
+
+    assert sampler.failed_reads == 2
+    assert sampler.gaps == [(pytest.approx(0.2), pytest.approx(0.8))]
+    assert not sampler.in_gap
+    # The series stays on the sampling grid with no holes.
+    times = [s.timestamp_s for s in series]
+    assert times == pytest.approx([0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8])
+    # Constant draw makes the linear back-fill exact.
+    for s in series[1:]:
+        assert s.joules == pytest.approx(100.0 * s.timestamp_s)
+        assert s.watts == pytest.approx(100.0)
+
+
+def test_monotonicity_guard_clamps_backwards_counter():
+    from repro.pmt import PmtSampler
+
+    clk = VirtualClock()
+    sensor = _FlakySensor(clk, watts=100.0)
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    clk.advance(0.1)  # 10 J at t=0.1
+    sensor.offset_j = -30.0  # counter appears to run backwards
+    clk.advance(0.1)
+    sensor.offset_j = 0.0
+    clk.advance(0.1)
+    series = sampler.stop()
+
+    assert sampler.monotonicity_violations == 1
+    joules = [s.joules for s in series]
+    assert joules == sorted(joules)  # still monotone
+    assert all(s.watts >= 0.0 for s in series)  # never negative power
+    assert series[2].joules == pytest.approx(10.0)  # clamped, not -10
+
+
+def test_gap_still_open_at_stop_is_closed_at_stop_time():
+    from repro.pmt import PmtSampler
+
+    clk = VirtualClock()
+    sensor = _FlakySensor(clk)
+    sampler = PmtSampler(sensor, clk, period_s=0.1)
+    sampler.start()
+    sensor.fail_now = True
+    clk.advance(0.5)  # the sensor never comes back
+    series = sampler.stop()
+    assert len(series) == 1  # just the immediate first sample
+    assert sampler.gaps == [(pytest.approx(0.0), pytest.approx(0.5))]
+    assert not sampler.in_gap
+
+
+def test_power_gaps_are_visible_on_the_telemetry_faults_track():
+    from repro.pmt import PmtSampler
+    from repro.telemetry import TRACK_FAULTS, TraceCollector
+
+    clk = VirtualClock()
+    sensor = _FlakySensor(clk)
+    collector = TraceCollector(clocks=[clk])
+    sampler = PmtSampler(
+        sensor, clk, period_s=0.1, telemetry=collector, rank=0
+    )
+    sampler.start()
+    sensor.fail_now = True
+    clk.advance(0.2)
+    sensor.fail_now = False
+    clk.advance(0.2)
+    sampler.stop()
+    spans = [
+        e for e in collector.events
+        if e.track == TRACK_FAULTS and e.name == "power-gap"
+    ]
+    assert len(spans) == 1
+    snap = collector.metrics.snapshot()
+    assert snap["counters"]["power_read_gaps{rank=0}"] == 1

@@ -86,3 +86,12 @@ def test_bad_index_raises(gcds):
 
 def test_gcds_per_card_topology(gcds):
     assert rocm.gcds_per_card(0) == 2
+
+
+def test_status_string_unknown_code_formats_readably():
+    assert rocm.rsmi_status_string(rocm.RSMI_STATUS_BUSY) == "Device Busy"
+    assert rocm.rsmi_status_string(12345) == "unknown rsmi status 12345"
+    assert rocm.rsmi_status_string(None) == "unknown rsmi status None"
+    err = rocm.RocmSmiError(777)
+    assert err.status == 777
+    assert "unknown rsmi status 777" in str(err)
