@@ -6,10 +6,10 @@ instrumented pipeline (the propagator gains the Gravity function) on
 one simulated rank and tracks the collapse diagnostics and the energy
 budget.
 
-    python examples/evrard_collapse.py [n_particles] [steps]
+    python examples/evrard_collapse.py [n_particles] [steps] [--skin S]
 """
 
-import sys
+import argparse
 
 import numpy as np
 
@@ -28,8 +28,18 @@ from repro.units import format_energy, format_time
 
 
 def main() -> None:
-    n = int(sys.argv[1]) if len(sys.argv) > 1 else 3000
-    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 12
+    parser = argparse.ArgumentParser(description="Evrard collapse example")
+    parser.add_argument("n_particles", type=int, nargs="?", default=3000)
+    parser.add_argument("steps", type=int, nargs="?", default=12)
+    parser.add_argument(
+        "--skin",
+        type=float,
+        default=0.1,
+        help="Verlet skin in units of h; 0 searches every step "
+        "(default %(default)s)",
+    )
+    args = parser.parse_args()
+    n, steps = args.n_particles, args.steps
 
     cfg = EvrardConfig(n_particles=n, seed=7)
     particles = make_evrard(cfg)
@@ -52,6 +62,7 @@ def main() -> None:
             n_ranks=1,
             eos=make_evrard_eos(cfg),
             gravity=gravity,
+            skin=args.skin,
         )
         sim = Simulation(
             cluster, "EvrardCollapse", n_particles_per_rank=n,

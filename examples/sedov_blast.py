@@ -6,10 +6,10 @@ thermal spike in a cold uniform box drives a blast wave; the measured
 shock radius is compared against R(t) = xi_0 (E t^2 / rho_0)^(1/5)
 while the instrumented energy measurement runs as usual.
 
-    python examples/sedov_blast.py [nside] [steps]
+    python examples/sedov_blast.py [nside] [steps] [--skin S]
 """
 
-import sys
+import argparse
 
 from repro.core import function_share_percent
 from repro.reporting import render_breakdown
@@ -26,8 +26,18 @@ from repro.units import format_energy, format_time
 
 
 def main() -> None:
-    nside = int(sys.argv[1]) if len(sys.argv) > 1 else 14
-    steps = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    parser = argparse.ArgumentParser(description="Sedov blast example")
+    parser.add_argument("nside", type=int, nargs="?", default=14)
+    parser.add_argument("steps", type=int, nargs="?", default=10)
+    parser.add_argument(
+        "--skin",
+        type=float,
+        default=0.1,
+        help="Verlet skin in units of h; 0 searches every step "
+        "(default %(default)s)",
+    )
+    args = parser.parse_args()
+    nside, steps = args.nside, args.steps
 
     cfg = SedovConfig(nside=nside, blast_energy=1.0, seed=11)
     particles = make_sedov(cfg)
@@ -44,6 +54,7 @@ def main() -> None:
             n_ranks=1,
             eos=make_sedov_eos(cfg),
             box_size=cfg.box_size,
+            skin=args.skin,
         )
         sim = Simulation(
             cluster, "SedovBlast", n_particles_per_rank=particles.n,

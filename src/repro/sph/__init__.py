@@ -1,6 +1,7 @@
 """The SPH-EXA-like simulation framework (DESIGN.md §2-§3)."""
 
 from .eos import IdealGasEOS, IsothermalEOS
+from .geometry import PairTable, StepGeometry, scatter_sum
 from .kernels_math import (
     CubicSplineKernel,
     SmoothingKernel,
@@ -12,6 +13,7 @@ from .neighbors import (
     find_neighbors,
     find_neighbors_bruteforce,
     pair_displacements,
+    symmetric_pairs,
 )
 from .neighbors_cell import find_neighbors_cell_list
 from .io import CheckpointMeta, load_checkpoint, save_checkpoint
@@ -42,6 +44,9 @@ from .workload import (
 __all__ = [
     "IdealGasEOS",
     "IsothermalEOS",
+    "PairTable",
+    "StepGeometry",
+    "scatter_sum",
     "CubicSplineKernel",
     "SmoothingKernel",
     "WendlandC6Kernel",
@@ -51,6 +56,7 @@ __all__ = [
     "find_neighbors_bruteforce",
     "find_neighbors_cell_list",
     "pair_displacements",
+    "symmetric_pairs",
     "CheckpointMeta",
     "load_checkpoint",
     "save_checkpoint",

@@ -10,6 +10,7 @@ implementation is kept for cross-validation in the tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from itertools import chain
 from typing import Optional
 
 import numpy as np
@@ -78,11 +79,11 @@ def find_neighbors(
     radii = support_radius * particles.h
     lists = tree.query_ball_point(pos, radii, workers=-1)
     counts = np.fromiter((len(l) for l in lists), dtype=np.int64, count=len(lists))
-    offsets = np.zeros(len(lists) + 1, dtype=np.int64)
-    np.cumsum(counts, out=offsets[1:])
-    flat = np.concatenate([np.asarray(l, dtype=np.int64) for l in lists]) if len(
-        lists
-    ) else np.empty(0, dtype=np.int64)
+    # Flatten in one pass; chaining the raw Python lists avoids one
+    # intermediate ndarray per particle.
+    flat = np.fromiter(
+        chain.from_iterable(lists), dtype=np.int64, count=int(counts.sum())
+    )
     # Drop self references.
     owner = np.repeat(np.arange(len(lists), dtype=np.int64), counts)
     keep = flat != owner
@@ -120,6 +121,67 @@ def find_neighbors_bruteforce(
     return NeighborList(neighbors=flat, offsets=offsets)
 
 
+def pairs_member_mask(
+    i_idx: np.ndarray,
+    j_idx: np.ndarray,
+    query_i: np.ndarray,
+    query_j: np.ndarray,
+) -> np.ndarray:
+    """Membership of query pairs in a directed pair set, vectorized.
+
+    Returns a boolean mask: ``True`` where ``(query_i[k], query_j[k])``
+    occurs in ``{(i_idx[p], j_idx[p])}``. Implemented as a lexsort of
+    the pair set followed by a vectorized binary search per query —
+    no scalar key encoding, so it cannot overflow regardless of ``n``
+    (the historical ``i * n + j`` int64 keys silently wrapped once the
+    pairs-space exceeded 2^63). When every index fits in 31 bits the
+    pairs pack losslessly into one int64 via a shift (no multiply, no
+    wrap possible), which trades the lexsort for a single flat sort —
+    about 3x faster on multi-million-pair lists.
+    """
+    if len(i_idx) == 0 or len(query_i) == 0:
+        return np.zeros(len(query_i), dtype=bool)
+    hi_bound = max(
+        int(i_idx.max()), int(j_idx.max()),
+        int(query_i.max()), int(query_j.max()),
+    )
+    if hi_bound < (1 << 31):
+        keys = np.sort((i_idx << 32) | j_idx)
+        query = (query_i << 32) | query_j
+        pos = np.searchsorted(keys, query)
+        pos = np.minimum(pos, len(keys) - 1)
+        return keys[pos] == query
+    order = np.lexsort((j_idx, i_idx))
+    si = i_idx[order]
+    sj = j_idx[order]
+    lo = np.searchsorted(si, query_i, side="left")
+    seg_hi = np.searchsorted(si, query_i, side="right")
+    # Lower-bound binary search for query_j inside each [lo, seg_hi)
+    # run of sj (sorted within equal-si runs by the lexsort). All
+    # queries advance together; O(log max_neighbors) vectorized passes.
+    hi = seg_hi.copy()
+    while True:
+        active = lo < hi
+        if not np.any(active):
+            break
+        mid = (lo + hi) >> 1
+        probe = np.where(active, mid, 0)
+        less = sj[probe] < query_j
+        lo = np.where(active & less, mid + 1, lo)
+        hi = np.where(active & ~less, mid, hi)
+    found = np.zeros(len(query_i), dtype=bool)
+    inside = lo < seg_hi  # still within the si == query_i run
+    idx = np.flatnonzero(inside)
+    if idx.size:
+        found[idx] = sj[lo[idx]] == query_j[idx]
+    return found
+
+
+def mirror_missing(i_idx: np.ndarray, j_idx: np.ndarray) -> np.ndarray:
+    """Mask of directed pairs whose mirror ``(j, i)`` is absent."""
+    return ~pairs_member_mask(i_idx, j_idx, j_idx, i_idx)
+
+
 def symmetric_pairs(nlist: NeighborList) -> "tuple[np.ndarray, np.ndarray]":
     """Directed pair arrays closed under reversal.
 
@@ -128,13 +190,15 @@ def symmetric_pairs(nlist: NeighborList) -> "tuple[np.ndarray, np.ndarray]":
     ``2 h_j``. Momentum-conserving force sums need every such pair in
     *both* directions so action and reaction are both accumulated; this
     helper appends the missing mirrored entries.
+
+    Callers inside the step loop should prefer the cached closure on
+    :class:`repro.sph.geometry.StepGeometry`, which runs this scan at
+    most once per neighbor-geometry build.
     """
     n = nlist.n
     i_idx = np.repeat(np.arange(n, dtype=np.int64), nlist.counts())
     j_idx = np.asarray(nlist.neighbors, dtype=np.int64)
-    keys = i_idx * n + j_idx
-    mirrored = j_idx * n + i_idx
-    missing = ~np.isin(mirrored, keys, assume_unique=False)
+    missing = mirror_missing(i_idx, j_idx)
     if np.any(missing):
         extra_i = j_idx[missing]
         extra_j = i_idx[missing]

@@ -24,8 +24,9 @@ from .cornerstone import (
     plan_exchange,
 )
 from .eos import IdealGasEOS
+from .geometry import StepGeometry
 from .kernels_math import SmoothingKernel, default_kernel
-from .neighbors import NeighborList, find_neighbors
+from .neighbors import NeighborList, find_neighbors, mirror_missing
 from .particles import ParticleSet
 from .physics import (
     ArtificialViscosity,
@@ -50,7 +51,18 @@ HALO_BYTES_PER_PARTICLE = 11 * 8
 
 @dataclass
 class NumericProblem:
-    """Global-array physics state shared by all simulated ranks."""
+    """Global-array physics state shared by all simulated ranks.
+
+    ``skin`` enables Verlet-skin neighbor reuse: the tree search runs
+    at radius ``(support_radius + skin) * h`` and the resulting wide
+    list is kept across steps until accumulated particle motion (or
+    smoothing-length growth) could let an unseen pair enter the true
+    kernel support; each step the shared :class:`StepGeometry` masks
+    the wide list back to ``r <= support_radius * h_i``, so the physics
+    sees exactly the pairs a fresh search would produce. ``skin`` is
+    dimensionless (units of ``h``); ``0.0`` — the default — rebuilds
+    every step, ``0.1`` is a sane choice for production runs.
+    """
 
     particles: ParticleSet
     n_ranks: int
@@ -62,17 +74,30 @@ class NumericProblem:
     timestep: TimestepControl = field(default_factory=TimestepControl)
     integration: IntegrationConfig = field(default_factory=IntegrationConfig)
     driver: Optional[object] = None  # TurbulenceDriver-compatible
+    #: Verlet-skin width in units of h (0 = fresh search every step).
+    skin: float = 0.0
 
     # -- per-step state -------------------------------------------------------
     nlist: Optional[NeighborList] = None
+    #: Shared pair geometry for this step's kernels (set by find_neighbors).
+    geometry: Optional[StepGeometry] = None
     rank_of_particle: Optional[np.ndarray] = None
     dt: float = 0.0
     previous_dt: Optional[float] = None
     step_index: int = 0
     #: Bytes to exchange between rank pairs this step (n_ranks^2).
     exchange_bytes: Optional[np.ndarray] = None
+    #: Tree searches performed / wide lists reused (perf diagnostics).
+    neighbor_rebuilds: int = 0
+    neighbor_reuses: int = 0
     _gravity_acc: Optional[np.ndarray] = None
     _previous_ranks: Optional[np.ndarray] = None
+    _wide_nlist: Optional[NeighborList] = None
+    _wide_mirror_absent: Optional[np.ndarray] = None
+    _rebuild_x: Optional[np.ndarray] = None
+    _rebuild_y: Optional[np.ndarray] = None
+    _rebuild_z: Optional[np.ndarray] = None
+    _rebuild_h: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     # Step functions (called by the Simulation in loop order)
@@ -116,20 +141,101 @@ class NumericProblem:
         self.exchange_bytes = migration_bytes + halo_bytes
 
     def find_neighbors(self) -> None:
-        self.nlist = find_neighbors(
-            self.particles,
-            support_radius=self.kernel.support_radius,
-            box_size=self.box_size,
-        )
+        """Refresh the neighbor list and the shared step geometry.
+
+        With a positive ``skin`` the cKDTree search is amortized: a
+        wide list at ``(support + skin) * h`` is rebuilt only when the
+        conservative Verlet criterion (see :meth:`_needs_rebuild`) can
+        no longer guarantee it covers the true support, and every step
+        the geometry masks it back to ``r <= support * h_i``.
+        """
+        p = self.particles
+        support = self.kernel.support_radius
+        if self.skin > 0.0:
+            if self._wide_nlist is None or self._needs_rebuild():
+                wide = find_neighbors(
+                    p,
+                    support_radius=support + self.skin,
+                    box_size=self.box_size,
+                )
+                self._wide_nlist = wide
+                # The mirror-membership scan depends only on the pair
+                # set, so it too is amortized over the list's lifetime.
+                wide_i = np.repeat(
+                    np.arange(wide.n, dtype=np.int64), wide.counts()
+                )
+                self._wide_mirror_absent = mirror_missing(
+                    wide_i, wide.neighbors
+                )
+                self._rebuild_x = np.copy(p.x)
+                self._rebuild_y = np.copy(p.y)
+                self._rebuild_z = np.copy(p.z)
+                self._rebuild_h = np.copy(p.h)
+                self.neighbor_rebuilds += 1
+            else:
+                self.neighbor_reuses += 1
+            geom = StepGeometry.build(
+                p,
+                self._wide_nlist,
+                box_size=self.box_size,
+                support_radius=support,
+                mirror_absent=self._wide_mirror_absent,
+            )
+        else:
+            self._wide_nlist = find_neighbors(
+                p, support_radius=support, box_size=self.box_size
+            )
+            self.neighbor_rebuilds += 1
+            geom = StepGeometry.build(
+                p, self._wide_nlist, box_size=self.box_size
+            )
+        self.geometry = geom
+        self.nlist = geom.nlist
+
+    def _needs_rebuild(self) -> bool:
+        """Conservative Verlet-skin invalidation test.
+
+        A pair (i, j) inside the true support now was inside the wide
+        search radius at rebuild time as long as
+
+            2 max(0, h_i - h_i^reb) + |dx_i| + |dx_j|
+                <= skin * h_i^reb,
+
+        so the wide list is provably complete while
+
+            2 max|dx| + 2 max(0, dh) <= skin * min(h^reb).
+        """
+        p = self.particles
+        dx = p.x - self._rebuild_x
+        dy = p.y - self._rebuild_y
+        dz = p.z - self._rebuild_z
+        if self.box_size is not None:
+            dx -= self.box_size * np.round(dx / self.box_size)
+            dy -= self.box_size * np.round(dy / self.box_size)
+            dz -= self.box_size * np.round(dz / self.box_size)
+        max_disp = float(np.sqrt(np.max(dx * dx + dy * dy + dz * dz)))
+        max_h_growth = float(np.max(p.h - self._rebuild_h, initial=0.0))
+        budget = self.skin * float(np.min(self._rebuild_h))
+        return 2.0 * max_disp + 2.0 * max(max_h_growth, 0.0) > budget
 
     def xmass(self) -> None:
         self._require_nlist()
-        compute_xmass(self.particles, self.nlist, self.kernel, self.box_size)
+        compute_xmass(
+            self.particles,
+            self.nlist,
+            self.kernel,
+            self.box_size,
+            geometry=self.geometry,
+        )
 
     def normalization_gradh(self) -> None:
         self._require_nlist()
         compute_density_gradh(
-            self.particles, self.nlist, self.kernel, self.box_size
+            self.particles,
+            self.nlist,
+            self.kernel,
+            self.box_size,
+            geometry=self.geometry,
         )
 
     def equation_of_state(self) -> None:
@@ -138,7 +244,11 @@ class NumericProblem:
     def iad_velocity_div_curl(self) -> None:
         self._require_nlist()
         compute_iad_divv_curlv(
-            self.particles, self.nlist, self.kernel, self.box_size
+            self.particles,
+            self.nlist,
+            self.kernel,
+            self.box_size,
+            geometry=self.geometry,
         )
 
     def gravity_step(self) -> None:
@@ -163,6 +273,7 @@ class NumericProblem:
             external_ax=None if ext is None else ext[:, 0],
             external_ay=None if ext is None else ext[:, 1],
             external_az=None if ext is None else ext[:, 2],
+            geometry=self.geometry,
         )
 
     def local_timesteps(self) -> List[float]:
@@ -174,6 +285,7 @@ class NumericProblem:
             control=self.timestep,
             previous_dt=self.previous_dt,
             box_size=self.box_size,
+            geometry=self.geometry,
         )
         # All ranks see (nearly) the same particles here because the
         # numerics are global; per-rank jitter is not modelled.

@@ -19,8 +19,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry import StepGeometry, scatter_sum
 from ..kernels_math import SmoothingKernel
-from ..neighbors import NeighborList, pair_displacements
+from ..neighbors import NeighborList
 from ..particles import ParticleSet
 
 
@@ -29,6 +30,7 @@ def compute_density_gradh(
     nlist: NeighborList,
     kernel: SmoothingKernel,
     box_size: Optional[float] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> None:
     """Fill ``rho`` and ``gradh`` in place (requires XMass)."""
     if particles.kx is None or particles.xm is None:
@@ -36,10 +38,12 @@ def compute_density_gradh(
     particles.ensure_derived()
     particles.rho = particles.kx * particles.m / particles.xm
 
-    dx, dy, dz, r, i_idx, j_idx = pair_displacements(particles, nlist, box_size)
-    dwdh = kernel.grad_h(r, particles.h[i_idx])
-    sum_dwdh = np.zeros(particles.n)
-    np.add.at(sum_dwdh, i_idx, particles.m[j_idx] * dwdh)
+    geom = geometry if geometry is not None else StepGeometry.build(
+        particles, nlist, box_size
+    )
+    i_idx, j_idx = geom.i_idx, geom.j_idx
+    dwdh = kernel.grad_h(geom.r, particles.h[i_idx])
+    sum_dwdh = scatter_sum(i_idx, particles.m[j_idx] * dwdh, particles.n)
     # Self term: dW/dh at r=0 is -3 sigma w(0) / h^4.
     sum_dwdh += particles.m * (
         -3.0 * kernel.self_value(particles.h) / particles.h

@@ -23,8 +23,9 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..geometry import StepGeometry, scatter_sum
 from ..kernels_math import SmoothingKernel
-from ..neighbors import NeighborList, pair_displacements
+from ..neighbors import NeighborList
 from ..particles import ParticleSet
 
 
@@ -81,32 +82,30 @@ def compute_iad_divv_curlv(
     nlist: NeighborList,
     kernel: SmoothingKernel,
     box_size: Optional[float] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> None:
     """Fill ``c11..c33``, ``divv`` and ``curlv`` in place."""
     if particles.rho is None or particles.kx is None:
         raise ValueError("density must be computed before IAD")
     particles.ensure_derived()
 
-    dx, dy, dz, r, i_idx, j_idx = pair_displacements(particles, nlist, box_size)
-    # Note pair_displacements returns d = r_i - r_j; IAD wants r_j - r_i.
-    dx, dy, dz = -dx, -dy, -dz
-    w = kernel.value(r, particles.h[i_idx])
+    geom = geometry if geometry is not None else StepGeometry.build(
+        particles, nlist, box_size
+    )
+    i_idx, j_idx = geom.i_idx, geom.j_idx
+    # Note the geometry stores d = r_i - r_j; IAD wants r_j - r_i.
+    dx, dy, dz = -geom.dx, -geom.dy, -geom.dz
+    w = kernel.value(geom.r, particles.h[i_idx])
     vol_j = (particles.xm / particles.kx)[j_idx]
     ww = vol_j * w
 
     n = particles.n
-    t11 = np.zeros(n)
-    t12 = np.zeros(n)
-    t13 = np.zeros(n)
-    t22 = np.zeros(n)
-    t23 = np.zeros(n)
-    t33 = np.zeros(n)
-    np.add.at(t11, i_idx, ww * dx * dx)
-    np.add.at(t12, i_idx, ww * dx * dy)
-    np.add.at(t13, i_idx, ww * dx * dz)
-    np.add.at(t22, i_idx, ww * dy * dy)
-    np.add.at(t23, i_idx, ww * dy * dz)
-    np.add.at(t33, i_idx, ww * dz * dz)
+    t11 = scatter_sum(i_idx, ww * dx * dx, n)
+    t12 = scatter_sum(i_idx, ww * dx * dy, n)
+    t13 = scatter_sum(i_idx, ww * dx * dz, n)
+    t22 = scatter_sum(i_idx, ww * dy * dy, n)
+    t23 = scatter_sum(i_idx, ww * dy * dz, n)
+    t33 = scatter_sum(i_idx, ww * dz * dz, n)
 
     c11, c12, c13, c22, c23, c33 = _invert_sym3(t11, t12, t13, t22, t23, t33)
     particles.c11, particles.c12, particles.c13 = c11, c12, c13
@@ -121,14 +120,11 @@ def compute_iad_divv_curlv(
     dvy = particles.vy[j_idx] - particles.vy[i_idx]
     dvz = particles.vz[j_idx] - particles.vz[i_idx]
 
-    divv = np.zeros(n)
-    np.add.at(divv, i_idx, dvx * ax_w + dvy * ay_w + dvz * az_w)
-    particles.divv = divv
+    particles.divv = scatter_sum(
+        i_idx, dvx * ax_w + dvy * ay_w + dvz * az_w, n
+    )
 
-    curl_x = np.zeros(n)
-    curl_y = np.zeros(n)
-    curl_z = np.zeros(n)
-    np.add.at(curl_x, i_idx, dvz * ay_w - dvy * az_w)
-    np.add.at(curl_y, i_idx, dvx * az_w - dvz * ax_w)
-    np.add.at(curl_z, i_idx, dvy * ax_w - dvx * ay_w)
+    curl_x = scatter_sum(i_idx, dvz * ay_w - dvy * az_w, n)
+    curl_y = scatter_sum(i_idx, dvx * az_w - dvz * ax_w, n)
+    curl_z = scatter_sum(i_idx, dvy * ax_w - dvx * ay_w, n)
     particles.curlv = np.sqrt(curl_x**2 + curl_y**2 + curl_z**2)

@@ -24,13 +24,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry import StepGeometry, scatter_sum
 from ..kernels_math import SmoothingKernel
-from ..neighbors import (
-    NeighborList,
-    pair_displacements,
-    pair_displacements_from_indices,
-    symmetric_pairs,
-)
+from ..neighbors import NeighborList
 from ..particles import ParticleSet
 
 
@@ -63,6 +59,7 @@ def compute_momentum_energy(
     external_ax: Optional[np.ndarray] = None,
     external_ay: Optional[np.ndarray] = None,
     external_az: Optional[np.ndarray] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> None:
     """Fill ``ax, ay, az, du`` in place.
 
@@ -76,11 +73,19 @@ def compute_momentum_energy(
 
     # Momentum conservation requires action *and* reaction: with
     # adaptive h the gather lists are asymmetric, so close the pair set
-    # under reversal before summing forces.
-    pair_i, pair_j = symmetric_pairs(nlist)
-    dx, dy, dz, r, i_idx, j_idx = pair_displacements_from_indices(
-        particles, pair_i, pair_j, box_size
+    # under reversal before summing forces. The closure (and all pair
+    # displacements) comes cached from the shared step geometry. The
+    # force coefficient is invariant under i <-> j, so each undirected
+    # pair is evaluated once and scattered to both endpoints — half the
+    # gathers and kernel-gradient work of a directed sweep. Self-pairs
+    # (i == j) contribute nothing (dx = 0, v.r = 0) and are dropped by
+    # the i < j mask.
+    geom = geometry if geometry is not None else StepGeometry.build(
+        particles, nlist, box_size
     )
+    und = geom.undirected()
+    i_idx, j_idx = und.i_idx, und.j_idx
+    dx, dy, dz, r = und.dx, und.dy, und.dz, und.r
     h_i = particles.h[i_idx]
     h_j = particles.h[j_idx]
 
@@ -111,22 +116,33 @@ def compute_momentum_energy(
     f_bar = 0.5 * (balsara[i_idx] + balsara[j_idx])
     visc = f_bar * (-av.alpha * c_bar * mu + av.beta * mu * mu) / rho_bar
 
+    m_i = particles.m[i_idx]
     m_j = particles.m[j_idx]
-    coeff = m_j * (pi_term * grad_i + pj_term * grad_j + visc * grad_bar)
+    # Symmetric pair force coefficient: the mirrored pair (j, i) has
+    # the same s with displacement -d, so i gets -m_j s d and j gets
+    # +m_i s d — exact action/reaction per pair.
+    s = pi_term * grad_i + pj_term * grad_j + visc * grad_bar
 
     n = particles.n
-    ax = np.zeros(n)
-    ay = np.zeros(n)
-    az = np.zeros(n)
-    np.add.at(ax, i_idx, -coeff * dx)
-    np.add.at(ay, i_idx, -coeff * dy)
-    np.add.at(az, i_idx, -coeff * dz)
+    ax = scatter_sum(i_idx, -m_j * s * dx, n) + scatter_sum(
+        j_idx, m_i * s * dx, n
+    )
+    ay = scatter_sum(i_idx, -m_j * s * dy, n) + scatter_sum(
+        j_idx, m_i * s * dy, n
+    )
+    az = scatter_sum(i_idx, -m_j * s * dz, n) + scatter_sum(
+        j_idx, m_i * s * dz, n
+    )
 
-    # Energy equation: pdV work + viscous heating.
-    du = np.zeros(n)
-    work = m_j * pi_term * grad_i * v_dot_r
-    heat = 0.5 * m_j * visc * grad_bar * v_dot_r
-    np.add.at(du, i_idx, work + heat)
+    # Energy equation: pdV work + viscous heating. v.r is symmetric
+    # under the swap, so each endpoint takes its own pdV term plus half
+    # the (shared) viscous heating.
+    half_heat = 0.5 * visc * grad_bar * v_dot_r
+    du = scatter_sum(
+        i_idx, m_j * (pi_term * grad_i * v_dot_r + half_heat), n
+    ) + scatter_sum(
+        j_idx, m_i * (pj_term * grad_j * v_dot_r + half_heat), n
+    )
 
     if external_ax is not None:
         ax += external_ax
@@ -143,27 +159,28 @@ def signal_velocity(
     particles: ParticleSet,
     nlist: NeighborList,
     box_size: Optional[float] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> np.ndarray:
     """Maximum pairwise signal velocity per particle (time-step control).
 
     v_sig = max_j (c_i + c_j - 3 min(0, v_ij . r_ij / |r_ij|)).
 
     Pairs are symmetrized so a fast approaching pair limits the time
-    step of *both* endpoints even with asymmetric adaptive-h lists.
+    step of *both* endpoints even with asymmetric adaptive-h lists; the
+    closure is shared with MomentumEnergy through the step geometry.
     """
-    pair_i, pair_j = symmetric_pairs(nlist)
-    dx, dy, dz, r, i_idx, j_idx = pair_displacements_from_indices(
-        particles, pair_i, pair_j, box_size
+    geom = geometry if geometry is not None else StepGeometry.build(
+        particles, nlist, box_size
     )
+    sym = geom.symmetric()
+    i_idx, j_idx = sym.i_idx, sym.j_idx
     dvx = particles.vx[i_idx] - particles.vx[j_idx]
     dvy = particles.vy[i_idx] - particles.vy[j_idx]
     dvz = particles.vz[i_idx] - particles.vz[j_idx]
-    vdotr_unit = (dvx * dx + dvy * dy + dvz * dz) / r
+    vdotr_unit = (dvx * sym.dx + dvy * sym.dy + dvz * sym.dz) / sym.r
     pair_vsig = (
         particles.c[i_idx]
         + particles.c[j_idx]
         - 3.0 * np.minimum(vdotr_unit, 0.0)
     )
-    vsig = np.copy(particles.c)
-    np.maximum.at(vsig, i_idx, pair_vsig)
-    return vsig
+    return geom.sym_scatter_max(pair_vsig, particles.c)

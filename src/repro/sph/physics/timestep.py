@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry import StepGeometry
 from ..neighbors import NeighborList
 from ..particles import ParticleSet
 from .momentum_energy import signal_velocity
@@ -39,11 +40,12 @@ def local_timestep(
     control: TimestepControl = TimestepControl(),
     previous_dt: Optional[float] = None,
     box_size: Optional[float] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> float:
     """This rank's minimum admissible dt (before the global reduction)."""
     if particles.c is None:
         raise ValueError("sound speed must be computed before Timestep")
-    vsig = signal_velocity(particles, nlist, box_size)
+    vsig = signal_velocity(particles, nlist, box_size, geometry=geometry)
     dt_cfl = control.cfl * np.min(particles.h / np.maximum(vsig, 1e-300))
     dt = float(dt_cfl)
     if particles.ax is not None:

@@ -19,8 +19,9 @@ from typing import Optional
 
 import numpy as np
 
+from ..geometry import StepGeometry, scatter_sum
 from ..kernels_math import SmoothingKernel
-from ..neighbors import NeighborList, pair_displacements
+from ..neighbors import NeighborList
 from ..particles import ParticleSet
 
 
@@ -29,16 +30,23 @@ def compute_xmass(
     nlist: NeighborList,
     kernel: SmoothingKernel,
     box_size: Optional[float] = None,
+    geometry: Optional[StepGeometry] = None,
 ) -> None:
-    """Fill ``xm`` and ``kx`` in place."""
+    """Fill ``xm`` and ``kx`` in place.
+
+    ``geometry`` shares one precomputed :class:`StepGeometry` across
+    all pair kernels of the step; without it the pair geometry is
+    derived from ``nlist`` on the spot.
+    """
     particles.ensure_derived()
     particles.xm = np.copy(particles.m)
 
-    dx, dy, dz, r, i_idx, j_idx = pair_displacements(particles, nlist, box_size)
-    w = kernel.value(r, particles.h[i_idx])
-    contrib = particles.xm[j_idx] * w
-    kx = np.zeros(particles.n)
-    np.add.at(kx, i_idx, contrib)
+    geom = geometry if geometry is not None else StepGeometry.build(
+        particles, nlist, box_size
+    )
+    w = kernel.value(geom.r, particles.h[geom.i_idx])
+    contrib = particles.xm[geom.j_idx] * w
+    kx = scatter_sum(geom.i_idx, contrib, particles.n)
     # Self contribution W(0, h_i) * xm_i.
     kx += particles.xm * kernel.self_value(particles.h)
     particles.kx = kx

@@ -15,6 +15,7 @@ from typing import Tuple
 
 import numpy as np
 
+from .geometry import scatter_sum
 from .particles import ParticleSet
 
 
@@ -53,8 +54,11 @@ def _deposit_cic(
                 wz = frac[:, 2] if dz else 1.0 - frac[:, 2]
                 iz = np.mod(base[:, 2] + dz, grid)
                 w = wx * wy * wz
+                flat = (ix * grid + iy) * grid + iz
                 for field, value in zip(fields, values):
-                    np.add.at(field, (ix, iy, iz), w * value)
+                    field += scatter_sum(
+                        flat, w * value, grid**3
+                    ).reshape(grid, grid, grid)
     weight = np.maximum(fields[3], 1e-12)
     return fields[0] / weight, fields[1] / weight, fields[2] / weight
 
