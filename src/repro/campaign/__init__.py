@@ -1,0 +1,66 @@
+"""Resumable, parallel experiment-campaign orchestration.
+
+A campaign is the unit of work behind every figure in the paper: a
+declarative grid of workload × frequency policy × clock × seed ×
+system expanded into run units with content-addressed keys, drained in
+parallel into a persistent run store, and folded into EDP/Pareto
+summaries. Because completed keys are skipped on re-run, a killed
+campaign resumes for free — ``repro campaign run`` and ``resume`` are
+the same operation.
+"""
+
+from .aggregate import (
+    build_summary,
+    edp_ranking,
+    render_summary,
+    summary_json,
+    write_summary,
+)
+from .executor import (
+    CampaignExecutor,
+    CampaignRunStatus,
+    ExecutorConfig,
+    run_campaign,
+)
+from .spec import (
+    CAMPAIGN_SCHEMA_VERSION,
+    POLICY_KINDS,
+    CampaignSpec,
+    RunUnit,
+    canonical_json,
+    policy_label,
+    run_key,
+)
+from .store import RunStore
+from .worker import (
+    build_policy,
+    classify_error,
+    execute_unit,
+    report_from_result,
+    run_unit_safe,
+)
+
+__all__ = [
+    "CAMPAIGN_SCHEMA_VERSION",
+    "POLICY_KINDS",
+    "CampaignExecutor",
+    "CampaignRunStatus",
+    "CampaignSpec",
+    "ExecutorConfig",
+    "RunStore",
+    "RunUnit",
+    "build_policy",
+    "build_summary",
+    "canonical_json",
+    "classify_error",
+    "edp_ranking",
+    "execute_unit",
+    "policy_label",
+    "render_summary",
+    "report_from_result",
+    "run_campaign",
+    "run_key",
+    "run_unit_safe",
+    "summary_json",
+    "write_summary",
+]

@@ -1,0 +1,171 @@
+"""Fold stored campaign runs into EDP/Pareto summaries.
+
+The aggregation layer reads **only** the durable run artifacts in a
+:class:`~repro.campaign.store.RunStore` — never in-memory executor
+state — so a summary built after a resume is byte-identical to one
+built after an uninterrupted campaign: artifacts are selected by
+content-addressed key, iterated in sorted-key order, and serialized
+with sorted keys and no timestamps.
+
+Within each experiment group (same system, workload, problem size and
+rank count) runs are averaged over seeds per policy, normalized against
+the group's ``baseline`` policy when present, and classified with
+:func:`repro.core.pareto_analysis` / :func:`repro.core.knee_point` —
+the paper's §IV-D framing of frequency scaling as picking
+Pareto-optimal (time, energy) configurations.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core import Metrics, knee_point, pareto_analysis
+from ..reporting import bar_chart, render_table
+from .spec import policy_label
+from .store import RunStore
+
+#: Group identity: every axis of the grid except policy and seed.
+_GROUP_FIELDS = ("system", "workload", "particles", "ranks")
+
+
+def _group_key(unit: Mapping[str, Any]) -> Tuple:
+    return tuple(unit[f] for f in _GROUP_FIELDS)
+
+
+def build_summary(
+    store: RunStore, keys: Optional[Iterable[str]] = None
+) -> Dict[str, Any]:
+    """Deterministic summary dict over the store's completed runs.
+
+    ``keys`` restricts aggregation to one grid (e.g. the current
+    spec's), ignoring stale artifacts from older spec revisions.
+    """
+    artifacts = store.results(keys)
+    groups: Dict[Tuple, Dict[str, Any]] = {}
+    for artifact in artifacts:
+        unit = artifact["unit"]
+        metrics = artifact["result"]["metrics"]
+        group = groups.setdefault(
+            _group_key(unit), {"units": [], "seeds": set()}
+        )
+        group["units"].append((policy_label(unit["policy"]), unit, metrics))
+        group["seeds"].add(unit["seed"])
+
+    summary_groups: List[Dict[str, Any]] = []
+    for gkey in sorted(groups):
+        group = groups[gkey]
+        by_policy: Dict[str, List[Mapping[str, Any]]] = {}
+        for label, _unit, metrics in group["units"]:
+            by_policy.setdefault(label, []).append(metrics)
+        rows: Dict[str, Dict[str, Any]] = {}
+        for label in sorted(by_policy):
+            runs = by_policy[label]
+            n = len(runs)
+            rows[label] = {
+                "policy": label,
+                "n_runs": n,
+                "elapsed_s": sum(m["elapsed_s"] for m in runs) / n,
+                "gpu_energy_j": sum(m["gpu_energy_j"] for m in runs) / n,
+                "edp_j_s": sum(m["edp_j_s"] for m in runs) / n,
+            }
+        series = {
+            label: Metrics(row["elapsed_s"], row["gpu_energy_j"])
+            for label, row in rows.items()
+        }
+        points = {p.label: p for p in pareto_analysis(series)}
+        knee = knee_point(series)
+        baseline = rows.get("baseline")
+        for label, row in rows.items():
+            if baseline is not None:
+                row["rel_time"] = row["elapsed_s"] / baseline["elapsed_s"]
+                row["rel_energy"] = (
+                    row["gpu_energy_j"] / baseline["gpu_energy_j"]
+                )
+                row["rel_edp"] = row["edp_j_s"] / baseline["edp_j_s"]
+            row["pareto"] = points[label].optimal
+            row["knee"] = label == knee
+        summary_groups.append(
+            {
+                **dict(zip(_GROUP_FIELDS, gkey)),
+                "seeds": sorted(group["seeds"]),
+                "baseline": "baseline" if baseline is not None else None,
+                "knee": knee,
+                "rows": [rows[label] for label in sorted(rows)],
+            }
+        )
+    return {
+        "schema": 1,
+        "kind": "campaign-summary",
+        "campaign": store.campaign,
+        "n_runs": len(artifacts),
+        "groups": summary_groups,
+    }
+
+
+def summary_json(summary: Mapping[str, Any]) -> str:
+    """Canonical serialization — byte-identical for identical stores."""
+    return json.dumps(summary, indent=1, sort_keys=True) + "\n"
+
+
+def write_summary(summary: Mapping[str, Any], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(summary_json(summary))
+
+
+def edp_ranking(group: Mapping[str, Any]) -> List[str]:
+    """Policy labels of one summary group, best (lowest) EDP first."""
+    rows = group["rows"]
+    return [r["policy"] for r in sorted(rows, key=lambda r: r["edp_j_s"])]
+
+
+def render_summary(summary: Mapping[str, Any]) -> str:
+    """Human-readable report: one table (+ EDP chart) per group."""
+    blocks: List[str] = []
+    campaign = summary.get("campaign") or "campaign"
+    blocks.append(
+        f"campaign {campaign}: {summary['n_runs']} completed runs, "
+        f"{len(summary['groups'])} experiment groups"
+    )
+    for group in summary["groups"]:
+        title = (
+            f"{group['workload']} on {group['system']} "
+            f"(N={group['particles']:g}, ranks={group['ranks']}, "
+            f"seeds={len(group['seeds'])})"
+        )
+        normalized = group["baseline"] is not None
+        headers = ["policy", "time_s", "energy_J", "EDP_Js"]
+        if normalized:
+            headers += ["rel_t", "rel_e", "rel_EDP"]
+        headers.append("flags")
+        table_rows = []
+        for row in group["rows"]:
+            flags = []
+            if row["pareto"]:
+                flags.append("pareto")
+            if row["knee"]:
+                flags.append("knee")
+            cells = [
+                row["policy"],
+                f"{row['elapsed_s']:.4g}",
+                f"{row['gpu_energy_j']:.5g}",
+                f"{row['edp_j_s']:.5g}",
+            ]
+            if normalized:
+                cells += [
+                    f"{row['rel_time']:.3f}",
+                    f"{row['rel_energy']:.3f}",
+                    f"{row['rel_edp']:.3f}",
+                ]
+            cells.append(",".join(flags))
+            table_rows.append(cells)
+        blocks.append(render_table(headers, table_rows, title=title))
+        if normalized:
+            blocks.append(
+                bar_chart(
+                    {r["policy"]: r["rel_edp"] for r in group["rows"]},
+                    title="EDP vs baseline (lower is better)",
+                    baseline=1.0,
+                )
+            )
+    return "\n\n".join(blocks)

@@ -1,0 +1,370 @@
+"""Parallel, resumable campaign execution.
+
+The executor drains a list of :class:`~repro.campaign.spec.RunUnit`
+configurations against a :class:`~repro.campaign.store.RunStore`:
+
+* units whose content-addressed key is already ``done`` in the store
+  are **skipped** — re-invoking a finished or killed campaign is
+  idempotent, which is the whole resume story;
+* remaining units run on a ``concurrent.futures.ProcessPoolExecutor``
+  with a configurable worker count (``workers <= 1`` runs inline in
+  this process, the deterministic serial path);
+* failures are classified with the :mod:`repro.faults` error taxonomy
+  (:func:`~repro.campaign.worker.classify_error`): transient failures
+  retry with bounded exponential backoff, permanent ones are recorded
+  and the campaign moves on;
+* per-unit wall-clock timeouts mark overdue units as transient
+  failures. A timed-out worker process cannot be interrupted
+  mid-computation — its eventual result is discarded — so timeouts are
+  best-effort backpressure, not preemption;
+* ``Ctrl-C`` drains gracefully: outcomes that already finished are
+  persisted, queued work is cancelled, and the returned status is
+  flagged ``interrupted`` — the next invocation resumes at the first
+  missing unit.
+
+Progress is emitted through :mod:`repro.telemetry` when a collector is
+supplied: one job-track span per executed unit (lanes = worker slots)
+plus instants for skips, retries and failures, so ``repro trace
+export`` renders a campaign timeline like any other run trace.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from ..telemetry.events import TRACK_JOB
+from .spec import CampaignSpec, RunUnit
+from .store import RunStore
+from .worker import run_unit_safe
+
+#: Futures kept in flight beyond the worker count (submission backlog).
+_BACKLOG = 2
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """Knobs of one campaign execution (not part of run identity)."""
+
+    #: Worker processes; ``<= 1`` executes inline (serial).
+    workers: int = 1
+    #: Per-unit wall-clock timeout, seconds; ``None`` = unbounded.
+    timeout_s: Optional[float] = None
+    #: Retries per unit after transient failures.
+    max_retries: int = 2
+    #: First retry backoff, seconds (doubles per attempt).
+    retry_backoff_s: float = 0.1
+    backoff_multiplier: float = 2.0
+    #: Execute at most this many missing units (smoke tests, previews).
+    max_units: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout must be positive (or None)")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.retry_backoff_s < 0:
+            raise ValueError("retry backoff must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.max_units is not None and self.max_units < 0:
+            raise ValueError("max_units must be >= 0 (or None)")
+
+    def backoff_for_attempt(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (0-based), seconds."""
+        return self.retry_backoff_s * self.backoff_multiplier**attempt
+
+
+@dataclass
+class CampaignRunStatus:
+    """What one executor invocation did."""
+
+    total: int = 0
+    skipped: int = 0
+    executed: int = 0
+    failed: int = 0
+    retries: int = 0
+    interrupted: bool = False
+    wall_s: float = 0.0
+    failed_units: List[str] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        """Every unit of the grid is now in the store."""
+        return self.skipped + self.executed == self.total
+
+    def describe(self) -> str:
+        line = (
+            f"{self.total} units: {self.skipped} cached (skipped), "
+            f"{self.executed} executed, {self.failed} failed "
+            f"({self.retries} retries) in {self.wall_s:.2f}s wall"
+        )
+        if self.interrupted:
+            line += " [interrupted — re-run to resume]"
+        return line
+
+
+class CampaignExecutor:
+    """Drains run units into a store, in parallel, idempotently."""
+
+    def __init__(
+        self,
+        store: RunStore,
+        config: Optional[ExecutorConfig] = None,
+        telemetry: Optional[Any] = None,
+        min_unit_wall_s: float = 0.0,
+    ) -> None:
+        self.store = store
+        self.config = config or ExecutorConfig()
+        self.telemetry = telemetry
+        self.min_unit_wall_s = float(min_unit_wall_s)
+        self._t0 = 0.0
+
+    # -- telemetry helpers ---------------------------------------------------
+
+    def _now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def _emit_span(
+        self, name: str, lane: int, t0: float, t1: float, **args: Any
+    ) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit_phase(
+                name, lane, t0, t1, track=TRACK_JOB, **args
+            )
+
+    def _emit_instant(self, name: str, lane: int, **args: Any) -> None:
+        if self.telemetry is not None:
+            self.telemetry.emit_instant(
+                name, lane, ts=self._now(), track=TRACK_JOB, **args
+            )
+
+    def _count(self, metric: str, **labels: str) -> None:
+        if self.telemetry is not None:
+            self.telemetry.metrics.counter(metric, **labels).inc()
+
+    # -- outcome handling ----------------------------------------------------
+
+    def _handle_outcome(
+        self,
+        unit: RunUnit,
+        outcome: Mapping[str, Any],
+        attempts: int,
+        status: CampaignRunStatus,
+    ) -> str:
+        """Record one worker outcome; return done | retry | failed."""
+        if outcome.get("ok"):
+            result = dict(outcome["result"])
+            self.store.record_done(unit.key, unit.config(), result)
+            status.executed += 1
+            self._count("campaign_units_done")
+            return "done"
+        error = dict(outcome.get("error", {}))
+        transient = error.get("severity") == "transient"
+        if transient and attempts < self.config.max_retries:
+            status.retries += 1
+            self._count("campaign_unit_retries")
+            self._emit_instant(
+                "unit-retry", 0, key=unit.key, unit=unit.label,
+                attempt=attempts + 1, error=error.get("message", ""),
+            )
+            time.sleep(self.config.backoff_for_attempt(attempts))
+            return "retry"
+        self.store.record_failed(unit.key, unit.config(), error)
+        status.failed += 1
+        status.failed_units.append(unit.label)
+        self._count("campaign_units_failed")
+        self._emit_instant(
+            "unit-failed", 0, key=unit.key, unit=unit.label,
+            error=error.get("message", ""),
+        )
+        return "failed"
+
+    # -- serial path ---------------------------------------------------------
+
+    def _run_inline(
+        self, pending: Sequence[RunUnit], status: CampaignRunStatus
+    ) -> None:
+        for unit in pending:
+            attempts = 0
+            try:
+                while True:
+                    t_start = self._now()
+                    outcome = run_unit_safe(
+                        unit.config(), self.min_unit_wall_s
+                    )
+                    verdict = self._handle_outcome(
+                        unit, outcome, attempts, status
+                    )
+                    if verdict == "done":
+                        self._emit_span(
+                            unit.label, 0, t_start, self._now(),
+                            key=unit.key, status="done", attempts=attempts,
+                        )
+                    if verdict != "retry":
+                        break
+                    attempts += 1
+            except KeyboardInterrupt:
+                status.interrupted = True
+                self._emit_instant("campaign-interrupted", 0)
+                return
+
+    # -- parallel path -------------------------------------------------------
+
+    def _run_pool(
+        self, pending: Sequence[RunUnit], status: CampaignRunStatus
+    ) -> None:
+        cfg = self.config
+        queue = deque((unit, 0) for unit in pending)
+        in_flight: Dict[Any, Any] = {}  # future -> (unit, attempts, t, lane)
+        next_lane = 0
+        with ProcessPoolExecutor(max_workers=cfg.workers) as pool:
+            try:
+                while queue or in_flight:
+                    while queue and len(in_flight) < cfg.workers + _BACKLOG:
+                        unit, attempts = queue.popleft()
+                        lane = next_lane % cfg.workers
+                        next_lane += 1
+                        future = pool.submit(
+                            run_unit_safe, unit.config(), self.min_unit_wall_s
+                        )
+                        in_flight[future] = (
+                            unit, attempts, self._now(), lane
+                        )
+                    finished, _ = wait(
+                        list(in_flight),
+                        timeout=cfg.timeout_s,
+                        return_when=FIRST_COMPLETED,
+                    )
+                    for future in finished:
+                        unit, attempts, t_start, lane = in_flight.pop(future)
+                        outcome = future.result()
+                        verdict = self._handle_outcome(
+                            unit, outcome, attempts, status
+                        )
+                        if verdict == "done":
+                            self._emit_span(
+                                unit.label, lane, t_start, self._now(),
+                                key=unit.key, status="done", attempts=attempts,
+                            )
+                        elif verdict == "retry":
+                            queue.append((unit, attempts + 1))
+                    if not finished and cfg.timeout_s is not None:
+                        # Nothing completed within the timeout window:
+                        # expire every overdue future (best effort — the
+                        # worker keeps running; its late result is
+                        # discarded because the future left in_flight).
+                        now = self._now()
+                        for future in list(in_flight):
+                            unit, attempts, t_start, lane = in_flight[future]
+                            if now - t_start < cfg.timeout_s:
+                                continue
+                            del in_flight[future]
+                            future.cancel()
+                            verdict = self._handle_outcome(
+                                unit,
+                                {
+                                    "ok": False,
+                                    "error": {
+                                        "type": "TimeoutError",
+                                        "message": (
+                                            f"unit exceeded "
+                                            f"{cfg.timeout_s:g}s wall"
+                                        ),
+                                        "severity": "transient",
+                                    },
+                                },
+                                attempts,
+                                status,
+                            )
+                            if verdict == "retry":
+                                queue.append((unit, attempts + 1))
+            except KeyboardInterrupt:
+                status.interrupted = True
+                # Persist whatever already finished, drop the rest.
+                for future, (unit, attempts, t_start, lane) in list(
+                    in_flight.items()
+                ):
+                    if future.done() and not future.cancelled():
+                        outcome = future.result()
+                        if outcome.get("ok"):
+                            self._handle_outcome(
+                                unit, outcome, attempts, status
+                            )
+                            self._emit_span(
+                                unit.label, lane, t_start, self._now(),
+                                key=unit.key, status="done", attempts=attempts,
+                            )
+                    else:
+                        future.cancel()
+                self._emit_instant("campaign-interrupted", 0)
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    # -- entry point ---------------------------------------------------------
+
+    def run(self, units: Sequence[RunUnit]) -> CampaignRunStatus:
+        """Execute every unit not already in the store."""
+        self._t0 = time.perf_counter()
+        status = CampaignRunStatus(total=len(units))
+        done = self.store.completed_keys()
+        pending: List[RunUnit] = []
+        for unit in units:
+            if unit.key in done:
+                status.skipped += 1
+                self._count("campaign_units_skipped")
+                self._emit_instant(
+                    "unit-skipped", 0, key=unit.key, unit=unit.label
+                )
+            else:
+                pending.append(unit)
+        if self.config.max_units is not None:
+            pending = pending[: self.config.max_units]
+        if pending:
+            if self.config.workers <= 1:
+                self._run_inline(pending, status)
+            else:
+                self._run_pool(pending, status)
+        status.wall_s = time.perf_counter() - self._t0
+        self._emit_span(
+            "campaign", 0, 0.0, status.wall_s,
+            total=status.total, skipped=status.skipped,
+            executed=status.executed, failed=status.failed,
+        )
+        return status
+
+
+def run_campaign(
+    spec: CampaignSpec,
+    root: str,
+    config: Optional[ExecutorConfig] = None,
+    telemetry: Optional[Any] = None,
+) -> tuple:
+    """Expand a spec and drain it into ``root``; returns (status, store).
+
+    The spec is persisted as ``<root>/spec.json`` so later
+    ``resume``/``status``/``report`` invocations need only the
+    directory, and the campaign telemetry trace (when a collector is
+    given) is written to ``<root>/trace.jsonl``.
+    """
+    store = RunStore(root, campaign=spec.name)
+    if store.campaign is not None and store.campaign != spec.name:
+        raise ValueError(
+            f"store at {root!r} belongs to campaign {store.campaign!r}, "
+            f"not {spec.name!r}"
+        )
+    spec.save(str(store.spec_path))
+    executor = CampaignExecutor(
+        store,
+        config=config,
+        telemetry=telemetry,
+        min_unit_wall_s=spec.min_unit_wall_s,
+    )
+    status = executor.run(spec.expand())
+    if telemetry is not None:
+        from ..telemetry import write_trace_jsonl
+
+        write_trace_jsonl(str(store.trace_path), telemetry.events)
+    return status, store

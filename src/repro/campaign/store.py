@@ -1,0 +1,204 @@
+"""Persistent, content-addressed run store.
+
+One campaign directory holds everything a sweep produces::
+
+    <root>/
+        spec.json           # the campaign spec (written by `campaign run`)
+        manifest.jsonl      # {"schema": 1} header + one record per outcome
+        trace.jsonl         # campaign-level telemetry (optional)
+        runs/<key>.json     # one durable result artifact per completed unit
+
+The manifest is append-only JSONL: the executor appends one record per
+unit outcome (``done`` or ``failed``) *after* the run artifact is
+safely on disk (write-to-temp + atomic rename), so a campaign killed at
+any instant leaves a consistent store. On re-open the store replays the
+manifest; completed keys are skipped by the executor, which is the
+entire resume mechanism — there is no separate checkpoint format.
+
+Result artifacts embed the full per-rank :class:`~repro.core.EnergyReport`
+so every run of every sweep stays a durable, comparable measurement
+(the companion measurement paper's per-run artifact discipline), not
+just a summary row.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
+
+from ..telemetry.events import check_schema_header, schema_header
+
+#: File names inside a campaign directory.
+MANIFEST_NAME = "manifest.jsonl"
+SPEC_NAME = "spec.json"
+TRACE_NAME = "trace.jsonl"
+RUNS_DIR = "runs"
+
+
+class RunStore:
+    """Append-only store of campaign run outcomes under one directory."""
+
+    def __init__(self, root: str, campaign: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        (self.root / RUNS_DIR).mkdir(exist_ok=True)
+        self.campaign = campaign
+        self._records: List[Dict[str, Any]] = []
+        self._load_manifest()
+
+    # -- manifest ------------------------------------------------------------
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / MANIFEST_NAME
+
+    @property
+    def spec_path(self) -> Path:
+        return self.root / SPEC_NAME
+
+    @property
+    def trace_path(self) -> Path:
+        return self.root / TRACE_NAME
+
+    def run_path(self, key: str) -> Path:
+        return self.root / RUNS_DIR / f"{key}.json"
+
+    def _load_manifest(self) -> None:
+        path = self.manifest_path
+        if not path.exists():
+            return
+        with open(path, encoding="utf-8") as fh:
+            header_seen = False
+            for lineno, line in enumerate(fh, 1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: not valid JSON ({exc})"
+                    ) from None
+                if not header_seen:
+                    try:
+                        check_schema_header(record, "campaign-manifest")
+                    except ValueError as exc:
+                        raise ValueError(f"{path}:{lineno}: {exc}") from None
+                    manifest_campaign = record.get("campaign")
+                    if self.campaign is None:
+                        self.campaign = manifest_campaign
+                    elif (
+                        manifest_campaign is not None
+                        and manifest_campaign != self.campaign
+                    ):
+                        raise ValueError(
+                            f"{path}: manifest belongs to campaign "
+                            f"{manifest_campaign!r}, not {self.campaign!r}"
+                        )
+                    header_seen = True
+                    continue
+                self._records.append(record)
+
+    def _append_manifest(self, record: Mapping[str, Any]) -> None:
+        path = self.manifest_path
+        new_file = not path.exists()
+        with open(path, "a", encoding="utf-8") as fh:
+            if new_file:
+                header = schema_header(
+                    "campaign-manifest", campaign=self.campaign
+                )
+                fh.write(json.dumps(header, sort_keys=True) + "\n")
+            fh.write(json.dumps(record, sort_keys=True) + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        self._records.append(dict(record))
+
+    # -- outcomes ------------------------------------------------------------
+
+    def record_done(
+        self, key: str, config: Mapping[str, Any], result: Mapping[str, Any]
+    ) -> None:
+        """Persist one completed unit: artifact first, then manifest."""
+        payload = {
+            "schema": 1,
+            "kind": "campaign-run",
+            "key": key,
+            "unit": dict(config),
+            "result": dict(result),
+        }
+        path = self.run_path(key)
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        self._append_manifest(
+            {
+                "key": key,
+                "status": "done",
+                "unit": dict(config),
+                "file": f"{RUNS_DIR}/{key}.json",
+            }
+        )
+
+    def record_failed(
+        self, key: str, config: Mapping[str, Any], error: Mapping[str, Any]
+    ) -> None:
+        """Persist one permanently-failed unit (retried on resume)."""
+        self._append_manifest(
+            {
+                "key": key,
+                "status": "failed",
+                "unit": dict(config),
+                "error": dict(error),
+            }
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def completed_keys(self) -> Set[str]:
+        """Keys whose latest outcome is ``done`` and whose artifact exists."""
+        latest: Dict[str, str] = {}
+        for record in self._records:
+            latest[record["key"]] = record.get("status", "failed")
+        return {
+            key
+            for key, status in latest.items()
+            if status == "done" and self.run_path(key).exists()
+        }
+
+    def failed_keys(self) -> Set[str]:
+        latest: Dict[str, str] = {}
+        for record in self._records:
+            latest[record["key"]] = record.get("status", "failed")
+        return {k for k, s in latest.items() if s == "failed"}
+
+    def load_result(self, key: str) -> Dict[str, Any]:
+        """The full artifact of one completed unit."""
+        path = self.run_path(key)
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("schema") != 1 or payload.get("kind") != "campaign-run":
+            raise ValueError(f"{path}: not a campaign run artifact")
+        return payload
+
+    def results(self, keys: Optional[Iterable[str]] = None) -> List[Dict[str, Any]]:
+        """All completed artifacts, sorted by key (deterministic order).
+
+        With ``keys`` given, restrict to that subset (e.g. the current
+        spec's grid, ignoring stale runs from older spec revisions).
+        """
+        selected = self.completed_keys()
+        if keys is not None:
+            selected &= set(keys)
+        return [self.load_result(key) for key in sorted(selected)]
+
+    def counts(self) -> Dict[str, int]:
+        """Manifest roll-up: outcomes by latest status."""
+        done = self.completed_keys()
+        failed = self.failed_keys() - done
+        return {"done": len(done), "failed": len(failed)}

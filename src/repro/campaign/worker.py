@@ -1,0 +1,188 @@
+"""Unit execution in worker processes.
+
+Everything here is importable at module top level and traffics only in
+plain dicts, because :class:`concurrent.futures.ProcessPoolExecutor`
+pickles the callable and its arguments into the worker and the return
+value back out. A worker never lets an exception escape: it classifies
+the failure with the :mod:`repro.faults` / controller error taxonomy
+(transient → worth retrying, permanent → record and move on) and
+returns a structured outcome either way, so fault classification
+happens *in* the process that owns the exception object and nothing
+depends on cross-process exception pickling.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, Mapping, Optional
+
+from ..core import (
+    DvfsPolicy,
+    EnergyReport,
+    FrequencyController,
+    FrequencyPolicy,
+    ManDynPolicy,
+    OnlineTuningPolicy,
+    ResilienceConfig,
+    StaticFrequencyPolicy,
+    baseline_policy,
+)
+from ..faults import FaultInjector, JobPreempted, build_plan
+from ..nvml.errors import NVMLError
+from ..pmt.base import PowerReadError
+from ..rocm.smi import RocmSmiError
+from ..sph import run_instrumented
+from ..systems import Cluster, by_name
+from ..units import to_mhz
+
+#: The Fig. 2 outcome, used when a mandyn policy entry omits its map:
+#: the two compute-bound kernels stay at the device maximum, everything
+#: else drops to the deep sweet spot.
+DEFAULT_MANDYN_FUNCTIONS = ("MomentumEnergy", "IADVelocityDivCurl")
+DEFAULT_MANDYN_LOW_MHZ = 1005.0
+
+
+def build_policy(
+    policy: Mapping[str, Any], max_mhz: float, cluster: Optional[Cluster] = None
+) -> FrequencyPolicy:
+    """Instantiate a :class:`FrequencyPolicy` from its canonical dict."""
+    kind = policy["kind"]
+    if kind == "baseline":
+        return baseline_policy(max_mhz)
+    if kind == "static":
+        return StaticFrequencyPolicy(float(policy["freq_mhz"]))
+    if kind == "dvfs":
+        return DvfsPolicy()
+    if kind == "mandyn":
+        freq_map = policy.get("freq_map")
+        if freq_map is None:
+            freq_map = {fn: max_mhz for fn in DEFAULT_MANDYN_FUNCTIONS}
+        default = policy.get("default_mhz", DEFAULT_MANDYN_LOW_MHZ)
+        return ManDynPolicy(dict(freq_map), default_mhz=float(default))
+    if kind == "autodyn":
+        if cluster is None:
+            raise ValueError("autodyn policies need a cluster to observe")
+        kwargs: Dict[str, Any] = {}
+        if "candidates_mhz" in policy:
+            kwargs["candidates_mhz"] = tuple(policy["candidates_mhz"])
+        if "rounds_per_candidate" in policy:
+            kwargs["rounds_per_candidate"] = policy["rounds_per_candidate"]
+        return OnlineTuningPolicy(cluster.gpus, **kwargs)
+    raise ValueError(f"unknown policy kind {kind!r}")
+
+
+def classify_error(exc: BaseException) -> str:
+    """``"transient"`` or ``"permanent"`` for a unit-level failure.
+
+    Reuses the frequency controller's vendor-error taxonomy (NVML
+    timeout/unknown and RSMI busy are transient; lost devices and
+    permission walls are not) and extends it to campaign-level failure
+    modes: power-read dropouts and Slurm-style preemptions are
+    transient — a re-run may well succeed — while programming errors
+    are permanent.
+    """
+    if isinstance(exc, (NVMLError, RocmSmiError)):
+        severity = FrequencyController._classify(exc)
+        return "transient" if severity == "transient" else "permanent"
+    if isinstance(exc, (PowerReadError, JobPreempted, TimeoutError)):
+        return "transient"
+    if isinstance(exc, (OSError, ConnectionError)):
+        return "transient"
+    return "permanent"
+
+
+def _metrics_of(result) -> Dict[str, Any]:
+    """The comparable scalar metrics of one finished run."""
+    return {
+        "elapsed_s": result.elapsed_s,
+        "gpu_energy_j": result.gpu_energy_j,
+        "total_energy_j": result.report.total_j(),
+        "edp_j_s": result.edp,
+        "steps": result.steps,
+        "clock_set_calls": result.clock_set_calls,
+        "clock_set_skipped": result.clock_set_skipped,
+        "degraded_ranks": list(result.degraded_ranks),
+        "preempted": result.preempted,
+        "faults_injected": result.faults_injected,
+        "retries": result.retries,
+    }
+
+
+def execute_unit(config: Mapping[str, Any]) -> Dict[str, Any]:
+    """Run one campaign unit to completion; raises on failure.
+
+    The returned payload carries the scalar metrics plus the full
+    per-rank :class:`~repro.core.EnergyReport` as a dict, so the run
+    store can persist a durable, re-analyzable artifact.
+    """
+    system = by_name(config["system"])
+    cluster = Cluster(system, int(config["ranks"]))
+    injector = None
+    resilience = None
+    try:
+        max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+        policy = build_policy(config["policy"], max_mhz, cluster=cluster)
+        scenario = config.get("fault_scenario")
+        if scenario is not None:
+            plan = build_plan(
+                scenario,
+                seed=int(config["seed"]),
+                n_ranks=int(config["ranks"]),
+            )
+            injector = FaultInjector(plan)
+            resilience = ResilienceConfig()
+        result = run_instrumented(
+            cluster,
+            config["workload"],
+            float(config["particles"]),
+            int(config["steps"]),
+            policy=policy,
+            resilience=resilience,
+            faults=injector,
+        )
+    finally:
+        cluster.detach_management_library()
+    payload: Dict[str, Any] = {
+        "metrics": _metrics_of(result),
+        "report": result.report.to_dict(),
+    }
+    if injector is not None:
+        payload["faults"] = injector.summary()
+    return payload
+
+
+def run_unit_safe(
+    config: Mapping[str, Any], min_wall_s: float = 0.0
+) -> Dict[str, Any]:
+    """Pool entry point: execute one unit, never raise.
+
+    ``min_wall_s`` paces the unit to at least that much wall time,
+    emulating workers that block on real hardware (see
+    :attr:`~repro.campaign.spec.CampaignSpec.min_unit_wall_s`).
+    """
+    t0 = time.perf_counter()
+    try:
+        result = execute_unit(config)
+    except BaseException as exc:  # noqa: BLE001 - classified, not hidden
+        return {
+            "ok": False,
+            "error": {
+                "type": type(exc).__name__,
+                "message": str(exc),
+                "severity": classify_error(exc),
+            },
+            "wall_s": time.perf_counter() - t0,
+        }
+    remaining = min_wall_s - (time.perf_counter() - t0)
+    if remaining > 0.0:
+        time.sleep(remaining)
+    return {
+        "ok": True,
+        "result": result,
+        "wall_s": time.perf_counter() - t0,
+    }
+
+
+def report_from_result(artifact: Mapping[str, Any]) -> EnergyReport:
+    """Rehydrate the :class:`EnergyReport` stored in a run artifact."""
+    return EnergyReport.from_dict(artifact["result"]["report"])

@@ -11,6 +11,9 @@ Gives downstream users the paper's workflow without writing Python::
     python -m repro trace record --workload sedov --steps 4 \
         --export trace.json
     python -m repro trace summary --policy mandyn
+    python -m repro campaign run --spec examples/campaign_fig7.json \
+        --dir campaigns/fig7 --workers 2
+    python -m repro campaign report --dir campaigns/fig7
 
 Every subcommand prints the same report tables the benchmarks use;
 ``trace`` records a structured run trace (Chrome ``trace_event`` JSON
@@ -37,28 +40,17 @@ from .core import (
 )
 from .reporting import render_breakdown, render_table
 from .slurm import JobSpec, SlurmController
-from .sph import run_instrumented
+from .sph import run_instrumented, resolve_workload
 from .systems import Cluster, all_system_names, by_name
 from .tuner import tune_all_sph_functions
 from .units import format_energy, format_time, to_mhz
 
-WORKLOAD_ALIASES = {
-    "turbulence": "SubsonicTurbulence",
-    "turb": "SubsonicTurbulence",
-    "subsonicturbulence": "SubsonicTurbulence",
-    "evrard": "EvrardCollapse",
-    "evrardcollapse": "EvrardCollapse",
-    "sedov": "SedovBlast",
-    "sedovblast": "SedovBlast",
-}
-
 
 def _workload(name: str) -> str:
     try:
-        return WORKLOAD_ALIASES[name.lower()]
-    except KeyError:
-        known = ", ".join(sorted(set(WORKLOAD_ALIASES.values())))
-        raise SystemExit(f"unknown workload {name!r} (known: {known})")
+        return resolve_workload(name)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 def _policy(
@@ -205,6 +197,23 @@ def cmd_tune(args) -> int:
         )
     finally:
         cluster.detach_management_library()
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "schema": 1,
+                    "kind": "tune",
+                    "system": args.system,
+                    "workload": _workload(args.workload),
+                    "clock_window_mhz": [lo, hi],
+                    "n_clocks": len(freqs),
+                    "freq_map": best,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
     print(
         render_table(
             ["function", "best-EDP clock [MHz]"],
@@ -232,6 +241,30 @@ def cmd_compare(args) -> int:
     for label, policy in policies.items():
         runs[label], _ = _run_once(args, policy)
     base = runs["baseline"]
+    if args.json:
+        payload = {
+            "schema": 1,
+            "kind": "compare",
+            "system": args.system,
+            "workload": _workload(args.workload),
+            "baseline": "baseline",
+            "rows": {
+                label: {
+                    "elapsed_s": res.elapsed_s,
+                    "gpu_energy_j": res.gpu_energy_j,
+                    "rel_time": res.elapsed_s / base.elapsed_s,
+                    "rel_energy": res.gpu_energy_j / base.gpu_energy_j,
+                    "rel_edp": (
+                        res.elapsed_s
+                        * res.gpu_energy_j
+                        / (base.elapsed_s * base.gpu_energy_j)
+                    ),
+                }
+                for label, res in runs.items()
+            },
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     rows = []
     for label, res in runs.items():
         t = res.elapsed_s / base.elapsed_s
@@ -547,6 +580,131 @@ def cmd_faults(args) -> int:
     return FAULTS_COMMANDS[args.faults_command](args)
 
 
+def _campaign_spec_path(directory: str) -> str:
+    import os.path
+
+    from .campaign.store import SPEC_NAME
+
+    return os.path.join(directory, SPEC_NAME)
+
+
+def _campaign_execute(args, spec) -> int:
+    """Shared run/resume path: drain the spec's grid into --dir."""
+    from .campaign import ExecutorConfig, run_campaign
+    from .telemetry import TraceCollector
+
+    config = ExecutorConfig(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        max_units=args.max_units,
+    )
+    collector = TraceCollector(max_events=100_000)
+    status, store = run_campaign(
+        spec, args.dir, config=config, telemetry=collector
+    )
+    print(f"campaign {spec.name!r} in {args.dir}")
+    print(status.describe())
+    counts = store.counts()
+    print(
+        f"store: {counts['done']} done, {counts['failed']} failed "
+        f"(trace: {store.trace_path})"
+    )
+    if status.failed:
+        for label in status.failed_units:
+            print(f"  failed: {label}")
+        return 1
+    return 0
+
+
+def cmd_campaign_run(args) -> int:
+    from .campaign import CampaignSpec
+
+    return _campaign_execute(args, CampaignSpec.load(args.spec))
+
+
+def cmd_campaign_resume(args) -> int:
+    import os.path
+
+    from .campaign import CampaignSpec
+
+    path = _campaign_spec_path(args.dir)
+    if not os.path.exists(path):
+        raise SystemExit(
+            f"{path} not found — has `campaign run` been invoked "
+            f"with this --dir?"
+        )
+    return _campaign_execute(args, CampaignSpec.load(path))
+
+
+def cmd_campaign_status(args) -> int:
+    import os.path
+
+    from .campaign import CampaignSpec, RunStore
+
+    store = RunStore(args.dir)
+    counts = store.counts()
+    spec_path = _campaign_spec_path(args.dir)
+    rows = [["done", str(counts["done"])], ["failed", str(counts["failed"])]]
+    if os.path.exists(spec_path):
+        spec = CampaignSpec.load(spec_path)
+        grid = {unit.key for unit in spec.expand()}
+        missing = grid - store.completed_keys()
+        rows = [
+            ["grid units", str(len(grid))],
+            ["done", str(len(grid) - len(missing))],
+            ["missing", str(len(missing))],
+            ["failed", str(len(store.failed_keys() & grid))],
+        ]
+    title = f"campaign {store.campaign or '?'} in {args.dir}"
+    print(render_table(["state", "units"], rows, title=title))
+    return 0
+
+
+def cmd_campaign_report(args) -> int:
+    import os.path
+
+    from .campaign import (
+        CampaignSpec,
+        RunStore,
+        build_summary,
+        render_summary as render_campaign_summary,
+        summary_json,
+        write_summary,
+    )
+
+    store = RunStore(args.dir)
+    keys = None
+    spec_path = _campaign_spec_path(args.dir)
+    if os.path.exists(spec_path):
+        spec = CampaignSpec.load(spec_path)
+        keys = [unit.key for unit in spec.expand()]
+    summary = build_summary(store, keys=keys)
+    if not summary["groups"]:
+        raise SystemExit(f"no completed runs in {args.dir}")
+    if args.out:
+        write_summary(summary, args.out)
+    if args.json:
+        sys.stdout.write(summary_json(summary))
+    else:
+        print(render_campaign_summary(summary))
+        if args.out:
+            print(f"\nsummary JSON written to {args.out}")
+    return 0
+
+
+CAMPAIGN_COMMANDS = {
+    "run": cmd_campaign_run,
+    "resume": cmd_campaign_resume,
+    "status": cmd_campaign_status,
+    "report": cmd_campaign_report,
+}
+
+
+def cmd_campaign(args) -> int:
+    return CAMPAIGN_COMMANDS[args.campaign_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -596,6 +754,8 @@ def build_parser() -> argparse.ArgumentParser:
                         help="evaluate every Nth supported clock bin")
     tune_p.add_argument("--iterations", type=int, default=3,
                         help="benchmark repetitions per configuration")
+    tune_p.add_argument("--json", action="store_true",
+                        help="print a stable machine-readable JSON document")
 
     cmp_p = sub.add_parser("compare",
                            help="baseline vs static vs DVFS vs ManDyn")
@@ -604,6 +764,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="static/ManDyn-default clock [MHz]")
     cmp_p.add_argument("--freq-map", default=None,
                        help="JSON {function: MHz} for ManDyn")
+    cmp_p.add_argument("--json", action="store_true",
+                       help="print a stable machine-readable JSON document")
 
     report_p = sub.add_parser(
         "report", help="analyze a saved energy-report JSON"
@@ -697,6 +859,54 @@ def build_parser() -> argparse.ArgumentParser:
     frun_p.add_argument("--report", default=None,
                         help="write the gathered energy report JSON here")
 
+    camp_p = sub.add_parser(
+        "campaign",
+        help="resumable experiment campaigns (repro.campaign)",
+    )
+    camp_sub = camp_p.add_subparsers(dest="campaign_command", required=True)
+
+    def campaign_exec(p):
+        p.add_argument("--dir", required=True,
+                       help="campaign directory (run store)")
+        p.add_argument("--workers", type=int, default=1,
+                       help="parallel worker processes (1 = serial)")
+        p.add_argument("--timeout", type=float, default=None,
+                       help="per-unit wall-clock timeout [s]")
+        p.add_argument("--max-retries", type=int, default=2,
+                       help="retries per unit after transient failures")
+        p.add_argument("--max-units", type=int, default=None,
+                       help="execute at most N missing units (smoke tests)")
+
+    crun_p = camp_sub.add_parser(
+        "run", help="execute every missing unit of a campaign spec"
+    )
+    crun_p.add_argument("--spec", required=True,
+                        help="campaign spec JSON (see docs/campaigns.md)")
+    campaign_exec(crun_p)
+
+    cres_p = camp_sub.add_parser(
+        "resume",
+        help="re-drain a campaign directory using its saved spec "
+             "(identical to re-running `campaign run`)",
+    )
+    campaign_exec(cres_p)
+
+    cstat_p = camp_sub.add_parser(
+        "status", help="manifest roll-up: done/missing/failed units"
+    )
+    cstat_p.add_argument("--dir", required=True,
+                         help="campaign directory (run store)")
+
+    crep_p = camp_sub.add_parser(
+        "report", help="aggregate stored runs into EDP/Pareto summaries"
+    )
+    crep_p.add_argument("--dir", required=True,
+                        help="campaign directory (run store)")
+    crep_p.add_argument("--json", action="store_true",
+                        help="print the stable summary JSON instead of tables")
+    crep_p.add_argument("--out", default=None,
+                        help="also write the summary JSON to this path")
+
     return parser
 
 
@@ -710,6 +920,7 @@ COMMANDS = {
     "sacct": cmd_sacct,
     "trace": cmd_trace,
     "faults": cmd_faults,
+    "campaign": cmd_campaign,
 }
 
 

@@ -295,9 +295,13 @@ class EnergyReport:
 
     # -- persistence (post-hoc analysis files, §III-B) -----------------------
 
-    def save(self, path: str) -> None:
-        """Write the gathered report as JSON for post-hoc analysis."""
-        payload = {
+    def to_dict(self) -> Dict:
+        """JSON-serializable payload (the :meth:`save` file format).
+
+        Also the wire format campaign workers return results in, so a
+        gathered report survives process boundaries losslessly.
+        """
+        return {
             "ranks": [
                 {
                     "rank": r.rank,
@@ -313,14 +317,15 @@ class EnergyReport:
                 for r in self.ranks
             ]
         }
+
+    def save(self, path: str) -> None:
+        """Write the gathered report as JSON for post-hoc analysis."""
         with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=1)
+            json.dump(self.to_dict(), fh, indent=1)
 
     @staticmethod
-    def load(path: str) -> "EnergyReport":
-        """Read a report written by :meth:`save`."""
-        with open(path, "r", encoding="utf-8") as fh:
-            payload = json.load(fh)
+    def from_dict(payload: Dict) -> "EnergyReport":
+        """Inverse of :meth:`to_dict`."""
         ranks = []
         for rd in payload["ranks"]:
             records = {}
@@ -343,6 +348,13 @@ class EnergyReport:
                 )
             )
         return EnergyReport(ranks=ranks)
+
+    @staticmethod
+    def load(path: str) -> "EnergyReport":
+        """Read a report written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        return EnergyReport.from_dict(payload)
 
 
 def make_gpu_sources(cluster) -> List[GpuEnergySource]:

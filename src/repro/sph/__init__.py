@@ -35,10 +35,13 @@ from .workload import (
     GRAVITY_COST,
     REFERENCE_NEIGHBORS,
     SPH_FUNCTION_COSTS,
+    WORKLOAD_ALIASES,
+    WORKLOAD_NAMES,
     KernelCost,
     WorkloadModel,
     function_names,
     max_particles_per_gpu,
+    resolve_workload,
 )
 
 __all__ = [
@@ -78,5 +81,8 @@ __all__ = [
     "KernelCost",
     "WorkloadModel",
     "function_names",
+    "WORKLOAD_ALIASES",
+    "WORKLOAD_NAMES",
+    "resolve_workload",
     "max_particles_per_gpu",
 ]

@@ -28,6 +28,34 @@ from ..hardware.kernel import KernelLaunch
 #: Neighbor count the per-particle coefficients are calibrated at.
 REFERENCE_NEIGHBORS = 100.0
 
+#: Canonical Table-I workload names.
+WORKLOAD_NAMES = ("SubsonicTurbulence", "EvrardCollapse", "SedovBlast")
+
+#: Accepted spellings (CLI flags, campaign specs) -> canonical names.
+WORKLOAD_ALIASES = {
+    "turbulence": "SubsonicTurbulence",
+    "turb": "SubsonicTurbulence",
+    "subsonicturbulence": "SubsonicTurbulence",
+    "evrard": "EvrardCollapse",
+    "evrardcollapse": "EvrardCollapse",
+    "sedov": "SedovBlast",
+    "sedovblast": "SedovBlast",
+}
+
+
+def resolve_workload(name: str) -> str:
+    """Canonical workload name for ``name`` (alias or canonical form).
+
+    Raises ``ValueError`` for unknown workloads, listing what exists.
+    """
+    try:
+        return WORKLOAD_ALIASES[name.lower()]
+    except KeyError:
+        known = ", ".join(WORKLOAD_NAMES)
+        raise ValueError(
+            f"unknown workload {name!r} (known: {known})"
+        ) from None
+
 #: Particles per GPU at which an A100-class device is fully utilized.
 FULL_UTILIZATION_PARTICLES = 40.0e6
 

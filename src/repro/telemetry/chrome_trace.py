@@ -19,7 +19,7 @@ from __future__ import annotations
 import json
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..reporting.export import read_jsonl, write_jsonl
+from ..reporting.export import write_jsonl
 from .events import (
     TRACKS,
     CounterEvent,
@@ -154,9 +154,41 @@ def write_trace_jsonl(path: str, events: Iterable[TraceEvent]) -> None:
 
 
 def read_trace_jsonl(path: str) -> List[TraceEvent]:
-    """Read a JSONL trace back into typed events."""
-    records = read_jsonl(path)
-    if not records:
+    """Read a JSONL trace back into typed events.
+
+    Tolerates blank lines (hand-edited or concatenated files); every
+    other malformation raises :class:`ValueError` naming the file and
+    line — a truncated record, a missing or mismatched schema header,
+    or a record the event model cannot rebuild.
+    """
+    events: List[TraceEvent] = []
+    header_seen = False
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            if not header_seen:
+                try:
+                    check_schema_header(record, "trace")
+                except (KeyError, ValueError, TypeError) as exc:
+                    raise ValueError(
+                        f"{path}:{lineno}: bad trace header ({exc})"
+                    ) from None
+                header_seen = True
+                continue
+            try:
+                events.append(from_record(record))
+            except (KeyError, ValueError, TypeError) as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: bad trace record ({exc})"
+                ) from None
+    if not header_seen:
         raise ValueError(f"{path}: empty trace file")
-    check_schema_header(records[0], "trace")
-    return [from_record(r) for r in records[1:]]
+    return events

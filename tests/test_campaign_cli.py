@@ -1,0 +1,154 @@
+"""CLI: `repro campaign ...` plus the `--json` output modes."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+SPEC = {
+    "schema": 1,
+    "kind": "campaign-spec",
+    "name": "cli-t",
+    "systems": ["miniHPC"],
+    "workloads": ["SedovBlast"],
+    "particles": [30000.0],
+    "steps": 2,
+    "seeds": [0],
+    "policies": [
+        {"kind": "baseline"},
+        {"kind": "static"},
+        {"kind": "dvfs"},
+        {"kind": "mandyn"},
+    ],
+    "clocks_mhz": [1005.0],
+}
+
+
+@pytest.fixture
+def spec_path(tmp_path):
+    path = tmp_path / "spec.json"
+    path.write_text(json.dumps(SPEC), encoding="utf-8")
+    return str(path)
+
+
+def test_campaign_run_status_resume_report(tmp_path, spec_path, capsys):
+    cdir = str(tmp_path / "c")
+    assert main(["campaign", "run", "--spec", spec_path, "--dir", cdir]) == 0
+    out = capsys.readouterr().out
+    assert "4 executed" in out
+
+    assert main(["campaign", "status", "--dir", cdir]) == 0
+    out = capsys.readouterr().out
+    assert "grid units" in out and "4" in out
+
+    assert main(["campaign", "resume", "--dir", cdir]) == 0
+    out = capsys.readouterr().out
+    assert "4 cached (skipped), 0 executed" in out
+
+    assert main(["campaign", "report", "--dir", cdir]) == 0
+    out = capsys.readouterr().out
+    assert "SedovBlast on miniHPC" in out
+    assert "EDP vs baseline" in out
+
+
+def test_campaign_run_parallel_workers(tmp_path, spec_path, capsys):
+    cdir = str(tmp_path / "c")
+    rc = main(
+        ["campaign", "run", "--spec", spec_path, "--dir", cdir,
+         "--workers", "2"]
+    )
+    assert rc == 0
+    assert "4 executed" in capsys.readouterr().out
+
+
+def test_campaign_report_json_is_stable(tmp_path, spec_path, capsys):
+    cdir = str(tmp_path / "c")
+    main(["campaign", "run", "--spec", spec_path, "--dir", cdir])
+    capsys.readouterr()
+    main(["campaign", "report", "--dir", cdir, "--json"])
+    first = capsys.readouterr().out
+    main(["campaign", "report", "--dir", cdir, "--json"])
+    second = capsys.readouterr().out
+    assert first == second  # byte-identical across invocations
+    payload = json.loads(first)
+    assert payload["kind"] == "campaign-summary"
+    assert payload["n_runs"] == 4
+    rows = {r["policy"] for r in payload["groups"][0]["rows"]}
+    assert rows == {"baseline", "static-1005", "dvfs", "mandyn"}
+
+
+def test_campaign_report_out_writes_summary(tmp_path, spec_path, capsys):
+    cdir = str(tmp_path / "c")
+    main(["campaign", "run", "--spec", spec_path, "--dir", cdir])
+    out_path = tmp_path / "summary.json"
+    main(["campaign", "report", "--dir", cdir, "--out", str(out_path)])
+    capsys.readouterr()
+    payload = json.loads(out_path.read_text(encoding="utf-8"))
+    assert payload["schema"] == 1
+
+
+def test_campaign_max_units_limits_execution(tmp_path, spec_path, capsys):
+    cdir = str(tmp_path / "c")
+    main(["campaign", "run", "--spec", spec_path, "--dir", cdir,
+          "--max-units", "1"])
+    assert "1 executed" in capsys.readouterr().out
+    main(["campaign", "resume", "--dir", cdir])
+    assert "1 cached (skipped), 3 executed" in capsys.readouterr().out
+
+
+def test_campaign_resume_without_spec_errors(tmp_path):
+    with pytest.raises(SystemExit, match="campaign run"):
+        main(["campaign", "resume", "--dir", str(tmp_path / "nope")])
+
+
+def test_campaign_report_empty_store_errors(tmp_path):
+    with pytest.raises(SystemExit, match="no completed runs"):
+        main(["campaign", "report", "--dir", str(tmp_path / "empty")])
+
+
+# ---------------------------------------------------------------------------
+# --json for tune / compare
+# ---------------------------------------------------------------------------
+
+
+def test_tune_json_is_machine_readable_and_stable(capsys):
+    argv = ["tune", "--particles", "1e6", "--stride", "9", "--iterations",
+            "1", "--json"]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert first == second
+    payload = json.loads(first)
+    assert payload["kind"] == "tune"
+    assert "MomentumEnergy" in payload["freq_map"]
+    assert list(payload) == sorted(payload)  # stable sorted keys
+
+
+def test_tune_human_output_unchanged_by_default(capsys):
+    argv = ["tune", "--particles", "1e6", "--stride", "9", "--iterations", "1"]
+    assert main(argv) == 0
+    out = capsys.readouterr().out
+    assert "tuned frequencies" in out
+    assert "ManDyn frequency map" in out
+
+
+def test_compare_json_is_machine_readable(capsys):
+    argv = ["compare", "--steps", "2", "--particles", "1e7", "--json"]
+    assert main(argv) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["kind"] == "compare"
+    assert payload["rows"]["baseline"]["rel_edp"] == 1.0
+    assert set(payload["rows"]) == {
+        "baseline", "static 1005", "dvfs", "mandyn"
+    }
+    for row in payload["rows"].values():
+        assert set(row) == {
+            "elapsed_s", "gpu_energy_j", "rel_time", "rel_energy", "rel_edp"
+        }
+
+
+def test_compare_human_output_unchanged_by_default(capsys):
+    assert main(["compare", "--steps", "2", "--particles", "1e7"]) == 0
+    assert "normalized policy comparison" in capsys.readouterr().out

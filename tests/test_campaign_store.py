@@ -1,0 +1,102 @@
+"""The content-addressed run store: durability, replay, corruption."""
+
+import json
+
+import pytest
+
+from repro.campaign import RunStore
+
+UNIT = {"campaign": "t", "system": "miniHPC", "seed": 0}
+RESULT = {"metrics": {"elapsed_s": 1.0, "gpu_energy_j": 2.0}}
+
+
+def test_record_done_round_trip(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    assert store.completed_keys() == {"k1"}
+    artifact = store.load_result("k1")
+    assert artifact["unit"] == UNIT
+    assert artifact["result"] == RESULT
+    assert artifact["schema"] == 1
+
+
+def test_reopen_replays_manifest(tmp_path):
+    RunStore(str(tmp_path), campaign="t").record_done("k1", UNIT, RESULT)
+    reopened = RunStore(str(tmp_path))
+    assert reopened.campaign == "t"
+    assert reopened.completed_keys() == {"k1"}
+
+
+def test_latest_status_wins(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_failed("k1", UNIT, {"type": "ValueError", "message": "x"})
+    assert store.failed_keys() == {"k1"}
+    assert store.completed_keys() == set()
+    store.record_done("k1", UNIT, RESULT)
+    assert store.completed_keys() == {"k1"}
+    assert store.counts() == {"done": 1, "failed": 0}
+
+
+def test_done_without_artifact_is_not_completed(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    store.run_path("k1").unlink()
+    assert RunStore(str(tmp_path)).completed_keys() == set()
+
+
+def test_results_sorted_by_key_and_filterable(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    for key in ("zz", "aa", "mm"):
+        store.record_done(key, dict(UNIT, seed=key), RESULT)
+    assert [r["key"] for r in store.results()] == ["aa", "mm", "zz"]
+    assert [r["key"] for r in store.results(keys=["zz", "aa"])] == ["aa", "zz"]
+
+
+def test_campaign_mismatch_rejected(tmp_path):
+    RunStore(str(tmp_path), campaign="t").record_done("k1", UNIT, RESULT)
+    with pytest.raises(ValueError, match="belongs to campaign"):
+        RunStore(str(tmp_path), campaign="other")
+
+
+def test_corrupt_manifest_line_names_file_and_line(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    with open(store.manifest_path, "a", encoding="utf-8") as fh:
+        fh.write("{truncated\n")
+    with pytest.raises(ValueError, match=r"manifest\.jsonl:3: not valid JSON"):
+        RunStore(str(tmp_path))
+
+
+def test_blank_manifest_lines_tolerated(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    with open(store.manifest_path, "a", encoding="utf-8") as fh:
+        fh.write("\n\n")
+    assert RunStore(str(tmp_path)).completed_keys() == {"k1"}
+
+
+def test_manifest_header_schema_checked(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    lines = store.manifest_path.read_text(encoding="utf-8").splitlines()
+    header = json.loads(lines[0])
+    header["schema"] = 99
+    lines[0] = json.dumps(header)
+    store.manifest_path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+    with pytest.raises(ValueError, match=r"manifest\.jsonl:1"):
+        RunStore(str(tmp_path))
+
+
+def test_artifact_kind_checked(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    store.run_path("k1").write_text('{"schema": 1, "kind": "other"}\n')
+    with pytest.raises(ValueError, match="not a campaign run artifact"):
+        store.load_result("k1")
+
+
+def test_no_tmp_files_left_behind(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    leftovers = list((tmp_path / "runs").glob("*.tmp"))
+    assert leftovers == []

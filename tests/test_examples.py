@@ -86,6 +86,7 @@ def test_examples_directory_complete():
         "autodyn_two_run.py",
         "trace_run.py",
         "fault_injection.py",
+        "campaign_run.py",
     } <= shipped
 
 
@@ -96,3 +97,13 @@ def test_fault_injection(monkeypatch, capsys):
     assert "degraded ranks: [0]" in out
     assert "faults injected" in out
     assert "telemetry faults track" in out
+
+
+def test_campaign_run(monkeypatch, capsys, tmp_path):
+    cdir = str(tmp_path / "fig7")
+    out = _run_example(monkeypatch, capsys, "campaign_run", [cdir, "1"])
+    assert "7 units: 0 cached (skipped), 7 executed" in out
+    assert "EDP ranking (best first): mandyn" in out
+    # Second invocation resumes: every unit cached.
+    out = _run_example(monkeypatch, capsys, "campaign_run", [cdir, "1"])
+    assert "7 cached (skipped), 0 executed" in out

@@ -207,3 +207,54 @@ def test_chrome_trace_in_memory_counts(traced_run):
     spans = [e for e in payload["traceEvents"] if e["ph"] == "X"]
     n_functions = len(sim.functions)
     assert len(spans) == n_functions * N_STEPS * N_RANKS
+
+
+# ---------------------------------------------------------------------------
+# read_trace_jsonl robustness
+# ---------------------------------------------------------------------------
+
+
+def _tiny_trace(tmp_path):
+    collector = TraceCollector()
+    collector.emit_phase("k", 0, 0.0, 1.0)
+    path = str(tmp_path / "trace.jsonl")
+    write_trace_jsonl(path, collector.events)
+    return path
+
+
+def test_read_trace_jsonl_skips_blank_lines(tmp_path):
+    path = _tiny_trace(tmp_path)
+    lines = open(path, encoding="utf-8").read().splitlines()
+    padded = "\n\n".join([lines[0], *lines[1:]]) + "\n\n\n"
+    open(path, "w", encoding="utf-8").write(padded)
+    assert len(read_trace_jsonl(path)) == 1
+
+
+def test_read_trace_jsonl_names_file_and_line_on_bad_json(tmp_path):
+    path = _tiny_trace(tmp_path)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write("{truncated\n")
+    with pytest.raises(ValueError, match=r"trace\.jsonl:3: not valid JSON"):
+        read_trace_jsonl(path)
+
+
+def test_read_trace_jsonl_schema_mismatch_is_a_clear_error(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text('{"schema": 99, "kind": "trace"}\n', encoding="utf-8")
+    with pytest.raises(ValueError, match=r"trace\.jsonl:1: bad trace header"):
+        read_trace_jsonl(str(path))
+
+
+def test_read_trace_jsonl_bad_record_names_line(tmp_path):
+    path = _tiny_trace(tmp_path)
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"ev": "span", "name": "x"}\n')  # missing required fields
+    with pytest.raises(ValueError, match=r"trace\.jsonl:3: bad trace record"):
+        read_trace_jsonl(path)
+
+
+def test_read_trace_jsonl_blank_only_file_is_empty_error(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n\n", encoding="utf-8")
+    with pytest.raises(ValueError, match="empty trace file"):
+        read_trace_jsonl(str(path))
