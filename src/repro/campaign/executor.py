@@ -122,6 +122,7 @@ class CampaignExecutor:
         self.telemetry = telemetry
         self.min_unit_wall_s = float(min_unit_wall_s)
         self._t0 = 0.0
+        self._heartbeats: Dict[str, Dict[str, Any]] = {}
 
     # -- telemetry helpers ---------------------------------------------------
 
@@ -145,6 +146,30 @@ class CampaignExecutor:
     def _count(self, metric: str, **labels: str) -> None:
         if self.telemetry is not None:
             self.telemetry.metrics.counter(metric, **labels).inc()
+
+    # -- worker heartbeats ---------------------------------------------------
+
+    def _beat(self, lane: int, state: str, unit: str = "") -> None:
+        """Record lane liveness: gauge + atomic ``heartbeats.json``.
+
+        ``repro monitor watch`` reads the file and fires the
+        ``campaign_worker_stalled`` rule on lanes whose heartbeat goes
+        stale while not ``idle``. Heartbeat persistence must never take
+        a campaign down, so disk errors are swallowed.
+        """
+        now = time.time()
+        record: Dict[str, Any] = {"updated_s": now, "state": state}
+        if unit:
+            record["unit"] = unit
+        self._heartbeats[str(lane)] = record
+        if self.telemetry is not None:
+            self.telemetry.metrics.gauge(
+                "campaign_worker_heartbeat", lane=lane
+            ).set(now)
+        try:
+            self.store.write_heartbeats(self._heartbeats)
+        except OSError:  # pragma: no cover - disk-full / perms only
+            pass
 
     # -- outcome handling ----------------------------------------------------
 
@@ -193,6 +218,7 @@ class CampaignExecutor:
             try:
                 while True:
                     t_start = self._now()
+                    self._beat(0, "running", unit=unit.label)
                     outcome = run_unit_safe(
                         unit.config(), self.min_unit_wall_s
                     )
@@ -228,6 +254,7 @@ class CampaignExecutor:
                         unit, attempts = queue.popleft()
                         lane = next_lane % cfg.workers
                         next_lane += 1
+                        self._beat(lane, "running", unit=unit.label)
                         future = pool.submit(
                             run_unit_safe, unit.config(), self.min_unit_wall_s
                         )
@@ -242,6 +269,7 @@ class CampaignExecutor:
                     for future in finished:
                         unit, attempts, t_start, lane = in_flight.pop(future)
                         outcome = future.result()
+                        self._beat(lane, "waiting")
                         verdict = self._handle_outcome(
                             unit, outcome, attempts, status
                         )
@@ -327,6 +355,11 @@ class CampaignExecutor:
                 self._run_inline(pending, status)
             else:
                 self._run_pool(pending, status)
+        # Every lane goes idle when the drain finishes (or is
+        # interrupted): watchers must not see the last unit's heartbeat
+        # age into a phantom stall.
+        for lane in list(self._heartbeats):
+            self._beat(int(lane), "idle")
         status.wall_s = time.perf_counter() - self._t0
         self._emit_span(
             "campaign", 0, 0.0, status.wall_s,

@@ -34,6 +34,7 @@ from ..telemetry.events import check_schema_header, schema_header
 MANIFEST_NAME = "manifest.jsonl"
 SPEC_NAME = "spec.json"
 TRACE_NAME = "trace.jsonl"
+HEARTBEATS_NAME = "heartbeats.json"
 RUNS_DIR = "runs"
 
 
@@ -64,6 +65,49 @@ class RunStore:
 
     def run_path(self, key: str) -> Path:
         return self.root / RUNS_DIR / f"{key}.json"
+
+    @property
+    def heartbeats_path(self) -> Path:
+        return self.root / HEARTBEATS_NAME
+
+    # -- worker heartbeats ----------------------------------------------------
+
+    def write_heartbeats(self, lanes: Mapping[str, Mapping[str, Any]]) -> None:
+        """Atomically persist per-lane worker heartbeats.
+
+        ``lanes`` maps worker-lane ids to ``{"updated_s": <epoch>,
+        "state": ...}`` records; ``repro monitor watch`` reads this file
+        to judge the ``campaign_worker_stalled`` alert rule. Written
+        atomically so a watcher never observes a torn file.
+        """
+        payload = {
+            "schema": 1,
+            "kind": "campaign-heartbeats",
+            "campaign": self.campaign,
+            "lanes": {str(k): dict(v) for k, v in lanes.items()},
+        }
+        path = self.heartbeats_path
+        tmp = path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=1, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+
+    def read_heartbeats(self) -> Dict[str, Dict[str, Any]]:
+        """The lane records of ``heartbeats.json`` ({} when absent)."""
+        path = self.heartbeats_path
+        if not path.exists():
+            return {}
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if (
+            payload.get("schema") != 1
+            or payload.get("kind") != "campaign-heartbeats"
+        ):
+            raise ValueError(f"{path}: not a campaign heartbeats file")
+        return {str(k): dict(v) for k, v in payload.get("lanes", {}).items()}
 
     def _load_manifest(self) -> None:
         path = self.manifest_path

@@ -14,6 +14,10 @@ Gives downstream users the paper's workflow without writing Python::
     python -m repro campaign run --spec examples/campaign_fig7.json \
         --dir campaigns/fig7 --workers 2
     python -m repro campaign report --dir campaigns/fig7
+    python -m repro monitor snapshot --workload sedov --steps 4
+    python -m repro monitor report --workload sedov --steps 4 \
+        --scenario flaky-clocks --out report.html
+    python -m repro monitor watch --dir campaigns/fig7
 
 Every subcommand prints the same report tables the benchmarks use;
 ``trace`` records a structured run trace (Chrome ``trace_event`` JSON
@@ -423,9 +427,52 @@ def cmd_trace_record(args) -> int:
 
 
 def cmd_trace_summary(args) -> int:
-    from .telemetry import render_summary
+    from .telemetry import (
+        max_drift_s,
+        reconcile_with_report,
+        render_summary,
+        summarize_functions,
+    )
 
     collector, result, policy = _trace_run(args)
+    if args.json:
+        rows = reconcile_with_report(collector.events, result.report)
+        functions = summarize_functions(collector.events)
+        payload = {
+            "schema": 1,
+            "kind": "trace-summary",
+            "workload": _workload(args.workload),
+            "system": args.system,
+            "ranks": args.ranks,
+            "steps": args.steps,
+            "policy": policy.name,
+            "snapshot": collector.metrics.snapshot(),
+            "functions": {
+                s.function: {
+                    "spans": s.spans,
+                    "total_s": s.total_s,
+                    "mean_s": s.mean_s,
+                    "min_s": s.min_s,
+                    "max_s": s.max_s,
+                }
+                for s in functions.values()
+            },
+            "reconciliation": [
+                {
+                    "function": r.function,
+                    "trace_time_s": r.trace_time_s,
+                    "report_time_s": r.report_time_s,
+                    "drift_s": r.drift_s,
+                    "ok": r.ok(),
+                }
+                for r in rows
+            ],
+            "max_drift_s": max_drift_s(rows),
+            "events": len(collector.events),
+            "dropped": collector.dropped,
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
     print(
         f"workload={_workload(args.workload)} system={args.system} "
         f"ranks={args.ranks} steps={args.steps} policy={policy.name}"
@@ -705,6 +752,230 @@ def cmd_campaign(args) -> int:
     return CAMPAIGN_COMMANDS[args.campaign_command](args)
 
 
+def _monitor_run(args):
+    """Shared monitor snapshot/report/serve path: one monitored run."""
+    from .core import ResilienceConfig
+    from .monitor import Monitor, MonitorConfig
+    from .telemetry import TraceCollector
+
+    system = by_name(args.system)
+    max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
+    policy = _policy(args.policy, args.freq, args.freq_map, max_mhz)
+    collector = TraceCollector(max_events=args.max_events)
+    monitor = Monitor(
+        MonitorConfig(period_s=args.period), telemetry=collector
+    )
+    faults = None
+    resilience = None
+    if args.scenario:
+        from .faults import FaultInjector, build_plan
+
+        faults = FaultInjector(
+            build_plan(args.scenario, seed=args.seed, n_ranks=args.ranks)
+        )
+        resilience = ResilienceConfig()
+    cluster = Cluster(system, args.ranks)
+    try:
+        result = run_instrumented(
+            cluster,
+            _workload(args.workload),
+            args.particles,
+            args.steps,
+            policy=policy,
+            telemetry=collector,
+            resilience=resilience,
+            faults=faults,
+            monitor=monitor,
+        )
+    finally:
+        cluster.detach_management_library()
+    return monitor, collector, result, policy
+
+
+def _monitor_meta(args, policy) -> Dict[str, object]:
+    meta = {
+        "workload": _workload(args.workload),
+        "system": args.system,
+        "ranks": args.ranks,
+        "steps": args.steps,
+        "policy": policy.name,
+    }
+    if args.scenario:
+        meta["scenario"] = args.scenario
+        meta["seed"] = args.seed
+    return meta
+
+
+def _monitor_title(args) -> str:
+    return (
+        f"{_workload(args.workload)} on {args.system} "
+        f"({args.ranks} rank(s), {args.steps} steps)"
+    )
+
+
+def _print_alerts(alerts) -> None:
+    if not alerts:
+        print("no alerts fired")
+        return
+    rows = [
+        [
+            a.rule.name,
+            a.rule.severity,
+            str(a.rank),
+            f"{a.t_fired_s:.4f}",
+            "-" if a.t_resolved_s is None else f"{a.t_resolved_s:.4f}",
+            f"{a.value:g}",
+        ]
+        for a in alerts
+    ]
+    print(
+        render_table(
+            ["rule", "severity", "rank", "fired [s]", "resolved [s]",
+             "value"],
+            rows,
+            title="alerts",
+        )
+    )
+
+
+def cmd_monitor_snapshot(args) -> int:
+    from .monitor import write_json_snapshot
+
+    monitor, collector, result, policy = _monitor_run(args)
+    data = monitor.snapshot(
+        collector=collector,
+        report=result.report,
+        title=_monitor_title(args),
+        meta=_monitor_meta(args, policy),
+    )
+    if args.prom:
+        monitor.write_prom(args.prom)
+    if args.out:
+        write_json_snapshot(args.out, data)
+    if args.json:
+        print(json.dumps(data, indent=1, sort_keys=True))
+        return 0
+    rows = [
+        [
+            f"{s['name']}[{s['rank']}]",
+            str(s["n_samples"]),
+            f"{s['last']:g}",
+            f"{s['min']:g}",
+            f"{s['max']:g}",
+            f"{s['mean']:g}",
+        ]
+        for s in data["series"]
+    ]
+    print(
+        render_table(
+            ["series", "samples", "last", "min", "max", "mean"],
+            rows,
+            title=data["title"],
+        )
+    )
+    print()
+    _print_alerts(monitor.alerts)
+    if data["gaps"]:
+        print(f"\nsampler gaps: {len(data['gaps'])}")
+    if args.prom:
+        print(f"\nPrometheus metrics written to {args.prom}")
+    if args.out:
+        print(f"snapshot JSON written to {args.out}")
+    return 0
+
+
+def cmd_monitor_report(args) -> int:
+    monitor, collector, result, policy = _monitor_run(args)
+    monitor.write_report(
+        args.out,
+        collector=collector,
+        report=result.report,
+        title=_monitor_title(args),
+        meta=_monitor_meta(args, policy),
+    )
+    if args.prom:
+        monitor.write_prom(args.prom)
+        print(f"Prometheus metrics written to {args.prom}")
+    n_series = len(monitor.sampler.series_names())
+    print(
+        f"HTML report written to {args.out} "
+        f"({n_series} series, {len(monitor.alerts)} alert(s), "
+        f"{len(monitor.sampler.gaps)} sampler gap(s))"
+    )
+    return 0
+
+
+def cmd_monitor_serve(args) -> int:
+    import time
+
+    monitor, collector, result, policy = _monitor_run(args)
+    server = monitor.serve(host=args.host, port=args.port)
+    print(f"serving Prometheus metrics at {server.url}")
+    _print_alerts(monitor.alerts)
+    try:
+        if args.duration is not None:
+            time.sleep(args.duration)
+        else:
+            while True:
+                time.sleep(3600.0)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        monitor.stop_serving()
+    return 0
+
+
+def cmd_monitor_watch(args) -> int:
+    import time
+
+    from .campaign import RunStore
+    from .monitor import stalled_worker_alerts
+
+    store = RunStore(args.dir)
+    iteration = 0
+    stalled = False
+    while True:
+        iteration += 1
+        heartbeats = store.read_heartbeats()
+        counts = store.counts()
+        busy = sum(
+            1 for r in heartbeats.values() if r.get("state") != "idle"
+        )
+        print(
+            f"[{iteration}] {args.dir}: {counts['done']} done, "
+            f"{counts['failed']} failed, {busy}/{len(heartbeats)} "
+            f"lane(s) busy"
+        )
+        alerts = stalled_worker_alerts(
+            heartbeats, time.time(), stall_after_s=args.stall_after
+        )
+        for alert in alerts:
+            stalled = True
+            print(
+                f"  ALERT {alert.rule.name}: lane {alert.rank} silent "
+                f"for {alert.value:.0f}s"
+            )
+        if args.iterations and iteration >= args.iterations:
+            break
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
+    return 1 if stalled else 0
+
+
+MONITOR_COMMANDS = {
+    "snapshot": cmd_monitor_snapshot,
+    "report": cmd_monitor_report,
+    "serve": cmd_monitor_serve,
+    "watch": cmd_monitor_watch,
+}
+
+
+def cmd_monitor(args) -> int:
+    return MONITOR_COMMANDS[args.monitor_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -817,6 +1088,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="run once and print metrics + trace-vs-report reconciliation",
     )
     trace_common(summ_p)
+    summ_p.add_argument("--json", action="store_true",
+                        help="print a stable machine-readable JSON document")
 
     exp_p = trace_sub.add_parser(
         "export", help="re-render a JSONL trace as Chrome trace_event JSON"
@@ -907,6 +1180,77 @@ def build_parser() -> argparse.ArgumentParser:
     crep_p.add_argument("--out", default=None,
                         help="also write the summary JSON to this path")
 
+    mon_p = sub.add_parser(
+        "monitor",
+        help="live monitoring: sampled series, alerts, Prometheus "
+             "exposition, HTML reports (repro.monitor)",
+    )
+    mon_sub = mon_p.add_subparsers(dest="monitor_command", required=True)
+
+    def monitor_common(p):
+        common(p)
+        p.add_argument("--policy", default="baseline",
+                       help="baseline | static | dvfs | mandyn")
+        p.add_argument("--freq", type=float, default=None,
+                       help="static clock / ManDyn default clock [MHz]")
+        p.add_argument("--freq-map", default=None,
+                       help="JSON {function: MHz} for ManDyn")
+        p.add_argument("--max-events", type=int, default=100_000,
+                       help="trace ring-buffer capacity")
+        p.add_argument("--period", type=float, default=0.05,
+                       help="device sampling period [simulated s]")
+        p.add_argument("--scenario", default=None,
+                       help="run under this fault scenario "
+                            "(see `faults list`)")
+        p.add_argument("--seed", type=int, default=20240,
+                       help="fault plan seed (with --scenario)")
+        p.add_argument("--prom", default=None,
+                       help="write Prometheus text metrics to this file")
+
+    msnap_p = mon_sub.add_parser(
+        "snapshot",
+        help="run once and print the sampled series + alerts",
+    )
+    monitor_common(msnap_p)
+    msnap_p.add_argument("--json", action="store_true",
+                         help="print the snapshot JSON document")
+    msnap_p.add_argument("--out", default=None,
+                         help="also write the snapshot JSON to this path")
+
+    mrep_p = mon_sub.add_parser(
+        "report",
+        help="run once and write the self-contained HTML run report",
+    )
+    monitor_common(mrep_p)
+    mrep_p.add_argument("--out", default="report.html",
+                        help="HTML report destination")
+
+    mserve_p = mon_sub.add_parser(
+        "serve",
+        help="run once, then serve /metrics over HTTP",
+    )
+    monitor_common(mserve_p)
+    mserve_p.add_argument("--host", default="127.0.0.1",
+                          help="bind address of the metrics endpoint")
+    mserve_p.add_argument("--port", type=int, default=9464,
+                          help="bind port (0 = ephemeral)")
+    mserve_p.add_argument("--duration", type=float, default=None,
+                          help="serve this many wall seconds, then exit "
+                               "(default: until Ctrl-C)")
+
+    mwatch_p = mon_sub.add_parser(
+        "watch",
+        help="watch a campaign directory: progress + worker-stall alerts",
+    )
+    mwatch_p.add_argument("--dir", required=True,
+                          help="campaign directory (run store)")
+    mwatch_p.add_argument("--interval", type=float, default=5.0,
+                          help="refresh interval [wall s]")
+    mwatch_p.add_argument("--iterations", type=int, default=0,
+                          help="stop after N refreshes (0 = until Ctrl-C)")
+    mwatch_p.add_argument("--stall-after", type=float, default=120.0,
+                          help="heartbeat age that counts as a stall [s]")
+
     return parser
 
 
@@ -921,6 +1265,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "faults": cmd_faults,
     "campaign": cmd_campaign,
+    "monitor": cmd_monitor,
 }
 
 

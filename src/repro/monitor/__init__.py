@@ -1,0 +1,82 @@
+"""repro.monitor — live monitoring over the telemetry layer.
+
+Layered on :mod:`repro.telemetry`, this package watches a run *while it
+happens* instead of post-hoc:
+
+- :mod:`~repro.monitor.series` — fixed-capacity downsampling time
+  series (bounded memory, drop accounting) and incremental estimators;
+- :mod:`~repro.monitor.sampler` — :class:`DeviceSampler`, the periodic
+  device/process poller driven by the simulated clocks;
+- :mod:`~repro.monitor.alerts` — declarative :class:`AlertRule` engine
+  (threshold / for-duration / rate rules, worker-stall judging);
+- :mod:`~repro.monitor.exposition` — Prometheus text exposition (atomic
+  ``metrics.prom`` file and stdlib ``/metrics`` endpoint);
+- :mod:`~repro.monitor.report` — self-contained single-file HTML run
+  reports with inline SVG sparklines and an alert timeline;
+- :mod:`~repro.monitor.monitor` — the :class:`Monitor` facade wiring
+  all of the above, used by ``repro monitor`` and ``Simulation``.
+"""
+
+from .alerts import (
+    DEFAULT_STALL_AFTER_S,
+    Alert,
+    AlertEngine,
+    AlertRule,
+    WORKER_STALL_RULE,
+    default_rules,
+    stalled_worker_alerts,
+)
+from .exposition import (
+    PROM_CONTENT_TYPE,
+    MetricsServer,
+    parse_prometheus_text,
+    render_prometheus,
+    write_prom_file,
+)
+from .monitor import Monitor, MonitorConfig
+from .report import (
+    build_report,
+    render_html,
+    write_html_report,
+    write_json_snapshot,
+)
+from .sampler import DEVICE_SERIES, PROCESS_SERIES, DeviceSampler, SamplerGap
+from .series import (
+    DEFAULT_CAPACITY,
+    Bucket,
+    Ema,
+    RateTracker,
+    TimeSeries,
+    WindowDelta,
+)
+
+__all__ = [
+    "DEFAULT_CAPACITY",
+    "DEFAULT_STALL_AFTER_S",
+    "DEVICE_SERIES",
+    "PROCESS_SERIES",
+    "PROM_CONTENT_TYPE",
+    "WORKER_STALL_RULE",
+    "Alert",
+    "AlertEngine",
+    "AlertRule",
+    "Bucket",
+    "DeviceSampler",
+    "Ema",
+    "MetricsServer",
+    "Monitor",
+    "MonitorConfig",
+    "RateTracker",
+    "SamplerGap",
+    "TimeSeries",
+    "WindowDelta",
+    "build_report",
+    "default_rules",
+    "parse_prometheus_text",
+    "render_html",
+    "render_prometheus",
+    "stalled_worker_alerts",
+    "write_html_report",
+    "write_json_snapshot",
+    "write_prom_file",
+]

@@ -1,0 +1,325 @@
+"""Declarative alert rules over the monitored series.
+
+An :class:`AlertRule` names a monitored series, a comparison against a
+threshold, and optionally a *for-duration*: the condition must hold
+continuously for ``for_s`` simulated seconds before the alert fires —
+the standard guard against one-sample blips, exactly Prometheus'
+``for:`` clause. ``mode="rate"`` evaluates the rule against the
+difference quotient of the series instead of its value, for rules like
+"clock-set failures per second".
+
+The :class:`AlertEngine` is fed one observation per sampler tick. It
+keeps per-``(rule, rank)`` pending state, emits ``alert-fired`` /
+``alert-resolved`` instants into the telemetry faults track, counts
+``alerts_fired{rule=...}`` in the metrics registry, and invokes an
+optional callback — the integration point for operators who want pager
+semantics out of a simulated soak run.
+
+:func:`default_rules` builds the stock rule set of the paper's
+operational concerns: thermal clock throttling (the silent killer of a
+pinned-clock energy experiment), power-cap proximity, sampler gaps
+(unobserved intervals longer than the sampling contract) and sustained
+clock-set failures. Campaign worker stalls are wall-clock phenomena
+judged from heartbeat files instead — see :func:`stalled_worker_alerts`.
+"""
+
+from __future__ import annotations
+
+import operator
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from ..telemetry.events import TRACK_FAULTS
+
+_OPS: Dict[str, Callable[[float, float], bool]] = {
+    ">": operator.gt,
+    ">=": operator.ge,
+    "<": operator.lt,
+    "<=": operator.le,
+    "==": operator.eq,
+    "!=": operator.ne,
+}
+
+#: Default heartbeat age after which a campaign worker counts as stalled.
+DEFAULT_STALL_AFTER_S = 120.0
+
+
+@dataclass(frozen=True)
+class AlertRule:
+    """One declarative condition over a monitored series."""
+
+    name: str
+    series: str
+    op: str
+    threshold: float
+    #: Condition must hold continuously this long before firing.
+    for_s: float = 0.0
+    #: ``"value"`` compares the sample; ``"rate"`` its d/dt.
+    mode: str = "value"
+    severity: str = "warning"
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("alert rule needs a name")
+        if self.op not in _OPS:
+            known = ", ".join(sorted(_OPS))
+            raise ValueError(f"unknown comparison {self.op!r} (known: {known})")
+        if self.for_s < 0.0:
+            raise ValueError("for-duration must be non-negative")
+        if self.mode not in ("value", "rate"):
+            raise ValueError("rule mode must be 'value' or 'rate'")
+
+    def condition(self, value: float) -> bool:
+        return _OPS[self.op](value, self.threshold)
+
+    def describe(self) -> str:
+        quantity = self.series if self.mode == "value" else f"d({self.series})/dt"
+        clause = f"{quantity} {self.op} {self.threshold:g}"
+        if self.for_s > 0.0:
+            clause += f" for {self.for_s:g}s"
+        return clause
+
+
+@dataclass
+class Alert:
+    """One firing (and possibly resolved) instance of a rule on a rank."""
+
+    rule: AlertRule
+    rank: int
+    t_start_s: float  #: When the condition first held.
+    t_fired_s: float  #: When the for-duration was satisfied.
+    value: float  #: Observed value at fire time.
+    t_resolved_s: Optional[float] = None
+
+    @property
+    def active(self) -> bool:
+        return self.t_resolved_s is None
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule.name,
+            "severity": self.rule.severity,
+            "rank": self.rank,
+            "series": self.rule.series,
+            "condition": self.rule.describe(),
+            "t_start_s": self.t_start_s,
+            "t_fired_s": self.t_fired_s,
+            "t_resolved_s": self.t_resolved_s,
+            "value": self.value,
+        }
+
+
+@dataclass
+class _RuleState:
+    pending_since: Optional[float] = None
+    active: Optional[Alert] = None
+    last: Optional[Tuple[float, float]] = None  # (t, value) for rate mode
+
+
+class AlertEngine:
+    """Evaluates a rule set against the sampler's observation stream."""
+
+    def __init__(
+        self,
+        rules: List[AlertRule],
+        telemetry=None,
+        on_alert: Optional[Callable[[Alert, str], None]] = None,
+    ) -> None:
+        names = [r.name for r in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("alert rule names must be unique")
+        self.rules = list(rules)
+        self.telemetry = telemetry
+        self.on_alert = on_alert
+        #: Every alert ever fired, chronological.
+        self.alerts: List[Alert] = []
+        self._state: Dict[Tuple[str, int], _RuleState] = {}
+
+    # -- evaluation --------------------------------------------------------
+
+    def observe(
+        self, rank: int, t_s: float, values: Mapping[str, float]
+    ) -> List[Alert]:
+        """Feed one tick of series values; returns alerts fired this tick."""
+        fired: List[Alert] = []
+        for rule in self.rules:
+            if rule.series not in values:
+                continue
+            state = self._state.setdefault(
+                (rule.name, rank), _RuleState()
+            )
+            value = float(values[rule.series])
+            if rule.mode == "rate":
+                prev = state.last
+                state.last = (t_s, value)
+                if prev is None:
+                    continue
+                dt = t_s - prev[0]
+                value = (value - prev[1]) / dt if dt > 0.0 else 0.0
+            if rule.condition(value):
+                if state.pending_since is None:
+                    state.pending_since = t_s
+                held = t_s - state.pending_since
+                if state.active is None and held >= rule.for_s:
+                    alert = Alert(
+                        rule=rule,
+                        rank=rank,
+                        t_start_s=state.pending_since,
+                        t_fired_s=t_s,
+                        value=value,
+                    )
+                    state.active = alert
+                    self.alerts.append(alert)
+                    fired.append(alert)
+                    self._emit(alert, "fired")
+            else:
+                state.pending_since = None
+                if state.active is not None:
+                    state.active.t_resolved_s = t_s
+                    self._emit(state.active, "resolved")
+                    state.active = None
+        return fired
+
+    def _emit(self, alert: Alert, transition: str) -> None:
+        if self.telemetry is not None:
+            ts = (
+                alert.t_fired_s
+                if transition == "fired"
+                else alert.t_resolved_s
+            )
+            self.telemetry.emit_instant(
+                f"alert-{transition}",
+                alert.rank,
+                ts=ts,
+                track=TRACK_FAULTS,
+                rule=alert.rule.name,
+                severity=alert.rule.severity,
+                value=alert.value,
+            )
+            if transition == "fired":
+                self.telemetry.metrics.counter(
+                    "alerts_fired", rule=alert.rule.name
+                ).inc()
+        if self.on_alert is not None:
+            self.on_alert(alert, transition)
+
+    # -- queries -----------------------------------------------------------
+
+    @property
+    def active_alerts(self) -> List[Alert]:
+        return [a for a in self.alerts if a.active]
+
+    def fired(self, rule_name: str) -> List[Alert]:
+        return [a for a in self.alerts if a.rule.name == rule_name]
+
+
+def default_rules(
+    gpu_spec=None,
+    power_cap_frac: float = 0.95,
+    power_cap_for_s: float = 0.5,
+    failure_rate_per_s: float = 0.0,
+) -> List[AlertRule]:
+    """The stock rule set the CLI and Simulation wiring install.
+
+    ``gpu_spec`` supplies the board power envelope for the power-cap
+    rule; without one the rule is omitted (there is no cap to compare
+    against).
+    """
+    rules = [
+        AlertRule(
+            name="clock_throttle_detected",
+            series="throttle_active",
+            op=">=",
+            threshold=1.0,
+            severity="critical",
+            description=(
+                "the die is hot enough that the requested clock is "
+                "being capped — pinned-clock energy numbers are invalid"
+            ),
+        ),
+        AlertRule(
+            name="sampler_gap",
+            series="sampler_gap_ticks",
+            op=">",
+            threshold=0.0,
+            description=(
+                "an interval longer than the sampling contract passed "
+                "with no observable device state"
+            ),
+        ),
+        AlertRule(
+            name="clock_set_failures",
+            series="clock_set_failure_rate",
+            op=">",
+            threshold=failure_rate_per_s,
+            description=(
+                "management-library clock sets are failing (retries "
+                "and/or breaker pressure)"
+            ),
+        ),
+    ]
+    if gpu_spec is not None:
+        rules.insert(1, AlertRule(
+            name="power_cap_proximity",
+            series="power_ema_w",
+            op=">=",
+            threshold=power_cap_frac * gpu_spec.max_power_w,
+            for_s=power_cap_for_s,
+            description=(
+                f"smoothed board power within {100 * (1 - power_cap_frac):.0f}% "
+                "of the power envelope"
+            ),
+        ))
+    return rules
+
+
+#: Rule identity used for campaign worker stalls (wall-clock, heartbeat
+#: driven — not evaluated by the engine).
+WORKER_STALL_RULE = AlertRule(
+    name="campaign_worker_stalled",
+    series="heartbeat_age_s",
+    op=">=",
+    threshold=DEFAULT_STALL_AFTER_S,
+    severity="critical",
+    description="a campaign worker lane has not reported progress",
+)
+
+
+def stalled_worker_alerts(
+    heartbeats: Mapping[str, Mapping[str, object]],
+    now_s: float,
+    stall_after_s: float = DEFAULT_STALL_AFTER_S,
+) -> List[Alert]:
+    """Judge campaign worker heartbeats against the stall rule.
+
+    ``heartbeats`` is the parsed ``heartbeats.json`` of a campaign
+    directory (lane -> {"updated_s": epoch, ...}); lanes marked
+    ``"state": "idle"`` are exempt (the campaign finished or the lane
+    drained its queue).
+    """
+    rule = AlertRule(
+        name=WORKER_STALL_RULE.name,
+        series=WORKER_STALL_RULE.series,
+        op=WORKER_STALL_RULE.op,
+        threshold=stall_after_s,
+        severity=WORKER_STALL_RULE.severity,
+        description=WORKER_STALL_RULE.description,
+    )
+    alerts: List[Alert] = []
+    for lane, record in sorted(heartbeats.items()):
+        if record.get("state") == "idle":
+            continue
+        updated = float(record.get("updated_s", 0.0))
+        age = now_s - updated
+        if rule.condition(age):
+            alerts.append(
+                Alert(
+                    rule=rule,
+                    rank=int(lane),
+                    t_start_s=updated,
+                    t_fired_s=now_s,
+                    value=age,
+                )
+            )
+    return alerts

@@ -1,0 +1,518 @@
+"""Self-contained single-file HTML run reports.
+
+One HTML file, zero external references: styles inline, every chart an
+inline SVG. The report is the shareable artifact of a monitored run —
+the Fig. 4–7 view of the paper (power / clock / temperature / energy
+evolving over the run) plus the operational layer this subsystem adds:
+
+* a sparkline card per recorded time series (mean line over a min/max
+  band, with the downsampling drop accounting in the caption);
+* an alert timeline — every fired rule as a bar from fire to resolve
+  time over the run span;
+* sampler-gap inventory (when the monitor was blind, and for how long);
+* the per-function energy table reconciled against the independently
+  gathered :class:`~repro.core.energy.EnergyReport`;
+* the metrics-registry snapshot.
+
+:func:`build_report` produces a plain JSON-able dict (also what
+``repro monitor snapshot --json`` emits); :func:`render_html` turns it
+into the page; :func:`write_html_report` writes atomically.
+"""
+
+from __future__ import annotations
+
+import html
+import json
+import os
+import tempfile
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..telemetry.summary import (
+    RECONCILE_TOL_S,
+    max_drift_s,
+    reconcile_with_report,
+)
+
+#: Series rendered first, in this order, when present (rank 0 view).
+PREFERRED_SERIES = (
+    "power_w",
+    "clock_mhz",
+    "temp_c",
+    "utilization",
+    "energy_j",
+    "power_ema_w",
+    "energy_rate_w",
+    "rolling_edp_js",
+)
+
+_UNITS = {
+    "power_w": "W",
+    "power_ema_w": "W",
+    "energy_rate_w": "W",
+    "pmt_power_w": "W",
+    "clock_mhz": "MHz",
+    "temp_c": "°C",
+    "utilization": "frac",
+    "energy_j": "J",
+    "rolling_edp_js": "J·s",
+    "throttle_active": "bool",
+    "clock_set_failure_rate": "1/s",
+    "trace_events": "events",
+    "trace_dropped": "events",
+}
+
+_SEVERITY_COLOR = {"critical": "#c0392b", "warning": "#e67e22"}
+
+
+# ---------------------------------------------------------------------------
+# Data assembly
+# ---------------------------------------------------------------------------
+
+def build_report(
+    sampler,
+    engine=None,
+    collector=None,
+    report=None,
+    title: str = "repro monitored run",
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the JSON-able report payload from monitor components.
+
+    ``sampler`` is a :class:`~repro.monitor.sampler.DeviceSampler`;
+    ``engine`` the optional alert engine, ``collector`` the trace
+    collector (for the metrics snapshot and reconciliation), ``report``
+    an optional gathered :class:`EnergyReport`.
+    """
+    series: List[Dict[str, object]] = []
+    t_min: Optional[float] = None
+    t_max: Optional[float] = None
+    for name, rank in sampler.series_names():
+        ts = sampler.series(name, rank)
+        if ts.empty:
+            continue
+        buckets = ts.buckets()
+        entry = {
+            "name": name,
+            "rank": rank,
+            "unit": _UNITS.get(name, ""),
+            "n_samples": ts.n_samples,
+            "stride": ts.stride,
+            "aggregated": ts.aggregated,
+            "compactions": ts.compactions,
+            "last": ts.last,
+            "min": ts.min,
+            "max": ts.max,
+            "mean": ts.mean,
+            "points": [[b.t_s, b.mean, b.min_v, b.max_v] for b in buckets],
+        }
+        series.append(entry)
+        t0, t1 = buckets[0].t_s, buckets[-1].t_s
+        t_min = t0 if t_min is None else min(t_min, t0)
+        t_max = t1 if t_max is None else max(t_max, t1)
+
+    series.sort(key=lambda s: (_series_order(s["name"]), s["rank"]))
+
+    alerts: List[Dict[str, object]] = []
+    rules: List[Dict[str, object]] = []
+    if engine is not None:
+        alerts = [a.to_dict() for a in engine.alerts]
+        rules = [
+            {
+                "name": r.name,
+                "condition": r.describe(),
+                "severity": r.severity,
+                "description": r.description,
+            }
+            for r in engine.rules
+        ]
+
+    gaps = [
+        {
+            "rank": g.rank,
+            "t0_s": g.t0_s,
+            "t1_s": g.t1_s,
+            "missed_ticks": g.missed_ticks,
+        }
+        for g in sampler.gaps
+    ]
+
+    functions: List[Dict[str, object]] = []
+    reconciliation: Dict[str, object] = {}
+    if report is not None:
+        aggregated = report.aggregate_functions()
+        drift_by_fn: Dict[str, Dict[str, object]] = {}
+        if collector is not None:
+            rows = reconcile_with_report(collector.events, report)
+            reconciliation = {
+                "max_drift_s": max_drift_s(rows),
+                "tolerance_s": RECONCILE_TOL_S,
+                "ok": all(r.ok() for r in rows),
+            }
+            drift_by_fn = {
+                r.function: {
+                    "trace_time_s": r.trace_time_s,
+                    "drift_s": r.drift_s,
+                    "ok": r.ok(),
+                }
+                for r in rows
+            }
+        for name in sorted(
+            aggregated, key=lambda n: -aggregated[n].total_j
+        ):
+            rec = aggregated[name]
+            row: Dict[str, object] = {
+                "function": name,
+                "calls": rec.calls,
+                "time_s": rec.time_s,
+                "gpu_j": rec.gpu_j,
+                "total_j": rec.total_j,
+            }
+            row.update(drift_by_fn.get(name, {}))
+            functions.append(row)
+
+    return {
+        "schema": 1,
+        "kind": "monitor-report",
+        "title": title,
+        "meta": dict(meta) if meta else {},
+        "t_min_s": t_min,
+        "t_max_s": t_max,
+        "n_ranks": sampler.n_ranks,
+        "period_s": sampler.period_s,
+        "samples_taken": sampler.samples_taken,
+        "series": series,
+        "rules": rules,
+        "alerts": alerts,
+        "gaps": gaps,
+        "functions": functions,
+        "reconciliation": reconciliation,
+        "metrics": sampler.metrics.snapshot(),
+    }
+
+
+def _series_order(name: str) -> int:
+    try:
+        return PREFERRED_SERIES.index(name)
+    except ValueError:
+        return len(PREFERRED_SERIES)
+
+
+# ---------------------------------------------------------------------------
+# SVG helpers
+# ---------------------------------------------------------------------------
+
+def _sparkline_svg(
+    points: Sequence[Sequence[float]],
+    t_range: Tuple[float, float],
+    width: int = 260,
+    height: int = 56,
+    pad: int = 4,
+) -> str:
+    """Mean polyline over a min/max band for one series."""
+    t0, t1 = t_range
+    t_span = (t1 - t0) or 1.0
+    vmin = min(p[2] for p in points)
+    vmax = max(p[3] for p in points)
+    if vmax == vmin:
+        vmin -= 0.5
+        vmax += 0.5
+    v_span = vmax - vmin
+
+    def sx(t: float) -> float:
+        return pad + (t - t0) / t_span * (width - 2 * pad)
+
+    def sy(v: float) -> float:
+        return pad + (vmax - v) / v_span * (height - 2 * pad)
+
+    line = " ".join(f"{sx(p[0]):.1f},{sy(p[1]):.1f}" for p in points)
+    upper = [f"{sx(p[0]):.1f},{sy(p[3]):.1f}" for p in points]
+    lower = [f"{sx(p[0]):.1f},{sy(p[2]):.1f}" for p in reversed(points)]
+    band = " ".join(upper + lower)
+    return (
+        f'<svg class="spark" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">'
+        f'<polygon points="{band}" fill="#3498db" fill-opacity="0.18" '
+        f'stroke="none"/>'
+        f'<polyline points="{line}" fill="none" stroke="#2c3e50" '
+        f'stroke-width="1.4"/>'
+        f"</svg>"
+    )
+
+
+def _timeline_svg(
+    alerts: Sequence[Mapping[str, object]],
+    t_range: Tuple[float, float],
+    width: int = 680,
+    row_h: int = 22,
+    label_w: int = 230,
+    pad: int = 6,
+) -> str:
+    """Alert bars (fire → resolve) over the run span, one row per alert."""
+    t0, t1 = t_range
+    t_span = (t1 - t0) or 1.0
+    height = row_h * len(alerts) + 2 * pad + 18
+
+    def sx(t: float) -> float:
+        frac = min(max((t - t0) / t_span, 0.0), 1.0)
+        return label_w + frac * (width - label_w - pad)
+
+    parts = [
+        f'<svg class="timeline" viewBox="0 0 {width} {height}" '
+        f'width="{width}" height="{height}" role="img">'
+    ]
+    axis_y = height - 14
+    parts.append(
+        f'<line x1="{label_w}" y1="{axis_y}" x2="{width - pad}" '
+        f'y2="{axis_y}" stroke="#95a5a6" stroke-width="1"/>'
+    )
+    for frac in (0.0, 0.5, 1.0):
+        t = t0 + frac * t_span
+        x = label_w + frac * (width - label_w - pad)
+        parts.append(
+            f'<text x="{x:.1f}" y="{height - 2}" font-size="10" '
+            f'fill="#7f8c8d" text-anchor="middle">{t:.2f}s</text>'
+        )
+    for i, alert in enumerate(alerts):
+        y = pad + i * row_h
+        fired = float(alert["t_fired_s"])
+        resolved = alert.get("t_resolved_s")
+        end = float(resolved) if resolved is not None else t1
+        x0, x1 = sx(fired), max(sx(end), sx(fired) + 3.0)
+        color = _SEVERITY_COLOR.get(str(alert["severity"]), "#e67e22")
+        label = f'{alert["rule"]} (rank {alert["rank"]})'
+        parts.append(
+            f'<text x="0" y="{y + row_h - 8}" font-size="11" '
+            f'fill="#2c3e50">{html.escape(label)}</text>'
+        )
+        parts.append(
+            f'<rect x="{x0:.1f}" y="{y + 4}" width="{x1 - x0:.1f}" '
+            f'height="{row_h - 10}" rx="2" fill="{color}" '
+            f'fill-opacity="0.85"/>'
+        )
+        if resolved is None:
+            parts.append(
+                f'<text x="{x1 + 4:.1f}" y="{y + row_h - 8}" font-size="10" '
+                f'fill="{color}">active</text>'
+            )
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+# ---------------------------------------------------------------------------
+# HTML rendering
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 13px/1.45 system-ui, sans-serif; color: #2c3e50;
+       margin: 2em auto; max-width: 960px; padding: 0 1em; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.8em;
+     border-bottom: 1px solid #ecf0f1; padding-bottom: 0.2em; }
+table { border-collapse: collapse; margin: 0.6em 0; }
+th, td { padding: 0.25em 0.8em; text-align: right;
+         border-bottom: 1px solid #ecf0f1; }
+th { background: #f8f9fa; } td:first-child, th:first-child
+   { text-align: left; font-family: ui-monospace, monospace; }
+.cards { display: flex; flex-wrap: wrap; gap: 0.8em; }
+.card { border: 1px solid #ecf0f1; border-radius: 6px; padding: 0.6em;
+        background: #fff; }
+.card .name { font-weight: 600; font-family: ui-monospace, monospace; }
+.card .stats { color: #7f8c8d; font-size: 11px; }
+.ok { color: #27ae60; } .bad { color: #c0392b; font-weight: 600; }
+.meta { color: #7f8c8d; }
+.none { color: #95a5a6; font-style: italic; }
+"""
+
+
+def _esc(value: object) -> str:
+    return html.escape(str(value))
+
+
+def _fmt(value: object, digits: int = 4) -> str:
+    if value is None:
+        return "—"
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return str(value)
+
+
+def render_html(data: Mapping[str, object]) -> str:
+    """Render the report payload into one self-contained HTML page."""
+    t0 = data.get("t_min_s") or 0.0
+    t1 = data.get("t_max_s") or (t0 + 1.0)
+    t_range = (float(t0), float(t1))
+
+    out: List[str] = [
+        "<!DOCTYPE html>",
+        '<html lang="en"><head><meta charset="utf-8">',
+        f"<title>{_esc(data['title'])}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>{_esc(data['title'])}</h1>",
+        '<p class="meta">'
+        f"{data['n_ranks']} rank(s) · sampling period "
+        f"{_fmt(data['period_s'])} s · {data['samples_taken']} samples · "
+        f"span {_fmt(t_range[0])}–{_fmt(t_range[1])} s</p>",
+    ]
+    meta = data.get("meta") or {}
+    if meta:
+        rows = "".join(
+            f"<tr><td>{_esc(k)}</td><td>{_esc(v)}</td></tr>"
+            for k, v in sorted(meta.items())
+        )
+        out.append(f"<table>{rows}</table>")
+
+    out.append("<h2>Time series</h2>")
+    series = data.get("series") or []
+    if series:
+        out.append('<div class="cards">')
+        for entry in series:
+            spark = _sparkline_svg(entry["points"], t_range)
+            caption = (
+                f"last {_fmt(entry['last'])} · min {_fmt(entry['min'])} · "
+                f"max {_fmt(entry['max'])} · mean {_fmt(entry['mean'])}"
+            )
+            agg = (
+                f" · {entry['aggregated']} of {entry['n_samples']} samples "
+                f"aggregated (stride {entry['stride']})"
+                if entry["aggregated"]
+                else f" · {entry['n_samples']} samples"
+            )
+            unit = f" [{entry['unit']}]" if entry["unit"] else ""
+            out.append(
+                '<div class="card">'
+                f'<div class="name">{_esc(entry["name"])}'
+                f"{_esc(unit)} · rank {entry['rank']}</div>"
+                f"{spark}"
+                f'<div class="stats">{_esc(caption)}{_esc(agg)}</div>'
+                "</div>"
+            )
+        out.append("</div>")
+    else:
+        out.append('<p class="none">no series recorded</p>')
+
+    out.append("<h2>Alert timeline</h2>")
+    alerts = data.get("alerts") or []
+    if alerts:
+        out.append(_timeline_svg(alerts, t_range))
+        rows = "".join(
+            "<tr>"
+            f"<td>{_esc(a['rule'])}</td><td>{_esc(a['severity'])}</td>"
+            f"<td>{a['rank']}</td><td>{_fmt(a['t_fired_s'])}</td>"
+            f"<td>{_fmt(a.get('t_resolved_s'))}</td>"
+            f"<td>{_fmt(a['value'])}</td>"
+            f"<td>{_esc(a['condition'])}</td>"
+            "</tr>"
+            for a in alerts
+        )
+        out.append(
+            "<table><tr><th>rule</th><th>severity</th><th>rank</th>"
+            "<th>fired [s]</th><th>resolved [s]</th><th>value</th>"
+            f"<th>condition</th></tr>{rows}</table>"
+        )
+    else:
+        out.append('<p class="none">no alerts fired</p>')
+
+    gaps = data.get("gaps") or []
+    if gaps:
+        out.append("<h2>Sampler gaps</h2>")
+        rows = "".join(
+            "<tr>"
+            f"<td>rank {g['rank']}</td><td>{_fmt(g['t0_s'])}</td>"
+            f"<td>{_fmt(g['t1_s'])}</td><td>{g['missed_ticks']}</td>"
+            "</tr>"
+            for g in gaps
+        )
+        out.append(
+            "<table><tr><th>rank</th><th>from [s]</th><th>to [s]</th>"
+            f"<th>missed ticks</th></tr>{rows}</table>"
+        )
+
+    functions = data.get("functions") or []
+    if functions:
+        out.append("<h2>Per-function energy (reconciled)</h2>")
+        rows = []
+        for fn in functions:
+            ok = fn.get("ok")
+            verdict = (
+                '<td class="ok">ok</td>'
+                if ok
+                else ('<td class="bad">DRIFT</td>' if ok is not None
+                      else "<td>—</td>")
+            )
+            rows.append(
+                "<tr>"
+                f"<td>{_esc(fn['function'])}</td><td>{fn['calls']}</td>"
+                f"<td>{_fmt(fn['time_s'])}</td>"
+                f"<td>{_fmt(fn['gpu_j'])}</td>"
+                f"<td>{_fmt(fn['total_j'])}</td>"
+                f"<td>{_fmt(fn.get('drift_s'), 2)}</td>{verdict}"
+                "</tr>"
+            )
+        out.append(
+            "<table><tr><th>function</th><th>calls</th><th>time [s]</th>"
+            "<th>GPU [J]</th><th>total [J]</th><th>drift [s]</th>"
+            f"<th></th></tr>{''.join(rows)}</table>"
+        )
+        rec = data.get("reconciliation") or {}
+        if rec:
+            cls = "ok" if rec.get("ok") else "bad"
+            out.append(
+                f'<p class="{cls}">max trace-vs-report drift '
+                f"{_fmt(rec['max_drift_s'], 2)} s "
+                f"(tolerance {_fmt(rec['tolerance_s'], 2)} s)</p>"
+            )
+
+    metrics = data.get("metrics") or {}
+    counters = metrics.get("counters") or {}
+    if counters:
+        out.append("<h2>Counters</h2>")
+        rows = "".join(
+            f"<tr><td>{_esc(k)}</td><td>{_fmt(v)}</td></tr>"
+            for k, v in sorted(counters.items())
+        )
+        out.append(f"<table><tr><th>counter</th><th>value</th></tr>{rows}</table>")
+
+    out.append("</body></html>")
+    return "\n".join(out)
+
+
+def write_html_report(path: str, data: Mapping[str, object]) -> str:
+    """Render and atomically write the report; returns the HTML."""
+    text = render_html(data)
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".report-", suffix=".html.tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            fh.write(text)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    return text
+
+
+def write_json_snapshot(path: str, data: Mapping[str, object]) -> None:
+    """Atomically write the report payload as JSON."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(
+        dir=directory, prefix=".snapshot-", suffix=".json.tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            json.dump(data, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise

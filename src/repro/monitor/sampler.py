@@ -1,0 +1,345 @@
+"""Periodic polling of every simulated device into time-series rings.
+
+:class:`DeviceSampler` is the simulated-time analogue of the background
+measurement thread a live monitoring agent would run next to a real
+job (the continuous counter sampling of the companion measurement
+paper, arXiv:2312.05102). Real sensors can only be read when the
+process gets scheduled; here, device state is only observable at clock
+event boundaries. The sampler therefore subscribes to every rank's
+:class:`~repro.hardware.clock.VirtualClock` and takes one reading per
+advance once at least one sampling period has elapsed — deterministic,
+zero simulated-time perturbation of the measured code.
+
+Per rank and period it records board power, SM clock, die temperature,
+device utilization, cumulative energy and the thermal-throttle flag,
+plus process-level stats (trace ring occupancy/drops, clock-set call
+and vendor-error counters). From those it derives, incrementally:
+
+* ``power_ema_w`` — exponentially smoothed power;
+* ``energy_rate_w`` — instantaneous energy rate (dE/dt);
+* ``rolling_edp_js`` — trailing-window energy x window span;
+* ``clock_set_failure_rate`` — vendor errors per second.
+
+When a clock advance spans more than ``gap_factor`` sampling periods
+(a long kernel, a wedged phase), the unobservable interval is recorded
+as a *sampler gap*: counted per rank, listed in :attr:`gaps`, emitted
+on the telemetry faults track, and surfaced to the alert engine as the
+``sampler_gap_ticks`` series — the monitoring layer tells you when it
+was blind, instead of silently interpolating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..telemetry.events import TRACK_FAULTS
+from ..telemetry.metrics import MetricsRegistry
+from .series import DEFAULT_CAPACITY, Ema, RateTracker, TimeSeries, WindowDelta
+
+#: Device-level series names, in display order.
+DEVICE_SERIES = (
+    "power_w",
+    "clock_mhz",
+    "temp_c",
+    "utilization",
+    "energy_j",
+    "power_ema_w",
+    "energy_rate_w",
+    "rolling_edp_js",
+    "throttle_active",
+)
+
+#: Process-level series names (rank 0 only).
+PROCESS_SERIES = (
+    "clock_set_failure_rate",
+    "trace_events",
+    "trace_dropped",
+)
+
+
+@dataclass(frozen=True)
+class SamplerGap:
+    """One interval the sampler could not observe on schedule."""
+
+    rank: int
+    t0_s: float
+    t1_s: float
+    missed_ticks: int
+
+
+class DeviceSampler:
+    """Samples every device of a cluster on its own simulated clock.
+
+    Parameters
+    ----------
+    gpus / clocks:
+        Per-rank devices and their rank-local clocks (equal length).
+    period_s:
+        Sampling contract in simulated seconds.
+    capacity:
+        Ring capacity of each :class:`TimeSeries`.
+    telemetry:
+        Optional :class:`~repro.telemetry.TraceCollector`; every sample
+        is mirrored as a ``device`` counter event and gap instants land
+        on the faults track. Its metrics registry is shared.
+    controller:
+        Optional :class:`~repro.core.controller.FrequencyController`;
+        enables the clock-set failure-rate series.
+    alerts:
+        Optional :class:`~repro.monitor.alerts.AlertEngine`, fed one
+        observation per sample.
+    """
+
+    def __init__(
+        self,
+        gpus: List,
+        clocks: List,
+        period_s: float = 0.05,
+        capacity: int = DEFAULT_CAPACITY,
+        telemetry=None,
+        metrics: Optional[MetricsRegistry] = None,
+        controller=None,
+        alerts=None,
+        ema_tau_s: float = 0.5,
+        edp_window_s: float = 2.0,
+        gap_factor: float = 4.0,
+    ) -> None:
+        if len(gpus) != len(clocks):
+            raise ValueError("need one clock per device")
+        if not gpus:
+            raise ValueError("sampler needs at least one device")
+        if period_s <= 0.0:
+            raise ValueError("sampling period must be positive")
+        if gap_factor < 1.0:
+            raise ValueError("gap factor must be >= 1")
+        self._gpus = list(gpus)
+        self._clocks = list(clocks)
+        self.period_s = period_s
+        self.capacity = capacity
+        self._telemetry = telemetry
+        if metrics is not None:
+            self.metrics = metrics
+        elif telemetry is not None:
+            self.metrics = telemetry.metrics
+        else:
+            self.metrics = MetricsRegistry()
+        self._controller = controller
+        self.alerts = alerts
+        self.gap_factor = gap_factor
+        self._series: Dict[Tuple[str, int], TimeSeries] = {}
+        self._ema = [Ema(ema_tau_s) for _ in gpus]
+        self._energy_rate = [RateTracker() for _ in gpus]
+        self._edp_window = [WindowDelta(edp_window_s) for _ in gpus]
+        self._failure_rate = RateTracker()
+        self._last_sample_t: List[Optional[float]] = [None] * len(gpus)
+        # Per-tick lookup caches: the registry returns stable objects
+        # per (name, labels), so resolving them once keeps the sampling
+        # hot path free of label-tuple construction (see
+        # benchmarks/bench_monitor_overhead.py).
+        self._gauges: Dict[Tuple[str, int], object] = {}
+        self._sample_counters: Dict[int, object] = {}
+        self._listeners: List = []
+        self._running = False
+        #: Unobservable intervals, chronological.
+        self.gaps: List[SamplerGap] = []
+        #: Samples taken across all ranks.
+        self.samples_taken = 0
+
+    @classmethod
+    def for_cluster(cls, cluster, **kwargs) -> "DeviceSampler":
+        """Sampler over every rank device of a built cluster."""
+        return cls(gpus=cluster.gpus, clocks=cluster.clocks, **kwargs)
+
+    @property
+    def n_ranks(self) -> int:
+        return len(self._gpus)
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Subscribe to every rank clock and take an immediate sample."""
+        if self._running:
+            raise RuntimeError("sampler is already running")
+        self._running = True
+        for rank, clock in enumerate(self._clocks):
+            listener = self._make_listener(rank)
+            self._listeners.append(listener)
+            clock.subscribe(listener)
+            self._sample(rank, clock.now)
+
+    def stop(self) -> None:
+        """Unsubscribe; a final sample pins the series at stop time."""
+        if not self._running:
+            raise RuntimeError("sampler is not running")
+        for clock, listener in zip(self._clocks, self._listeners):
+            clock.unsubscribe(listener)
+        self._listeners = []
+        self._running = False
+        for rank, clock in enumerate(self._clocks):
+            if self._last_sample_t[rank] != clock.now:
+                self._sample(rank, clock.now)
+
+    def _make_listener(self, rank: int):
+        def on_advance(t0: float, t1: float) -> None:
+            last = self._last_sample_t[rank]
+            if last is None or t1 - last >= self.period_s - 1e-12:
+                self._sample(rank, t1)
+
+        return on_advance
+
+    # -- sampling ----------------------------------------------------------
+
+    def _sample(self, rank: int, t_s: float) -> None:
+        gpu = self._gpus[rank]
+        last = self._last_sample_t[rank]
+        gap_ticks = 0
+        if last is not None:
+            elapsed = t_s - last
+            if elapsed >= self.gap_factor * self.period_s:
+                gap_ticks = int(elapsed / self.period_s) - 1
+                self._record_gap(rank, last, t_s, gap_ticks)
+        self._last_sample_t[rank] = t_s
+        self.samples_taken += 1
+
+        power_w = gpu.power_w()
+        energy_j = gpu.energy_j
+        values: Dict[str, float] = {
+            "power_w": power_w,
+            "clock_mhz": gpu.current_clock_hz / 1e6,
+            "temp_c": gpu.temperature_c,
+            "utilization": gpu.utilization(window_s=max(1.0, self.period_s)),
+            "energy_j": energy_j,
+            "throttle_active": 1.0 if gpu.thermal_throttle_active else 0.0,
+            "power_ema_w": self._ema[rank].update(t_s, power_w),
+            "energy_rate_w": self._energy_rate[rank].update(t_s, energy_j),
+            "sampler_gap_ticks": float(gap_ticks),
+        }
+        window = self._edp_window[rank]
+        windowed_j = window.update(t_s, energy_j)
+        values["rolling_edp_js"] = windowed_j * max(
+            window.span_s, self.period_s
+        )
+
+        if rank == 0:
+            values.update(self._process_values(t_s))
+
+        for name in DEVICE_SERIES:
+            self._record(name, rank, t_s, values[name])
+        if rank == 0:
+            for name in PROCESS_SERIES:
+                if name in values:
+                    self._record(name, rank, t_s, values[name])
+
+        for key, value in values.items():
+            self._gauge(key, rank).set(value)
+        counter = self._sample_counters.get(rank)
+        if counter is None:
+            counter = self._sample_counters[rank] = self.metrics.counter(
+                "monitor_samples", rank=rank
+            )
+        counter.inc()
+
+        if self._telemetry is not None:
+            self._telemetry.emit_counter_sample(
+                "device",
+                rank,
+                {
+                    "power_w": values["power_w"],
+                    "clock_mhz": values["clock_mhz"],
+                    "temp_c": values["temp_c"],
+                    "utilization": values["utilization"],
+                },
+                ts=t_s,
+            )
+        if self.alerts is not None:
+            self.alerts.observe(rank, t_s, values)
+
+    def _process_values(self, t_s: float) -> Dict[str, float]:
+        values: Dict[str, float] = {}
+        if self._controller is not None:
+            values["clock_set_calls"] = float(self._controller.clock_set_calls)
+            values["clock_set_failure_rate"] = self._failure_rate.update(
+                t_s, float(self._controller.vendor_errors)
+            )
+        if self._telemetry is not None:
+            values["trace_events"] = float(len(self._telemetry))
+            values["trace_dropped"] = float(self._telemetry.dropped)
+        return values
+
+    def _record_gap(
+        self, rank: int, t0: float, t1: float, missed: int
+    ) -> None:
+        self.gaps.append(
+            SamplerGap(rank=rank, t0_s=t0, t1_s=t1, missed_ticks=missed)
+        )
+        self.metrics.counter("sampler_gaps", rank=rank).inc()
+        self.metrics.counter("sampler_gap_ticks", rank=rank).inc(missed)
+        if self._telemetry is not None:
+            self._telemetry.emit_instant(
+                "sampler-gap",
+                rank,
+                ts=t1,
+                track=TRACK_FAULTS,
+                t0_s=t0,
+                missed_ticks=missed,
+            )
+
+    # -- external observations (PMT sampler feed) --------------------------
+
+    def observe_external(
+        self, series: str, rank: int, t_s: float, value: float
+    ) -> None:
+        """Record a sample produced by another observer (e.g. PMT)."""
+        self._record(series, rank, t_s, value)
+        self._gauge(series, rank).set(value)
+
+    def observe_external_gap(
+        self, rank: int, t0: float, t1: float
+    ) -> None:
+        """A gap reported by another observer feeds the same alert rule."""
+        missed = max(int((t1 - t0) / self.period_s), 1)
+        self._record_gap(rank, t0, t1, missed)
+        if self.alerts is not None:
+            self.alerts.observe(
+                rank, t1, {"sampler_gap_ticks": float(missed)}
+            )
+
+    # -- series access -----------------------------------------------------
+
+    def _gauge(self, key: str, rank: int):
+        gauge = self._gauges.get((key, rank))
+        if gauge is None:
+            gauge = self._gauges[(key, rank)] = self.metrics.gauge(
+                f"monitor_{key}", rank=rank
+            )
+        return gauge
+
+    def _record(self, name: str, rank: int, t_s: float, value: float) -> None:
+        key = (name, rank)
+        series = self._series.get(key)
+        if series is None:
+            series = self._series[key] = TimeSeries(self.capacity)
+        series.append(t_s, value)
+
+    def series(self, name: str, rank: int = 0) -> TimeSeries:
+        """One series (empty if never sampled)."""
+        key = (name, rank)
+        if key not in self._series:
+            self._series[key] = TimeSeries(self.capacity)
+        return self._series[key]
+
+    def series_names(self) -> List[Tuple[str, int]]:
+        """All populated ``(name, rank)`` series keys, sorted."""
+        return sorted(self._series)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Every series as plain dicts, keyed ``name[rank]``."""
+        return {
+            f"{name}[{rank}]": self._series[(name, rank)].to_dict()
+            for name, rank in self.series_names()
+        }

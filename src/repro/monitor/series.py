@@ -1,0 +1,261 @@
+"""Fixed-capacity downsampling time series and incremental derivations.
+
+The live monitoring layer must hold hours of samples in bounded memory
+without losing the shape of the signal. :class:`TimeSeries` solves this
+the way production monitoring agents do: a ring of *buckets* rather
+than raw points. While the series fits, every sample is its own bucket;
+once the ring reaches capacity, adjacent buckets are merged pairwise
+and the aggregation stride doubles, so the series always spans the
+whole run at progressively coarser (but mean/min/max-preserving)
+resolution. Samples folded into a shared bucket are counted in
+:attr:`TimeSeries.aggregated` — drop accounting that mirrors the trace
+collector's ``trace_events_dropped``, except nothing disappears: the
+envelope of the signal survives.
+
+The module also provides the small incremental estimators the
+:class:`~repro.monitor.sampler.DeviceSampler` derives its rolling
+series from: an irregular-interval exponential moving average, a
+difference-quotient rate tracker and a trailing-window delta (for
+rolling energy and EDP). All are O(1) per sample (the window tracker
+amortized), so monitoring cost does not grow with run length.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Tuple
+
+#: Default ring capacity: plenty for a sparkline, bounded for a soak run.
+DEFAULT_CAPACITY = 256
+
+
+@dataclass
+class Bucket:
+    """Aggregate of one or more consecutive samples."""
+
+    t_s: float  #: Timestamp of the newest sample in the bucket.
+    mean: float
+    min_v: float
+    max_v: float
+    last: float
+    n: int
+
+    @classmethod
+    def of(cls, t_s: float, value: float) -> "Bucket":
+        return cls(t_s=t_s, mean=value, min_v=value, max_v=value,
+                   last=value, n=1)
+
+    def absorb(self, other: "Bucket") -> None:
+        """Merge a newer bucket into this one."""
+        total = self.n + other.n
+        self.mean = (self.mean * self.n + other.mean * other.n) / total
+        self.min_v = min(self.min_v, other.min_v)
+        self.max_v = max(self.max_v, other.max_v)
+        self.last = other.last
+        self.t_s = other.t_s
+        self.n = total
+
+
+class TimeSeries:
+    """A bounded, self-downsampling series of ``(time, value)`` samples.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of buckets held. Must be at least 2 (compaction
+        merges pairs). Memory use is O(capacity) regardless of how many
+        samples are appended.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 2:
+            raise ValueError("series capacity must be >= 2")
+        self.capacity = capacity
+        self._buckets: Deque[Bucket] = deque()
+        #: Samples aggregated per stored bucket (doubles per compaction).
+        self.stride = 1
+        self._pending: Optional[Bucket] = None
+        #: Total samples ever appended.
+        self.n_samples = 0
+        #: Pairwise-merge passes performed (resolution halvings).
+        self.compactions = 0
+
+    def append(self, t_s: float, value: float) -> None:
+        """Record one sample (timestamps must be non-decreasing)."""
+        self.n_samples += 1
+        value = float(value)
+        pending = self._pending
+        if pending is None:
+            pending = self._pending = Bucket.of(t_s, value)
+        else:
+            # Single-sample absorb, inlined: this runs once per sample
+            # on the monitoring hot path.
+            n = pending.n
+            pending.mean = (pending.mean * n + value) / (n + 1)
+            if value < pending.min_v:
+                pending.min_v = value
+            elif value > pending.max_v:
+                pending.max_v = value
+            pending.last = value
+            pending.t_s = t_s
+            pending.n = n + 1
+        if pending.n >= self.stride:
+            self._buckets.append(pending)
+            self._pending = None
+            if len(self._buckets) >= self.capacity:
+                self._compact()
+
+    def _compact(self) -> None:
+        """Halve resolution: merge adjacent bucket pairs, double stride."""
+        merged: Deque[Bucket] = deque()
+        buckets = list(self._buckets)
+        for i in range(0, len(buckets) - 1, 2):
+            first, second = buckets[i], buckets[i + 1]
+            first.absorb(second)
+            merged.append(first)
+        if len(buckets) % 2:
+            merged.append(buckets[-1])
+        self._buckets = merged
+        self.stride *= 2
+        self.compactions += 1
+
+    # -- accessors ---------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._buckets) + (1 if self._pending is not None else 0)
+
+    @property
+    def empty(self) -> bool:
+        return self.n_samples == 0
+
+    @property
+    def aggregated(self) -> int:
+        """Samples no longer stored as individual points (drop accounting)."""
+        return self.n_samples - len(self)
+
+    def buckets(self) -> List[Bucket]:
+        """All buckets, oldest first (including the partial tail)."""
+        out = list(self._buckets)
+        if self._pending is not None:
+            out.append(self._pending)
+        return out
+
+    def points(self) -> List[Tuple[float, float]]:
+        """``(t, mean)`` pairs, the sparkline-friendly view."""
+        return [(b.t_s, b.mean) for b in self.buckets()]
+
+    @property
+    def last(self) -> Optional[float]:
+        b = self.buckets()
+        return b[-1].last if b else None
+
+    @property
+    def last_t_s(self) -> Optional[float]:
+        b = self.buckets()
+        return b[-1].t_s if b else None
+
+    @property
+    def min(self) -> Optional[float]:
+        b = self.buckets()
+        return min(x.min_v for x in b) if b else None
+
+    @property
+    def max(self) -> Optional[float]:
+        b = self.buckets()
+        return max(x.max_v for x in b) if b else None
+
+    @property
+    def mean(self) -> Optional[float]:
+        b = self.buckets()
+        if not b:
+            return None
+        total = sum(x.mean * x.n for x in b)
+        return total / sum(x.n for x in b)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot for JSON export and the HTML report."""
+        return {
+            "n_samples": self.n_samples,
+            "stride": self.stride,
+            "aggregated": self.aggregated,
+            "compactions": self.compactions,
+            "last": self.last,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "points": [[b.t_s, b.mean] for b in self.buckets()],
+        }
+
+
+class Ema:
+    """Exponential moving average over irregularly spaced samples.
+
+    The effective smoothing constant adapts to the sample spacing:
+    ``alpha = 1 - exp(-dt / tau)``, so a burst of dense samples and a
+    sparse trickle converge to the same time-weighted average.
+    """
+
+    def __init__(self, tau_s: float) -> None:
+        if tau_s <= 0.0:
+            raise ValueError("EMA time constant must be positive")
+        self.tau_s = tau_s
+        self.value: Optional[float] = None
+        self._last_t: Optional[float] = None
+
+    def update(self, t_s: float, sample: float) -> float:
+        if self.value is None or self._last_t is None:
+            self.value = float(sample)
+        else:
+            dt = max(t_s - self._last_t, 0.0)
+            alpha = 1.0 - math.exp(-dt / self.tau_s) if dt > 0.0 else 0.0
+            self.value += alpha * (sample - self.value)
+        self._last_t = t_s
+        return self.value
+
+
+class RateTracker:
+    """Difference quotient of a cumulative counter: ``d(value)/dt``."""
+
+    def __init__(self) -> None:
+        self._last: Optional[Tuple[float, float]] = None
+        self.rate = 0.0
+
+    def update(self, t_s: float, cumulative: float) -> float:
+        if self._last is not None:
+            t0, v0 = self._last
+            dt = t_s - t0
+            self.rate = (cumulative - v0) / dt if dt > 0.0 else 0.0
+        self._last = (t_s, cumulative)
+        return self.rate
+
+
+class WindowDelta:
+    """Increase of a cumulative quantity over a trailing time window.
+
+    Feeding it a cumulative energy counter yields windowed joules; the
+    sampler multiplies by the window span to get a rolling EDP. The
+    deque holds only samples inside the window, so memory is bounded by
+    window / sampling period.
+    """
+
+    def __init__(self, window_s: float) -> None:
+        if window_s <= 0.0:
+            raise ValueError("window must be positive")
+        self.window_s = window_s
+        self._samples: Deque[Tuple[float, float]] = deque()
+
+    def update(self, t_s: float, cumulative: float) -> float:
+        self._samples.append((t_s, cumulative))
+        lo = t_s - self.window_s
+        while len(self._samples) > 1 and self._samples[1][0] <= lo:
+            self._samples.popleft()
+        return cumulative - self._samples[0][1]
+
+    @property
+    def span_s(self) -> float:
+        """Time actually covered (shorter than the window early on)."""
+        if len(self._samples) < 2:
+            return 0.0
+        return self._samples[-1][0] - self._samples[0][0]

@@ -67,6 +67,11 @@ class PmtSampler:
         is mirrored as a ``power`` counter event for ``rank``.
     rank:
         Track identity of the emitted counter events.
+    monitor:
+        Optional :class:`~repro.monitor.Monitor` (or bare
+        :class:`~repro.monitor.DeviceSampler`): every sample feeds the
+        live ``pmt_power_w`` series and bridged gaps feed the same
+        ``sampler_gap`` alert rule the device sampler uses.
     """
 
     def __init__(
@@ -76,6 +81,7 @@ class PmtSampler:
         period_s: float = 0.1,
         telemetry=None,
         rank: int = 0,
+        monitor=None,
     ) -> None:
         if period_s <= 0.0:
             raise ValueError("sampling period must be positive")
@@ -87,6 +93,8 @@ class PmtSampler:
         self._last: Optional[State] = None
         self._telemetry = telemetry
         self._rank = rank
+        # Accept the Monitor facade or a bare DeviceSampler.
+        self._monitor = getattr(monitor, "sampler", monitor)
         self._segment_start_j = 0.0
         self._segment_start_t = 0.0
         #: Bridged sampling gaps as ``(start_s, end_s)`` intervals.
@@ -147,6 +155,10 @@ class PmtSampler:
                 {"watts": sample.watts, "joules": sample.joules},
                 ts=sample.timestamp_s,
             )
+        if self._monitor is not None:
+            self._monitor.observe_external(
+                "pmt_power_w", self._rank, sample.timestamp_s, sample.watts
+            )
 
     def _close_gap(self, end_t: float) -> None:
         assert self._gap_start is not None
@@ -157,6 +169,8 @@ class PmtSampler:
             self._telemetry.record_power_gap(
                 self._rank, gap[0], gap[1], reason="power read failed"
             )
+        if self._monitor is not None:
+            self._monitor.observe_external_gap(self._rank, gap[0], gap[1])
 
     def _on_advance(self, t0: float, t1: float) -> None:
         assert self._last is not None

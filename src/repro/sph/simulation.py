@@ -110,6 +110,13 @@ class Simulation:
         :meth:`run`, and polled for job preemption once per step. A
         preempted run returns a partial result flagged ``preempted``
         rather than raising.
+    monitor:
+        Optional :class:`~repro.monitor.Monitor`. When given, it is
+        bound to the cluster and the frequency controller (sharing the
+        telemetry collector, if any); the device sampler starts after
+        initialization — covering exactly the instrumented window — and
+        stops when the run finishes. When ``None`` — the default — no
+        monitoring happens and the run is unchanged.
     """
 
     def __init__(
@@ -123,6 +130,7 @@ class Simulation:
         telemetry=None,
         resilience: Optional[ResilienceConfig] = None,
         faults: Optional[FaultInjector] = None,
+        monitor=None,
     ) -> None:
         self.cluster = cluster
         self.workload_name = workload_name
@@ -171,6 +179,14 @@ class Simulation:
             faults.bind_cluster(cluster)
             if telemetry is not None and faults.telemetry is None:
                 faults.telemetry = telemetry
+        self.monitor = monitor
+        if monitor is not None:
+            if monitor.telemetry is None and telemetry is not None:
+                monitor.telemetry = telemetry
+            if not monitor.bound:
+                monitor.bind_cluster(cluster, controller=self.controller)
+            else:
+                monitor.bind_controller(self.controller)
         self.dt_history: List[float] = []
         self._initialized = False
 
@@ -210,6 +226,11 @@ class Simulation:
         preempted = False
         with injected if injected is not None else nullcontext():
             self.initialize()
+            # The sampler opens with the instrumented window, so the
+            # setup phase (idle GPUs, one long clock advance) does not
+            # masquerade as a sampling gap.
+            if self.monitor is not None and not self.monitor.running:
+                self.monitor.start()
             self.profiler.open_window()
             try:
                 for _ in range(n_steps):
@@ -227,6 +248,8 @@ class Simulation:
                         steps_done=exc.steps_done,
                     )
             self.profiler.close_window()
+            if self.monitor is not None:
+                self.monitor.stop()
         report = self.profiler.gather(self.cluster.comm)
         for degradation in self.controller.degradations:
             report.mark_degraded(degradation.rank, degradation.reason)
@@ -398,6 +421,7 @@ def run_instrumented(
     telemetry=None,
     resilience: Optional[ResilienceConfig] = None,
     faults: Optional[FaultInjector] = None,
+    monitor=None,
 ) -> SimulationResult:
     """Convenience wrapper: build, initialize and run a simulation."""
     sim = Simulation(
@@ -410,5 +434,6 @@ def run_instrumented(
         telemetry=telemetry,
         resilience=resilience,
         faults=faults,
+        monitor=monitor,
     )
     return sim.run(n_steps)

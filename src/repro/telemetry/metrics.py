@@ -22,11 +22,40 @@ def _label_key(labels: Mapping[str, object]) -> LabelKey:
     return tuple(sorted((k, str(v)) for k, v in labels.items()))
 
 
+#: Characters that would make a rendered series string ambiguous.
+_ESCAPES = (
+    ("\\", "\\\\"),  # first, so escapes themselves stay unambiguous
+    ("=", r"\="),
+    (",", r"\,"),
+    ("{", r"\{"),
+    ("}", r"\}"),
+    ("\n", r"\n"),
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Backslash-escape the structural characters of a series string.
+
+    Without this, a label value like ``phase=a,b`` renders into a key
+    indistinguishable from two separate labels. Plain alphanumeric
+    values render byte-identically to before.
+    """
+    for char, replacement in _ESCAPES:
+        value = value.replace(char, replacement)
+    return value
+
+
 def series_key(name: str, labels: LabelKey) -> str:
-    """Render ``name{label=value,...}`` (plain ``name`` when unlabeled)."""
+    """Render ``name{label=value,...}`` (plain ``name`` when unlabeled).
+
+    Label values are escaped via :func:`escape_label_value` so the
+    rendered string parses back unambiguously.
+    """
+    if not name:
+        raise ValueError("metric name must not be empty")
     if not labels:
         return name
-    inner = ",".join(f"{k}={v}" for k, v in labels)
+    inner = ",".join(f"{k}={escape_label_value(v)}" for k, v in labels)
     return f"{name}{{{inner}}}"
 
 
@@ -113,6 +142,8 @@ class MetricsRegistry:
     # -- get-or-create accessors ---------------------------------------------
 
     def counter(self, name: str, /, **labels: object) -> Counter:
+        if not name:
+            raise ValueError("metric name must not be empty")
         key = (name, _label_key(labels))
         counter = self._counters.get(key)
         if counter is None:
@@ -120,6 +151,8 @@ class MetricsRegistry:
         return counter
 
     def gauge(self, name: str, /, **labels: object) -> Gauge:
+        if not name:
+            raise ValueError("metric name must not be empty")
         key = (name, _label_key(labels))
         gauge = self._gauges.get(key)
         if gauge is None:
@@ -133,6 +166,8 @@ class MetricsRegistry:
         bounds: Optional[Sequence[float]] = None,
         **labels: object,
     ) -> Histogram:
+        if not name:
+            raise ValueError("metric name must not be empty")
         key = (name, _label_key(labels))
         histogram = self._histograms.get(key)
         if histogram is None:
@@ -149,6 +184,21 @@ class MetricsRegistry:
 
     def counter_names(self) -> Iterable[str]:
         return sorted({n for n, _ in self._counters})
+
+    # -- iteration (exposition backends) --------------------------------------
+
+    def iter_counters(self) -> Iterable[Tuple[str, LabelKey, Counter]]:
+        """``(name, labels, counter)`` triples, sorted by series key."""
+        for (name, labels), counter in sorted(self._counters.items()):
+            yield name, labels, counter
+
+    def iter_gauges(self) -> Iterable[Tuple[str, LabelKey, Gauge]]:
+        for (name, labels), gauge in sorted(self._gauges.items()):
+            yield name, labels, gauge
+
+    def iter_histograms(self) -> Iterable[Tuple[str, LabelKey, Histogram]]:
+        for (name, labels), histogram in sorted(self._histograms.items()):
+            yield name, labels, histogram
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Everything, as plain dicts keyed by rendered series name."""

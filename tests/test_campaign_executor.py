@@ -312,3 +312,42 @@ def test_example_campaign_reproduces_fig7_ranking(tmp_path):
     assert ranking.index("mandyn") < min(ranking.index(s) for s in statics)
     assert group["knee"] == "mandyn"
     assert mandyn["pareto"]
+
+
+# ---------------------------------------------------------------------------
+# worker heartbeats (consumed by `repro monitor watch`)
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_writes_heartbeats_and_parks_lanes_idle(tmp_path):
+    spec = _spec(policies=({"kind": "baseline"},), clocks_mhz=(1305.0,))
+    _, store = run_campaign(spec, str(tmp_path / "c"))
+    beats = store.read_heartbeats()
+    assert beats, "executor must leave a heartbeat file behind"
+    # After a clean drain every lane is parked idle so watchers never
+    # mistake a finished campaign for a stalled one.
+    assert all(r["state"] == "idle" for r in beats.values())
+    assert all(r["updated_s"] > 0 for r in beats.values())
+    snap = store.read_heartbeats()  # stable across re-reads
+    assert snap == beats
+
+
+def test_pool_heartbeats_cover_every_lane(tmp_path):
+    spec = _spec()
+    _, store = run_campaign(
+        spec, str(tmp_path / "c"), ExecutorConfig(workers=2)
+    )
+    beats = store.read_heartbeats()
+    assert set(beats) == {"0", "1"}
+    assert all(r["state"] == "idle" for r in beats.values())
+
+
+def test_heartbeat_write_failure_does_not_kill_campaign(tmp_path, monkeypatch):
+    spec = _spec(policies=({"kind": "baseline"},), clocks_mhz=(1305.0,))
+
+    def boom(self, lanes):
+        raise OSError("disk full")
+
+    monkeypatch.setattr(RunStore, "write_heartbeats", boom)
+    status, store = run_campaign(spec, str(tmp_path / "c"))
+    assert status.complete  # monitoring is best-effort, runs are not

@@ -100,3 +100,24 @@ def test_no_tmp_files_left_behind(tmp_path):
     store.record_done("k1", UNIT, RESULT)
     leftovers = list((tmp_path / "runs").glob("*.tmp"))
     assert leftovers == []
+
+
+def test_heartbeats_roundtrip_and_absent_default(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    assert store.read_heartbeats() == {}
+    lanes = {
+        "0": {"updated_s": 12.5, "state": "running", "unit": "u"},
+        "1": {"updated_s": 13.0, "state": "idle"},
+    }
+    store.write_heartbeats(lanes)
+    assert store.read_heartbeats() == lanes
+    # Atomic replace: no temp litter next to the file.
+    names = {p.name for p in store.heartbeats_path.parent.iterdir()}
+    assert not any(n.startswith("tmp") for n in names)
+
+
+def test_heartbeats_reject_foreign_payload(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.heartbeats_path.write_text('{"kind": "other"}', encoding="utf-8")
+    with pytest.raises(ValueError):
+        store.read_heartbeats()

@@ -1,0 +1,118 @@
+"""`repro monitor` commands and the `trace summary --json` satellite."""
+
+import json
+import time
+
+import pytest
+
+from repro.campaign import RunStore
+from repro.cli import main
+from repro.monitor import parse_prometheus_text
+
+FAST = ["--steps", "2", "--particles", "1e6", "--period", "0.05"]
+
+
+def test_monitor_snapshot_prints_series_table(capsys):
+    assert main(["monitor", "snapshot", *FAST]) == 0
+    out = capsys.readouterr().out
+    for name in ("power_w[0]", "clock_mhz[0]", "temp_c[0]", "energy_j[0]"):
+        assert name in out
+    assert "series" in out and "alerts" in out.lower()
+
+
+def test_monitor_snapshot_json_and_out(tmp_path, capsys):
+    out_path = str(tmp_path / "snap.json")
+    rc = main(["monitor", "snapshot", *FAST, "--json", "--out", out_path])
+    assert rc == 0
+    printed = json.loads(capsys.readouterr().out)
+    assert printed["kind"] == "monitor-report"
+    assert printed["meta"]["policy"] == "baseline"
+    with open(out_path, encoding="utf-8") as fh:
+        assert json.load(fh)["kind"] == "monitor-report"
+
+
+def test_monitor_snapshot_writes_valid_prometheus_file(tmp_path, capsys):
+    prom = str(tmp_path / "metrics.prom")
+    assert main(["monitor", "snapshot", *FAST, "--prom", prom]) == 0
+    with open(prom, encoding="utf-8") as fh:
+        families = parse_prometheus_text(fh.read())
+    assert "repro_monitor_power_w" in families
+    assert "repro_monitor_samples_total" in families
+
+
+def test_monitor_report_writes_self_contained_html(tmp_path, capsys):
+    out = str(tmp_path / "run.html")
+    rc = main(
+        ["monitor", "report", *FAST, "--out", out,
+         "--scenario", "flaky-clocks", "--policy", "mandyn",
+         "--freq", "1110"]
+    )
+    assert rc == 0
+    assert "HTML report written" in capsys.readouterr().out
+    with open(out, encoding="utf-8") as fh:
+        html = fh.read()
+    assert html.count('<svg class="spark"') >= 4
+    # The flaky-clocks scenario drives retries -> the failure-rate alert.
+    assert "clock_set_failures" in html
+
+
+def test_monitor_watch_flags_stalled_lane(tmp_path, capsys):
+    store = RunStore(str(tmp_path), campaign="watched")
+    store.write_heartbeats({
+        "0": {"updated_s": time.time() - 500.0, "state": "running",
+              "unit": "u0"},
+        "1": {"updated_s": time.time(), "state": "idle"},
+    })
+    rc = main(
+        ["monitor", "watch", "--dir", str(tmp_path),
+         "--iterations", "1", "--stall-after", "120"]
+    )
+    assert rc == 1  # stall seen -> non-zero for scripting
+    out = capsys.readouterr().out
+    assert "ALERT campaign_worker_stalled" in out
+    assert "lane 0" in out
+
+
+def test_monitor_watch_healthy_campaign_exits_zero(tmp_path, capsys):
+    store = RunStore(str(tmp_path), campaign="watched")
+    store.write_heartbeats({
+        "0": {"updated_s": time.time(), "state": "running", "unit": "u0"},
+    })
+    rc = main(["monitor", "watch", "--dir", str(tmp_path),
+               "--iterations", "1"])
+    assert rc == 0
+    assert "ALERT" not in capsys.readouterr().out
+
+
+def test_monitor_requires_subcommand():
+    with pytest.raises(SystemExit):
+        main(["monitor"])
+
+
+# -- satellite: machine-readable trace summaries ---------------------------
+
+
+def test_trace_summary_json(capsys):
+    rc = main(
+        ["trace", "summary", "--steps", "2", "--particles", "1e6",
+         "--json"]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["kind"] == "trace-summary"
+    assert doc["steps"] == 2
+    assert "MomentumEnergy" in doc["functions"]
+    fn = doc["functions"]["MomentumEnergy"]
+    assert fn["spans"] > 0 and fn["total_s"] > 0.0
+    assert doc["max_drift_s"] <= 1e-6
+    assert all(row["ok"] for row in doc["reconciliation"])
+    assert doc["dropped"] == 0
+
+
+def test_trace_summary_table_unchanged(capsys):
+    # The default human-readable table still renders without --json.
+    rc = main(["trace", "summary", "--steps", "1", "--particles", "1e6"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "MomentumEnergy" in out
+    assert "{" not in out.splitlines()[0]

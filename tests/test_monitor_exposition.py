@@ -1,0 +1,150 @@
+"""Prometheus text exposition: rendering, parsing, file, endpoint."""
+
+import os
+import urllib.request
+
+import pytest
+
+from repro.monitor import (
+    MetricsServer,
+    PROM_CONTENT_TYPE,
+    parse_prometheus_text,
+    render_prometheus,
+    write_prom_file,
+)
+from repro.monitor.exposition import escape_label_value, sanitize_metric_name
+from repro.telemetry import MetricsRegistry
+
+
+def _registry():
+    m = MetricsRegistry()
+    m.counter("clock_set_calls", rank=0).inc(3)
+    m.counter("clock_set_calls", rank=1).inc(5)
+    m.gauge("monitor_power_w", rank=0).set(213.5)
+    m.histogram("function_time_s", bounds=(0.1, 1.0)).observe(0.5)
+    m.histogram("function_time_s", bounds=(0.1, 1.0)).observe(2.0)
+    return m
+
+
+def test_render_output_parses_as_valid_prometheus_text():
+    text = render_prometheus(_registry())
+    families = parse_prometheus_text(text)
+    assert "repro_clock_set_calls_total" in families
+    assert families["repro_clock_set_calls_total"]["type"] == "counter"
+    assert "repro_monitor_power_w" in families
+    assert families["repro_monitor_power_w"]["type"] == "gauge"
+    assert "repro_function_time_s" in families
+    assert families["repro_function_time_s"]["type"] == "histogram"
+    # Every family declares HELP text.
+    assert all(f["help"] for f in families.values())
+
+
+def test_counter_samples_carry_labels_and_values():
+    text = render_prometheus(_registry())
+    families = parse_prometheus_text(text)
+    samples = families["repro_clock_set_calls_total"]["samples"]
+    by_rank = {s[1]["rank"]: s[2] for s in samples}
+    assert by_rank == {"0": 3.0, "1": 5.0}
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    text = render_prometheus(_registry())
+    families = parse_prometheus_text(text)
+    samples = families["repro_function_time_s"]["samples"]
+    buckets = {
+        s[1]["le"]: s[2]
+        for s in samples
+        if s[0].endswith("_bucket")
+    }
+    # 0.5 falls in le=1; 2.0 only in +Inf; counts are cumulative.
+    assert buckets == {"0.1": 0.0, "1": 1.0, "+Inf": 2.0}
+    total = [s for s in samples if s[0].endswith("_count")]
+    assert total[0][2] == 2.0
+    summed = [s for s in samples if s[0].endswith("_sum")]
+    assert summed[0][2] == pytest.approx(2.5)
+
+
+def test_label_values_escaped_and_roundtripped():
+    m = MetricsRegistry()
+    m.counter("odd", path='a"b\\c\nd').inc()
+    text = render_prometheus(m)
+    families = parse_prometheus_text(text)
+    samples = families["repro_odd_total"]["samples"]
+    assert samples[0][1]["path"] == 'a"b\\c\nd'
+
+
+def test_escape_label_value_spec_characters():
+    assert escape_label_value('say "hi"\\') == r'say \"hi\"\\'
+    assert escape_label_value("a\nb") == r"a\nb"
+
+
+def test_sanitize_metric_name():
+    assert sanitize_metric_name("power-w.ema") == "power_w_ema"
+    assert sanitize_metric_name("0clock") == "_0clock"
+    with pytest.raises(ValueError):
+        sanitize_metric_name("")
+
+
+def test_extra_gauges_rendered_alongside_registry():
+    text = render_prometheus(
+        MetricsRegistry(),
+        extra_gauges={"live_power_w": [({"rank": "0"}, 99.5)]},
+    )
+    families = parse_prometheus_text(text)
+    assert families["repro_live_power_w"]["samples"][0][2] == 99.5
+
+
+def test_parser_rejects_malformed_input():
+    with pytest.raises(ValueError):
+        parse_prometheus_text("# TYPE x bogus\nx 1\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("# TYPE x counter\nx notafloat\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text("orphan_sample 1.0\n")
+    with pytest.raises(ValueError):
+        parse_prometheus_text('# TYPE x counter\nx{bad-label="1"} 1\n')
+
+
+def test_write_prom_file_atomic(tmp_path):
+    path = str(tmp_path / "metrics.prom")
+    write_prom_file(path, render_prometheus(_registry()))
+    with open(path, encoding="utf-8") as fh:
+        parse_prometheus_text(fh.read())
+    # No temp litter left behind.
+    assert os.listdir(tmp_path) == ["metrics.prom"]
+
+
+def test_metrics_server_serves_current_state():
+    m = _registry()
+    server = MetricsServer(lambda: render_prometheus(m), port=0)
+    with server:
+        url = server.url
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            assert resp.headers["Content-Type"] == PROM_CONTENT_TYPE
+            first = resp.read().decode()
+        # The provider runs per scrape: a counter bump is visible.
+        m.counter("clock_set_calls", rank=0).inc(100)
+        with urllib.request.urlopen(url, timeout=5) as resp:
+            second = resp.read().decode()
+    first_fams = parse_prometheus_text(first)
+    second_fams = parse_prometheus_text(second)
+
+    def rank0(fams):
+        return [
+            s[2]
+            for s in fams["repro_clock_set_calls_total"]["samples"]
+            if s[1]["rank"] == "0"
+        ][0]
+
+    assert rank0(second_fams) - rank0(first_fams) == 100.0
+    assert not server.running
+
+
+def test_metrics_server_404_off_path():
+    server = MetricsServer(lambda: "", port=0)
+    with server:
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(
+                f"http://127.0.0.1:{server.port}/nope", timeout=5
+            )
+        assert err.value.code == 404

@@ -1,0 +1,130 @@
+"""Downsampling time series and incremental estimators."""
+
+import math
+
+import pytest
+
+from repro.monitor import Bucket, Ema, RateTracker, TimeSeries, WindowDelta
+
+
+def test_series_below_capacity_keeps_every_sample():
+    ts = TimeSeries(capacity=8)
+    for i in range(5):
+        ts.append(float(i), float(i * 10))
+    assert len(ts) == 5
+    assert ts.aggregated == 0
+    assert ts.points() == [(float(i), float(i * 10)) for i in range(5)]
+    assert ts.last == 40.0
+    assert ts.last_t_s == 4.0
+
+
+def test_series_compacts_at_capacity_and_doubles_stride():
+    ts = TimeSeries(capacity=4)
+    for i in range(4):
+        ts.append(float(i), float(i))
+    # Reaching capacity triggers a pairwise merge: 4 -> 2 buckets.
+    assert ts.stride == 2
+    assert len(ts._buckets) == 2
+    assert ts.compactions == 1
+    b0, b1 = ts.buckets()
+    assert b0.n == 2 and b0.mean == pytest.approx(0.5)
+    assert b1.n == 2 and b1.mean == pytest.approx(2.5)
+
+
+def test_series_memory_stays_bounded_forever():
+    ts = TimeSeries(capacity=16)
+    for i in range(10_000):
+        ts.append(float(i), math.sin(i / 100.0))
+    assert len(ts) <= 16
+    assert ts.n_samples == 10_000
+    assert ts.aggregated == 10_000 - len(ts)
+    # The envelope survives aggregation: min/max of sin are preserved.
+    assert ts.min == pytest.approx(-1.0, abs=1e-3)
+    assert ts.max == pytest.approx(1.0, abs=1e-3)
+
+
+def test_series_mean_exact_under_compaction():
+    ts = TimeSeries(capacity=4)
+    values = list(range(100))
+    for i, v in enumerate(values):
+        ts.append(float(i), float(v))
+    # Bucket means are sample-count weighted, so the global mean is exact.
+    assert ts.mean == pytest.approx(sum(values) / len(values))
+
+
+def test_series_spans_whole_run_after_compaction():
+    ts = TimeSeries(capacity=8)
+    for i in range(1000):
+        ts.append(float(i), 1.0)
+    buckets = ts.buckets()
+    assert buckets[0].t_s < 200.0  # oldest data still represented
+    assert buckets[-1].t_s == 999.0
+
+
+def test_series_to_dict_roundtrips_stats():
+    ts = TimeSeries(capacity=4)
+    for i in range(10):
+        ts.append(float(i), float(i))
+    d = ts.to_dict()
+    assert d["n_samples"] == 10
+    assert d["aggregated"] == ts.aggregated
+    assert d["last"] == 9.0
+    assert len(d["points"]) == len(ts)
+
+
+def test_series_rejects_tiny_capacity():
+    with pytest.raises(ValueError):
+        TimeSeries(capacity=1)
+
+
+def test_bucket_absorb_merges_stats():
+    a = Bucket.of(0.0, 10.0)
+    a.absorb(Bucket.of(1.0, 20.0))
+    assert a.n == 2
+    assert a.mean == 15.0
+    assert a.min_v == 10.0 and a.max_v == 20.0
+    assert a.last == 20.0 and a.t_s == 1.0
+
+
+def test_ema_converges_to_constant_signal():
+    ema = Ema(tau_s=1.0)
+    for i in range(100):
+        v = ema.update(i * 0.1, 100.0)
+    assert v == pytest.approx(100.0)
+
+
+def test_ema_adapts_alpha_to_sample_spacing():
+    # One 2*tau jump should weigh the new sample by 1 - e^-2 regardless
+    # of how the elapsed time was delivered.
+    one = Ema(tau_s=1.0)
+    one.update(0.0, 0.0)
+    coarse = one.update(2.0, 1.0)
+    assert coarse == pytest.approx(1.0 - math.exp(-2.0))
+
+
+def test_ema_rejects_bad_tau():
+    with pytest.raises(ValueError):
+        Ema(tau_s=0.0)
+
+
+def test_rate_tracker_difference_quotient():
+    r = RateTracker()
+    assert r.update(0.0, 100.0) == 0.0  # no rate from one sample
+    assert r.update(2.0, 150.0) == pytest.approx(25.0)
+    assert r.update(2.0, 160.0) == 0.0  # zero dt guarded
+
+
+def test_window_delta_trailing_window():
+    w = WindowDelta(window_s=1.0)
+    assert w.update(0.0, 0.0) == 0.0
+    assert w.update(0.5, 5.0) == pytest.approx(5.0)
+    assert w.update(1.0, 10.0) == pytest.approx(10.0)
+    # At t=1.6 the t=0.0 sample ages out; the t=0.5 sample is kept as
+    # the boundary so the delta always covers >= the window span.
+    assert w.update(1.6, 16.0) == pytest.approx(11.0)
+    assert w.span_s == pytest.approx(1.1)
+
+
+def test_window_delta_rejects_bad_window():
+    with pytest.raises(ValueError):
+        WindowDelta(window_s=-1.0)

@@ -156,3 +156,39 @@ def test_slurm_job_phases_appear_on_job_track():
 def test_instant_event_defaults():
     e = InstantEvent(name="x", rank=0, ts_s=0.0)
     assert e.track == TRACK_CLOCKS and e.args == {}
+
+
+def test_ring_buffer_drop_accounting_under_sampler_pressure():
+    """Sustained DeviceSampler counter emission overflows the ring
+    deterministically: drops are counted exactly and only the oldest
+    events leave the buffer."""
+    from repro.hardware import SimulatedGpu, a100_pcie_40gb
+    from repro.monitor import DeviceSampler
+
+    capacity = 50
+    collector = TraceCollector(max_events=capacity)
+    clock = VirtualClock()
+    gpu = SimulatedGpu(a100_pcie_40gb(), clock)
+    sampler = DeviceSampler(
+        [gpu], [clock], period_s=0.01, telemetry=collector
+    )
+    sampler.start()
+    ticks = 300
+    for _ in range(ticks):
+        clock.advance(0.01)
+    sampler.stop()
+
+    # One `device` counter event per sample: start + one per tick.
+    emitted = sampler.samples_taken
+    assert emitted == ticks + 1
+    assert len(collector) == capacity
+    assert collector.dropped == emitted - capacity
+    snap = collector.metrics.snapshot()
+    assert snap["counters"]["trace_events_dropped"] == float(
+        collector.dropped
+    )
+    # Newest events survive; the retained window is contiguous.
+    timestamps = [e.ts_s for e in collector.counters()]
+    assert timestamps == sorted(timestamps)
+    assert timestamps[-1] == pytest.approx(ticks * 0.01)
+    assert timestamps[0] == pytest.approx((emitted - capacity) * 0.01)

@@ -68,3 +68,77 @@ def test_empty_histogram_snapshot_has_no_minmax():
     assert snap["count"] == 0
     assert snap["min"] is None and snap["max"] is None
     assert snap["mean"] == 0.0
+
+
+def test_series_key_escapes_structural_characters():
+    from repro.telemetry.metrics import series_key
+
+    # A value containing a separator must not be confusable with two
+    # separate labels or a different value split.
+    assert (
+        series_key("calls", (("phase", "a,b"),))
+        == r"calls{phase=a\,b}"
+    )
+    assert series_key("calls", (("k", "x=y"),)) == r"calls{k=x\=y}"
+    assert series_key("calls", (("k", "{v}"),)) == r"calls{k=\{v\}}"
+    assert series_key("calls", (("k", "a\nb"),)) == r"calls{k=a\nb}"
+    assert series_key("calls", (("k", "a\\b"),)) == "calls{k=a\\\\b}"
+
+
+def test_series_key_escaping_is_unambiguous():
+    from repro.telemetry.metrics import series_key
+
+    # Two distinct label sets that would collide without escaping.
+    tricky = series_key("c", (("a", "1,b=2"),))
+    plain = series_key("c", (("a", "1"), ("b", "2")))
+    assert tricky != plain
+
+
+def test_series_key_plain_values_unchanged():
+    from repro.telemetry.metrics import series_key
+
+    # Pre-escaping renderings must stay byte-identical.
+    assert (
+        series_key("calls", (("rank", "0"), ("vendor", "nvidia")))
+        == "calls{rank=0,vendor=nvidia}"
+    )
+    assert series_key("plain", ()) == "plain"
+
+
+def test_series_key_rejects_empty_name():
+    from repro.telemetry.metrics import series_key
+
+    with pytest.raises(ValueError):
+        series_key("", (("rank", "0"),))
+
+
+def test_registry_rejects_empty_metric_names():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("")
+    with pytest.raises(ValueError):
+        reg.gauge("")
+    with pytest.raises(ValueError):
+        reg.histogram("")
+
+
+def test_snapshot_with_hostile_label_values_roundtrips():
+    reg = MetricsRegistry()
+    reg.counter("odd", path="a=b,c{d}").inc(7)
+    snap = reg.snapshot()
+    assert snap["counters"][r"odd{path=a\=b\,c\{d\}}"] == 7.0
+
+
+def test_registry_iterators_yield_sorted_triples():
+    reg = MetricsRegistry()
+    reg.counter("b").inc()
+    reg.counter("a", rank=1).inc(2)
+    reg.gauge("g").set(1.0)
+    reg.histogram("h", bounds=(1.0,)).observe(0.5)
+    counters = list(reg.iter_counters())
+    assert [(n, dict(l)) for n, l, _ in counters] == [
+        ("a", {"rank": "1"}), ("b", {})
+    ]
+    assert counters[0][2].value == 2.0
+    assert [n for n, _, _ in reg.iter_gauges()] == ["g"]
+    assert [n for n, _, _ in reg.iter_histograms()] == ["h"]
