@@ -1,0 +1,133 @@
+"""Drive a running campaign service with nothing but the stdlib.
+
+Submits the Fig. 7 campaign spec to a ``repro serve`` control plane,
+streams live progress off the server-sent-events endpoint, then
+fetches the cached EDP/Pareto report and prints the ranking — the
+service-side twin of ``examples/campaign_run.py``.
+
+Start a service first, then point the client at it::
+
+    python -m repro serve --root /tmp/service &
+    python examples/campaign_client.py http://127.0.0.1:9465
+
+Submitting the same spec again attaches to the existing campaign (the
+id is a hash of the spec) and the report answers straight from the
+store — run the client twice and watch the second run execute zero
+units.
+
+    python examples/campaign_client.py [server_url] [spec_path] [tenant]
+"""
+
+import json
+import pathlib
+import sys
+import time
+import urllib.error
+import urllib.request
+
+DEFAULT_URL = "http://127.0.0.1:9465"
+SPEC = pathlib.Path(__file__).with_name("campaign_fig7.json")
+
+
+def call(url, method="GET", body=None, tenant=None):
+    headers = {}
+    data = None
+    if body is not None:
+        data = json.dumps(body).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    if tenant:
+        headers["X-Repro-Tenant"] = tenant
+    request = urllib.request.Request(
+        url, method=method, data=data, headers=headers
+    )
+    try:
+        with urllib.request.urlopen(request) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as err:
+        return err.code, json.loads(err.read())
+
+
+def stream_events(url, tenant=None):
+    """Yield decoded SSE data payloads until the stream ends."""
+    headers = {"X-Repro-Tenant": tenant} if tenant else {}
+    request = urllib.request.Request(url, headers=headers)
+    with urllib.request.urlopen(request) as response:
+        for raw in response:  # urllib decodes the chunked framing
+            line = raw.decode("utf-8").rstrip("\n")
+            if line.startswith("data: "):
+                yield json.loads(line[len("data: "):])
+
+
+def main() -> int:
+    base = (sys.argv[1] if len(sys.argv) > 1 else DEFAULT_URL).rstrip("/")
+    spec_path = sys.argv[2] if len(sys.argv) > 2 else str(SPEC)
+    tenant = sys.argv[3] if len(sys.argv) > 3 else None
+    with open(spec_path, encoding="utf-8") as fh:
+        spec = json.load(fh)
+
+    status, sub = call(f"{base}/campaigns", "POST", spec, tenant)
+    if status == 429:
+        print(f"service is saturated, retry in {sub['retry_after_s']}s")
+        return 1
+    if status not in (200, 202):
+        print(f"submission failed ({status}): {sub.get('error')}")
+        return 1
+    cid = sub["id"]
+    if sub["created"]:
+        print(f"campaign {cid}: {sub['units']} units admitted")
+    else:
+        print(f"campaign {cid}: attached to existing submission "
+              f"#{sub['submissions']} (state: {sub['state']})")
+
+    # Live progress: replays history on reconnect, ends at terminal.
+    final_event = None
+    for event in stream_events(f"{base}/campaigns/{cid}/events", tenant):
+        kind = event.get("event", "")
+        if kind == "unit-done":
+            print(f"  [{event['seq']:>3}] done   {event['key']}  "
+                  f"({event.get('unit', '?')})")
+        elif kind in ("unit-cached", "unit-attached",
+                      "unit-shared-cache-hit"):
+            print(f"  [{event.get('seq', 0):>3}] cached {event['key']}")
+        elif kind == "unit-failed":
+            print(f"  [{event['seq']:>3}] FAILED {event['key']}: "
+                  f"{event.get('error')}")
+        elif kind.startswith("campaign-") and "executed" in event:
+            final_event = event
+
+    if final_event:
+        print(f"drain: {final_event['executed']} executed, "
+              f"{final_event['cached']} cached, "
+              f"{final_event['attached']} attached, "
+              f"{final_event['failed']} failed")
+
+    # Poll status once for the terminal state, then pull the report.
+    status, doc = call(f"{base}/campaigns/{cid}", tenant=tenant)
+    print(f"state: {doc['state']} "
+          f"(complete: {doc['campaign']['complete']})")
+    if doc["state"] != "done":
+        return 1
+
+    for attempt in range(10):
+        status, report = call(f"{base}/campaigns/{cid}/report",
+                              tenant=tenant)
+        if status == 200:
+            break
+        time.sleep(0.5)
+    else:
+        print(f"report unavailable: {report.get('error')}")
+        return 1
+
+    group = report["groups"][0]
+    print(f"\nreport: {report['n_runs']} runs, "
+          f"knee {group['knee']}, best EDP policy ranking:")
+    ranked = sorted(group["rows"], key=lambda row: row["rel_edp"])
+    for row in ranked:
+        print(f"  {row['policy']:<14} EDP x{row['rel_edp']:.3f}  "
+              f"time x{row['rel_time']:.3f}  "
+              f"energy x{row['rel_energy']:.3f}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

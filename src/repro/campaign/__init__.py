@@ -20,6 +20,7 @@ from .executor import (
     CampaignExecutor,
     CampaignRunStatus,
     ExecutorConfig,
+    InFlightRegistry,
     run_campaign,
 )
 from .spec import (
@@ -31,6 +32,7 @@ from .spec import (
     policy_label,
     run_key,
 )
+from .status_doc import build_status_doc, status_rows
 from .store import RunStore
 from .worker import (
     build_policy,
@@ -47,9 +49,11 @@ __all__ = [
     "CampaignRunStatus",
     "CampaignSpec",
     "ExecutorConfig",
+    "InFlightRegistry",
     "RunStore",
     "RunUnit",
     "build_policy",
+    "build_status_doc",
     "build_summary",
     "canonical_json",
     "classify_error",
@@ -61,6 +65,7 @@ __all__ = [
     "run_campaign",
     "run_key",
     "run_unit_safe",
+    "status_rows",
     "summary_json",
     "write_summary",
 ]

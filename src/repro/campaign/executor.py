@@ -20,7 +20,16 @@ configurations against a :class:`~repro.campaign.store.RunStore`:
 * ``Ctrl-C`` drains gracefully: outcomes that already finished are
   persisted, queued work is cancelled, and the returned status is
   flagged ``interrupted`` — the next invocation resumes at the first
-  missing unit.
+  missing unit;
+* a ``should_stop`` callback makes the same drain available
+  programmatically (the service's campaign cancellation), and an
+  ``on_event`` callback streams unit-level progress to whoever is
+  watching (the service's SSE feed);
+* an :class:`InFlightRegistry` shared between concurrent executors
+  deduplicates *in-flight* units: when two overlapping campaigns drain
+  into the same store at once, each content-addressed key is executed
+  by exactly one executor — the other waits for the owner's outcome
+  and records the unit as ``attached``.
 
 Progress is emitted through :mod:`repro.telemetry` when a collector is
 supplied: one job-track span per executed unit (lanes = worker slots)
@@ -30,11 +39,12 @@ export`` renders a campaign timeline like any other run trace.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
 from ..telemetry.events import TRACK_JOB
 from .spec import CampaignSpec, RunUnit
@@ -43,6 +53,56 @@ from .worker import run_unit_safe
 
 #: Futures kept in flight beyond the worker count (submission backlog).
 _BACKLOG = 2
+
+#: Provenance labels a unit can end a drain with.
+PROVENANCE_EXECUTED = "executed"
+PROVENANCE_CACHED = "cached"
+PROVENANCE_ATTACHED = "attached"
+PROVENANCE_FAILED = "failed"
+
+
+class InFlightRegistry:
+    """Claim table for content-addressed run keys being executed *now*.
+
+    Concurrent executors draining overlapping grids into one store each
+    try to :meth:`claim` a key before executing it. Exactly one wins;
+    the others :meth:`wait` for the owner to :meth:`release` (which
+    happens once the outcome is durably in the store) and then re-check
+    the store instead of recomputing. The registry is process-local —
+    cross-process dedup is already covered by the store's completed-key
+    skip, this closes the window *while* a unit runs.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._claims: Dict[str, threading.Event] = {}
+
+    def claim(self, key: str) -> bool:
+        """True when the caller now owns execution of ``key``."""
+        with self._lock:
+            if key in self._claims:
+                return False
+            self._claims[key] = threading.Event()
+            return True
+
+    def release(self, key: str) -> None:
+        """Give up a claim and wake every waiter (idempotent)."""
+        with self._lock:
+            event = self._claims.pop(key, None)
+        if event is not None:
+            event.set()
+
+    def wait(self, key: str, timeout: Optional[float] = None) -> bool:
+        """Block until ``key`` is unclaimed; True unless timed out."""
+        with self._lock:
+            event = self._claims.get(key)
+        if event is None:
+            return True
+        return event.wait(timeout)
+
+    def in_flight(self) -> Set[str]:
+        with self._lock:
+            return set(self._claims)
 
 
 @dataclass(frozen=True)
@@ -85,16 +145,19 @@ class CampaignRunStatus:
     total: int = 0
     skipped: int = 0
     executed: int = 0
+    attached: int = 0
     failed: int = 0
     retries: int = 0
     interrupted: bool = False
     wall_s: float = 0.0
     failed_units: List[str] = field(default_factory=list)
+    #: Per-unit outcome provenance: key -> executed|cached|attached|failed.
+    provenance: Dict[str, str] = field(default_factory=dict)
 
     @property
     def complete(self) -> bool:
         """Every unit of the grid is now in the store."""
-        return self.skipped + self.executed == self.total
+        return self.skipped + self.executed + self.attached == self.total
 
     def describe(self) -> str:
         line = (
@@ -102,6 +165,8 @@ class CampaignRunStatus:
             f"{self.executed} executed, {self.failed} failed "
             f"({self.retries} retries) in {self.wall_s:.2f}s wall"
         )
+        if self.attached:
+            line += f" [{self.attached} attached to concurrent campaigns]"
         if self.interrupted:
             line += " [interrupted — re-run to resume]"
         return line
@@ -116,13 +181,43 @@ class CampaignExecutor:
         config: Optional[ExecutorConfig] = None,
         telemetry: Optional[Any] = None,
         min_unit_wall_s: float = 0.0,
+        on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+        inflight: Optional[InFlightRegistry] = None,
     ) -> None:
         self.store = store
         self.config = config or ExecutorConfig()
         self.telemetry = telemetry
         self.min_unit_wall_s = float(min_unit_wall_s)
+        self.on_event = on_event
+        self.should_stop = should_stop
+        self.inflight = inflight
         self._t0 = 0.0
         self._heartbeats: Dict[str, Dict[str, Any]] = {}
+        self._claimed: Set[str] = set()
+
+    # -- progress events -----------------------------------------------------
+
+    def _notify(self, event: str, unit: RunUnit, **extra: Any) -> None:
+        """Deliver one progress event; observer bugs never kill a drain."""
+        if self.on_event is None:
+            return
+        payload: Dict[str, Any] = {
+            "event": event, "key": unit.key, "unit": unit.label,
+        }
+        payload.update(extra)
+        try:
+            self.on_event(payload)
+        except Exception:  # noqa: BLE001 - observer-side failure only
+            pass
+
+    def _stopping(self) -> bool:
+        return self.should_stop is not None and self.should_stop()
+
+    def _release(self, unit: RunUnit) -> None:
+        if self.inflight is not None and unit.key in self._claimed:
+            self._claimed.discard(unit.key)
+            self.inflight.release(unit.key)
 
     # -- telemetry helpers ---------------------------------------------------
 
@@ -184,8 +279,11 @@ class CampaignExecutor:
         if outcome.get("ok"):
             result = dict(outcome["result"])
             self.store.record_done(unit.key, unit.config(), result)
+            self._release(unit)
             status.executed += 1
+            status.provenance[unit.key] = PROVENANCE_EXECUTED
             self._count("campaign_units_done")
+            self._notify("unit-done", unit, attempts=attempts)
             return "done"
         error = dict(outcome.get("error", {}))
         transient = error.get("severity") == "transient"
@@ -196,16 +294,23 @@ class CampaignExecutor:
                 "unit-retry", 0, key=unit.key, unit=unit.label,
                 attempt=attempts + 1, error=error.get("message", ""),
             )
+            self._notify(
+                "unit-retry", unit, attempt=attempts + 1,
+                error=error.get("message", ""),
+            )
             time.sleep(self.config.backoff_for_attempt(attempts))
             return "retry"
         self.store.record_failed(unit.key, unit.config(), error)
+        self._release(unit)
         status.failed += 1
         status.failed_units.append(unit.label)
+        status.provenance[unit.key] = PROVENANCE_FAILED
         self._count("campaign_units_failed")
         self._emit_instant(
             "unit-failed", 0, key=unit.key, unit=unit.label,
             error=error.get("message", ""),
         )
+        self._notify("unit-failed", unit, error=error.get("message", ""))
         return "failed"
 
     # -- serial path ---------------------------------------------------------
@@ -214,11 +319,16 @@ class CampaignExecutor:
         self, pending: Sequence[RunUnit], status: CampaignRunStatus
     ) -> None:
         for unit in pending:
+            if self._stopping():
+                status.interrupted = True
+                self._emit_instant("campaign-interrupted", 0)
+                return
             attempts = 0
             try:
                 while True:
                     t_start = self._now()
                     self._beat(0, "running", unit=unit.label)
+                    self._notify("unit-start", unit, attempts=attempts)
                     outcome = run_unit_safe(
                         unit.config(), self.min_unit_wall_s
                     )
@@ -250,11 +360,17 @@ class CampaignExecutor:
         with ProcessPoolExecutor(max_workers=cfg.workers) as pool:
             try:
                 while queue or in_flight:
+                    if self._stopping():
+                        status.interrupted = True
+                        self._emit_instant("campaign-interrupted", 0)
+                        pool.shutdown(wait=False, cancel_futures=True)
+                        return
                     while queue and len(in_flight) < cfg.workers + _BACKLOG:
                         unit, attempts = queue.popleft()
                         lane = next_lane % cfg.workers
                         next_lane += 1
                         self._beat(lane, "running", unit=unit.label)
+                        self._notify("unit-start", unit, attempts=attempts)
                         future = pool.submit(
                             run_unit_safe, unit.config(), self.min_unit_wall_s
                         )
@@ -333,28 +449,81 @@ class CampaignExecutor:
 
     # -- entry point ---------------------------------------------------------
 
+    def _attach_deferred(
+        self, deferred: Sequence[RunUnit], status: CampaignRunStatus
+    ) -> None:
+        """Resolve units another executor claimed while we drained.
+
+        For each deferred unit: wait for the owner to release, then
+        take its stored outcome (``attached`` — no duplicate
+        execution). If the owner failed or vanished without a ``done``
+        record, claim the key ourselves and execute it after all.
+        """
+        for unit in deferred:
+            while True:
+                if self._stopping():
+                    status.interrupted = True
+                    return
+                # Bounded wait so cancellation stays responsive even
+                # while parked behind a long-running owner.
+                self.inflight.wait(unit.key, timeout=0.5)
+                if unit.key in self.store.completed_keys():
+                    status.attached += 1
+                    status.provenance[unit.key] = PROVENANCE_ATTACHED
+                    self._count("campaign_units_attached")
+                    self._emit_instant(
+                        "unit-attached", 0, key=unit.key, unit=unit.label
+                    )
+                    self._notify("unit-attached", unit)
+                    break
+                if self.inflight.claim(unit.key):
+                    self._claimed.add(unit.key)
+                    self._run_inline([unit], status)
+                    break
+
     def run(self, units: Sequence[RunUnit]) -> CampaignRunStatus:
         """Execute every unit not already in the store."""
         self._t0 = time.perf_counter()
         status = CampaignRunStatus(total=len(units))
         done = self.store.completed_keys()
         pending: List[RunUnit] = []
+        deferred: List[RunUnit] = []
         for unit in units:
             if unit.key in done:
                 status.skipped += 1
+                status.provenance[unit.key] = PROVENANCE_CACHED
                 self._count("campaign_units_skipped")
                 self._emit_instant(
                     "unit-skipped", 0, key=unit.key, unit=unit.label
                 )
+                self._notify("unit-cached", unit)
             else:
                 pending.append(unit)
         if self.config.max_units is not None:
             pending = pending[: self.config.max_units]
-        if pending:
-            if self.config.workers <= 1:
-                self._run_inline(pending, status)
-            else:
-                self._run_pool(pending, status)
+        if self.inflight is not None:
+            claimed: List[RunUnit] = []
+            for unit in pending:
+                if self.inflight.claim(unit.key):
+                    self._claimed.add(unit.key)
+                    claimed.append(unit)
+                else:
+                    deferred.append(unit)
+            pending = claimed
+        try:
+            if pending:
+                if self.config.workers <= 1:
+                    self._run_inline(pending, status)
+                else:
+                    self._run_pool(pending, status)
+            if deferred and not status.interrupted:
+                self._attach_deferred(deferred, status)
+        finally:
+            # A drain must never exit holding claims (crash, interrupt,
+            # max_units truncation): waiters would park forever.
+            for key in list(self._claimed):
+                self._claimed.discard(key)
+                self.inflight.release(key)
         # Every lane goes idle when the drain finishes (or is
         # interrupted): watchers must not see the last unit's heartbeat
         # age into a phantom stall.

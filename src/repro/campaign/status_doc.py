@@ -1,0 +1,75 @@
+"""The campaign status document: one serializer for CLI and HTTP.
+
+``repro campaign status --json`` and the service's ``GET
+/campaigns/{id}`` must describe a campaign directory identically —
+same fields, same counting rules — or operators end up reconciling two
+dialects of "done". Both paths call :func:`build_status_doc`; the CLI's
+table renderer (:func:`status_rows`) is a projection of the same
+document, not a second computation.
+
+Counting rules (the only subtle part):
+
+* with a spec, the universe is the spec's expanded grid — artifacts
+  from older spec revisions in the same directory are ignored;
+* ``done`` requires the run artifact to exist (manifest alone is not
+  enough — :meth:`RunStore.completed_keys` semantics);
+* a key is ``failed`` only while its *latest* outcome is a failure and
+  it is not done; failed keys remain ``missing`` too, because a resume
+  will retry them.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from .spec import CampaignSpec
+from .store import RunStore
+
+
+def build_status_doc(
+    store: RunStore, spec: Optional[CampaignSpec] = None
+) -> Dict[str, Any]:
+    """The canonical machine-readable status of one campaign store."""
+    doc: Dict[str, Any] = {
+        "schema": 1,
+        "kind": "campaign-status",
+        "campaign": store.campaign,
+    }
+    if spec is None:
+        counts = store.counts()
+        doc.update(
+            {
+                "grid_units": None,
+                "done": counts["done"],
+                "missing": None,
+                "failed": counts["failed"],
+                "complete": None,
+            }
+        )
+        return doc
+    grid = {unit.key for unit in spec.expand()}
+    done = store.completed_keys() & grid
+    failed = (store.failed_keys() & grid) - done
+    doc.update(
+        {
+            "campaign": spec.name,
+            "grid_units": len(grid),
+            "done": len(done),
+            "missing": len(grid) - len(done),
+            "failed": len(failed),
+            "complete": len(done) == len(grid),
+        }
+    )
+    return doc
+
+
+def status_rows(doc: Dict[str, Any]) -> List[Tuple[str, str]]:
+    """The status document as (state, count) table rows for the CLI."""
+    if doc["grid_units"] is None:
+        return [("done", str(doc["done"])), ("failed", str(doc["failed"]))]
+    return [
+        ("grid units", str(doc["grid_units"])),
+        ("done", str(doc["done"])),
+        ("missing", str(doc["missing"])),
+        ("failed", str(doc["failed"])),
+    ]

@@ -13,7 +13,11 @@ unit outcome (``done`` or ``failed``) *after* the run artifact is
 safely on disk (write-to-temp + atomic rename), so a campaign killed at
 any instant leaves a consistent store. On re-open the store replays the
 manifest; completed keys are skipped by the executor, which is the
-entire resume mechanism — there is no separate checkpoint format.
+entire resume mechanism — there is no separate checkpoint format. A
+crash *during* a manifest append can leave a torn final line (no
+trailing newline); replay skips it with a warning — the worst case is
+re-executing the unit whose outcome record was lost, which idempotent
+keys make safe. A corrupt line anywhere else still raises.
 
 Result artifacts embed the full per-rank :class:`~repro.core.EnergyReport`
 so every run of every sweep stays a durable, comparable measurement
@@ -25,6 +29,8 @@ from __future__ import annotations
 
 import json
 import os
+import threading
+import warnings
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Set
 
@@ -47,6 +53,10 @@ class RunStore:
         (self.root / RUNS_DIR).mkdir(exist_ok=True)
         self.campaign = campaign
         self._records: List[Dict[str, Any]] = []
+        # One store instance may be shared by concurrent executors (the
+        # service runs overlapping campaigns against the same tenant
+        # store); appends and snapshot reads are serialized here.
+        self._lock = threading.Lock()
         self._load_manifest()
 
     # -- manifest ------------------------------------------------------------
@@ -114,50 +124,73 @@ class RunStore:
         if not path.exists():
             return
         with open(path, encoding="utf-8") as fh:
-            header_seen = False
-            for lineno, line in enumerate(fh, 1):
-                line = line.strip()
-                if not line:
+            text = fh.read()
+        lines = text.split("\n")
+        # A line is *torn* only when it is the very last one and the
+        # file lacks its trailing newline — the signature of a crash
+        # mid-append. Complete-but-corrupt lines still raise.
+        torn_tail = bool(text) and not text.endswith("\n")
+        header_seen = False
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if torn_tail and lineno == len(lines):
+                    warnings.warn(
+                        f"{path}:{lineno}: skipping torn final manifest "
+                        f"line (crash during append?); the affected "
+                        f"unit will re-run",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    # Truncate the torn bytes so the next append starts
+                    # a fresh line instead of gluing onto garbage.
+                    keep = len(text.encode("utf-8")) - len(
+                        lines[-1].encode("utf-8")
+                    )
+                    with open(path, "r+b") as out:
+                        out.truncate(keep)
                     continue
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            if not header_seen:
                 try:
-                    record = json.loads(line)
-                except json.JSONDecodeError as exc:
+                    check_schema_header(record, "campaign-manifest")
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+                manifest_campaign = record.get("campaign")
+                if self.campaign is None:
+                    self.campaign = manifest_campaign
+                elif (
+                    manifest_campaign is not None
+                    and manifest_campaign != self.campaign
+                ):
                     raise ValueError(
-                        f"{path}:{lineno}: not valid JSON ({exc})"
-                    ) from None
-                if not header_seen:
-                    try:
-                        check_schema_header(record, "campaign-manifest")
-                    except ValueError as exc:
-                        raise ValueError(f"{path}:{lineno}: {exc}") from None
-                    manifest_campaign = record.get("campaign")
-                    if self.campaign is None:
-                        self.campaign = manifest_campaign
-                    elif (
-                        manifest_campaign is not None
-                        and manifest_campaign != self.campaign
-                    ):
-                        raise ValueError(
-                            f"{path}: manifest belongs to campaign "
-                            f"{manifest_campaign!r}, not {self.campaign!r}"
-                        )
-                    header_seen = True
-                    continue
-                self._records.append(record)
+                        f"{path}: manifest belongs to campaign "
+                        f"{manifest_campaign!r}, not {self.campaign!r}"
+                    )
+                header_seen = True
+                continue
+            self._records.append(record)
 
     def _append_manifest(self, record: Mapping[str, Any]) -> None:
         path = self.manifest_path
-        new_file = not path.exists()
-        with open(path, "a", encoding="utf-8") as fh:
-            if new_file:
-                header = schema_header(
-                    "campaign-manifest", campaign=self.campaign
-                )
-                fh.write(json.dumps(header, sort_keys=True) + "\n")
-            fh.write(json.dumps(record, sort_keys=True) + "\n")
-            fh.flush()
-            os.fsync(fh.fileno())
-        self._records.append(dict(record))
+        with self._lock:
+            new_file = not path.exists()
+            with open(path, "a", encoding="utf-8") as fh:
+                if new_file:
+                    header = schema_header(
+                        "campaign-manifest", campaign=self.campaign
+                    )
+                    fh.write(json.dumps(header, sort_keys=True) + "\n")
+                fh.write(json.dumps(record, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._records.append(dict(record))
 
     # -- outcomes ------------------------------------------------------------
 
@@ -204,22 +237,26 @@ class RunStore:
 
     # -- queries -------------------------------------------------------------
 
+    def _latest_statuses(self) -> Dict[str, str]:
+        with self._lock:
+            records = list(self._records)
+        latest: Dict[str, str] = {}
+        for record in records:
+            latest[record["key"]] = record.get("status", "failed")
+        return latest
+
     def completed_keys(self) -> Set[str]:
         """Keys whose latest outcome is ``done`` and whose artifact exists."""
-        latest: Dict[str, str] = {}
-        for record in self._records:
-            latest[record["key"]] = record.get("status", "failed")
         return {
             key
-            for key, status in latest.items()
+            for key, status in self._latest_statuses().items()
             if status == "done" and self.run_path(key).exists()
         }
 
     def failed_keys(self) -> Set[str]:
-        latest: Dict[str, str] = {}
-        for record in self._records:
-            latest[record["key"]] = record.get("status", "failed")
-        return {k for k, s in latest.items() if s == "failed"}
+        return {
+            k for k, s in self._latest_statuses().items() if s == "failed"
+        }
 
     def load_result(self, key: str) -> Dict[str, Any]:
         """The full artifact of one completed unit."""

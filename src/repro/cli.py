@@ -685,26 +685,24 @@ def cmd_campaign_resume(args) -> int:
 
 
 def cmd_campaign_status(args) -> int:
+    import json as _json
     import os.path
 
-    from .campaign import CampaignSpec, RunStore
+    from .campaign import CampaignSpec, RunStore, build_status_doc, status_rows
 
     store = RunStore(args.dir)
-    counts = store.counts()
+    spec = None
     spec_path = _campaign_spec_path(args.dir)
-    rows = [["done", str(counts["done"])], ["failed", str(counts["failed"])]]
     if os.path.exists(spec_path):
         spec = CampaignSpec.load(spec_path)
-        grid = {unit.key for unit in spec.expand()}
-        missing = grid - store.completed_keys()
-        rows = [
-            ["grid units", str(len(grid))],
-            ["done", str(len(grid) - len(missing))],
-            ["missing", str(len(missing))],
-            ["failed", str(len(store.failed_keys() & grid))],
-        ]
+    # The exact document the service's /campaigns/{id} endpoint embeds —
+    # one serializer, two transports.
+    doc = build_status_doc(store, spec)
+    if args.json:
+        print(_json.dumps(doc, indent=1, sort_keys=True))
+        return 0
     title = f"campaign {store.campaign or '?'} in {args.dir}"
-    print(render_table(["state", "units"], rows, title=title))
+    print(render_table(["state", "units"], status_rows(doc), title=title))
     return 0
 
 
@@ -750,6 +748,47 @@ CAMPAIGN_COMMANDS = {
 
 def cmd_campaign(args) -> int:
     return CAMPAIGN_COMMANDS[args.campaign_command](args)
+
+
+def cmd_serve(args) -> int:
+    import asyncio
+
+    from .service import CampaignService, SchedulerConfig, ServiceConfig
+    from .service.app import run_until_interrupted
+
+    config = ServiceConfig(
+        root=args.root,
+        shared_cache=not args.no_shared_cache,
+        scheduler=SchedulerConfig(
+            max_running=args.max_running,
+            per_tenant_running=args.per_tenant_running,
+            queue_depth=args.queue_depth,
+            retry_after_s=args.retry_after,
+        ),
+        stall_after_s=args.stall_after,
+    )
+    service = CampaignService(config)
+
+    def ready(host: str, port: int) -> None:
+        print(f"campaign service at http://{host}:{port} "
+              f"(store root: {args.root})", flush=True)
+
+    async def _serve() -> None:
+        task = asyncio.ensure_future(
+            run_until_interrupted(
+                service, host=args.host, port=args.port, ready=ready
+            )
+        )
+        if args.duration is not None:
+            await asyncio.sleep(args.duration)
+            task.cancel()
+        await asyncio.gather(task, return_exceptions=True)
+
+    try:
+        asyncio.run(_serve())
+    except KeyboardInterrupt:
+        pass
+    return 0
 
 
 def _monitor_run(args):
@@ -1169,6 +1208,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     cstat_p.add_argument("--dir", required=True,
                          help="campaign directory (run store)")
+    cstat_p.add_argument("--json", action="store_true",
+                         help="print the campaign-status JSON document "
+                              "(same serializer as the service API)")
 
     crep_p = camp_sub.add_parser(
         "report", help="aggregate stored runs into EDP/Pareto summaries"
@@ -1179,6 +1221,33 @@ def build_parser() -> argparse.ArgumentParser:
                         help="print the stable summary JSON instead of tables")
     crep_p.add_argument("--out", default=None,
                         help="also write the summary JSON to this path")
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the campaign-as-a-service HTTP control plane "
+             "(repro.service)",
+    )
+    serve_p.add_argument("--root", required=True,
+                         help="multi-tenant store root directory")
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address")
+    serve_p.add_argument("--port", type=int, default=9465,
+                         help="bind port (0 = ephemeral)")
+    serve_p.add_argument("--max-running", type=int, default=2,
+                         help="campaigns executing concurrently")
+    serve_p.add_argument("--per-tenant-running", type=int, default=1,
+                         help="concurrent campaigns per tenant")
+    serve_p.add_argument("--queue-depth", type=int, default=8,
+                         help="queued campaigns per tenant before 429")
+    serve_p.add_argument("--retry-after", type=float, default=1.0,
+                         help="Retry-After hint on 429 responses [s]")
+    serve_p.add_argument("--stall-after", type=float, default=120.0,
+                         help="heartbeat age that raises a stall alert [s]")
+    serve_p.add_argument("--no-shared-cache", action="store_true",
+                         help="disable the cross-tenant result cache")
+    serve_p.add_argument("--duration", type=float, default=None,
+                         help="serve this many wall seconds, then exit "
+                              "(default: until Ctrl-C)")
 
     mon_p = sub.add_parser(
         "monitor",
@@ -1265,6 +1334,7 @@ COMMANDS = {
     "trace": cmd_trace,
     "faults": cmd_faults,
     "campaign": cmd_campaign,
+    "serve": cmd_serve,
     "monitor": cmd_monitor,
 }
 

@@ -1,0 +1,70 @@
+"""repro.service: campaign-as-a-service control plane.
+
+An asyncio HTTP front end (standard library only) over the campaign
+layer: clients ``POST`` a campaign spec and get back a
+content-addressed campaign id; progress streams out as server-sent
+events fed by the executor's telemetry; completed grids answer with the
+cached EDP/Pareto report. Underneath sit a multi-tenant
+:class:`~repro.service.tenancy.MultiTenantRunStore` with an optional
+cross-tenant result cache, a fair per-tenant scheduler with bounded
+queues (backpressure as ``429`` + ``Retry-After``), and unit-level
+dedup so identical work submitted twice — by the same tenant or
+another — never computes twice.
+
+Entry points: ``repro serve`` on the CLI, :func:`serve` in-process
+(tests, benches), :class:`CampaignService` for embedders who bring
+their own transport.
+"""
+
+from .app import TENANT_HEADER, ServiceApp, serve
+from .events import EventBus
+from .http import HttpServer, Request, Response
+from .jobs import (
+    CACHE_HIT,
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignJob,
+    campaign_id,
+)
+from .scheduler import BackpressureError, FairScheduler, SchedulerConfig
+from .service import CampaignService, ServiceConfig
+from .tenancy import (
+    DEFAULT_TENANT,
+    MultiTenantRunStore,
+    SharedResultCache,
+    campaign_slug,
+    validate_tenant,
+)
+
+__all__ = [
+    "BackpressureError",
+    "CACHE_HIT",
+    "CANCELLED",
+    "CampaignJob",
+    "CampaignService",
+    "DEFAULT_TENANT",
+    "DONE",
+    "EventBus",
+    "FAILED",
+    "FairScheduler",
+    "HttpServer",
+    "MultiTenantRunStore",
+    "QUEUED",
+    "Request",
+    "Response",
+    "RUNNING",
+    "SchedulerConfig",
+    "ServiceApp",
+    "ServiceConfig",
+    "SharedResultCache",
+    "TENANT_HEADER",
+    "TERMINAL_STATES",
+    "campaign_id",
+    "campaign_slug",
+    "serve",
+    "validate_tenant",
+]

@@ -1,0 +1,228 @@
+"""HTTP routes of the campaign service.
+
+Maps the control-plane surface onto :class:`CampaignService`:
+
+====== =============================== =====================================
+POST   /campaigns                      submit a spec -> 202 + campaign id
+GET    /campaigns                      list this tenant's campaigns
+GET    /campaigns/{id}                 status document (+ stall alerts)
+GET    /campaigns/{id}/events          server-sent progress stream
+GET    /campaigns/{id}/report          EDP/Pareto summary (cached)
+DELETE /campaigns/{id}                 cancel (queued drop / running stop)
+GET    /healthz                        liveness + scheduler stats
+GET    /metrics                        Prometheus exposition
+====== =============================== =====================================
+
+Tenancy rides in the ``X-Repro-Tenant`` header (default ``public``); a
+job is only visible to the tenant that submitted it. Backpressure from
+the scheduler surfaces as ``429`` with a ``Retry-After`` header.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import Any, AsyncIterator, Dict, Optional
+
+from ..monitor import PROM_CONTENT_TYPE
+from .http import HttpServer, ProtocolError, Request, Response
+from .jobs import CampaignJob
+from .scheduler import BackpressureError
+from .service import CampaignService
+
+__all__ = ["ServiceApp", "TENANT_HEADER"]
+
+#: Request header naming the tenant; absent means the default tenant.
+TENANT_HEADER = "x-repro-tenant"
+
+
+def _sse_frame(event: Dict[str, Any]) -> bytes:
+    """One server-sent-events frame for a stamped bus event."""
+    name = event.get("event", "message")
+    data = json.dumps(event, sort_keys=True)
+    return f"id: {event.get('seq', 0)}\nevent: {name}\ndata: {data}\n\n".encode(
+        "utf-8"
+    )
+
+
+class ServiceApp:
+    """Routes requests to a :class:`CampaignService`."""
+
+    def __init__(self, service: CampaignService) -> None:
+        self.service = service
+
+    async def __call__(self, request: Request) -> Response:
+        path = request.path.rstrip("/") or "/"
+        if path == "/healthz":
+            return self._healthz(request)
+        if path == "/metrics":
+            return self._metrics(request)
+        if path == "/campaigns":
+            if request.method == "POST":
+                return self._submit(request)
+            if request.method == "GET":
+                return self._list(request)
+            return Response.error(405, f"{request.method} not allowed here")
+        parts = path.strip("/").split("/")
+        if parts[0] == "campaigns" and len(parts) in (2, 3):
+            job = self._job(request, parts[1])
+            tail = parts[2] if len(parts) == 3 else None
+            if tail is None:
+                if request.method == "GET":
+                    return self._status(job)
+                if request.method == "DELETE":
+                    return self._cancel(job)
+                return Response.error(405, f"{request.method} not allowed here")
+            if request.method != "GET":
+                return Response.error(405, f"{request.method} not allowed here")
+            if tail == "events":
+                return self._events(request, job)
+            if tail == "report":
+                return self._report(job)
+        return Response.error(404, f"no route for {request.method} {request.path}")
+
+    # -- helpers -------------------------------------------------------------
+
+    def _tenant(self, request: Request) -> Optional[str]:
+        return request.headers.get(TENANT_HEADER)
+
+    def _job(self, request: Request, job_id: str) -> CampaignJob:
+        try:
+            job = self.service.job(job_id)
+        except KeyError as exc:
+            raise ProtocolError(404, str(exc)) from exc
+        tenant = self._tenant(request)
+        if tenant is not None and job.tenant != tenant:
+            # Same answer as "never existed": ids are not enumerable
+            # across tenants.
+            raise ProtocolError(404, f"unknown campaign {job_id!r}")
+        return job
+
+    def _submission_doc(
+        self, job: CampaignJob, created: bool
+    ) -> Dict[str, Any]:
+        return {
+            "id": job.id,
+            "tenant": job.tenant,
+            "state": job.state,
+            "created": created,
+            "submissions": job.submissions,
+            "units": len(job.grid_keys),
+        }
+
+    # -- routes --------------------------------------------------------------
+
+    def _healthz(self, request: Request) -> Response:
+        if request.method != "GET":
+            return Response.error(405, f"{request.method} not allowed here")
+        return Response.json(self.service.health())
+
+    def _metrics(self, request: Request) -> Response:
+        if request.method != "GET":
+            return Response.error(405, f"{request.method} not allowed here")
+        return Response.text(
+            self.service.metrics_text(), content_type=PROM_CONTENT_TYPE
+        )
+
+    def _submit(self, request: Request) -> Response:
+        payload = request.json()
+        if not isinstance(payload, dict):
+            return Response.error(400, "campaign submission must be an object")
+        tenant = self._tenant(request)
+        spec_doc = payload
+        if "spec" in payload and payload.get("kind") != "campaign-spec":
+            spec_doc = payload["spec"]
+            tenant = payload.get("tenant", tenant)
+        try:
+            job, created = self.service.submit(tenant, spec_doc)
+        except BackpressureError as exc:
+            retry_after = max(1, round(exc.retry_after_s))
+            return Response.json(
+                {"error": str(exc), "status": 429,
+                 "retry_after_s": exc.retry_after_s},
+                status=429,
+                headers={"Retry-After": str(retry_after)},
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            return Response.error(400, f"invalid campaign spec: {exc}")
+        status = 202 if not job.terminal else 200
+        return Response.json(self._submission_doc(job, created), status=status)
+
+    def _list(self, request: Request) -> Response:
+        tenant = self._tenant(request)
+        try:
+            jobs = self.service.jobs_for(tenant)
+        except ValueError as exc:
+            return Response.error(400, str(exc))
+        return Response.json(
+            {
+                "campaigns": [
+                    self._submission_doc(job, False) for job in jobs
+                ]
+            }
+        )
+
+    def _status(self, job: CampaignJob) -> Response:
+        return Response.json(self.service.status_doc(job))
+
+    def _cancel(self, job: CampaignJob) -> Response:
+        state = self.service.cancel(job)
+        return Response.json({"id": job.id, "state": state}, status=202)
+
+    def _report(self, job: CampaignJob) -> Response:
+        try:
+            return Response.json(self.service.report(job))
+        except LookupError as exc:
+            return Response.error(409, str(exc), state=job.state)
+
+    def _events(self, request: Request, job: CampaignJob) -> Response:
+        try:
+            from_seq = int(request.query.get("from", "0"))
+        except ValueError:
+            return Response.error(400, "'from' must be an integer sequence")
+
+        async def stream() -> AsyncIterator[bytes]:
+            async for event in job.bus.subscribe(from_seq=from_seq):
+                yield _sse_frame(event)
+            yield b"event: end\ndata: {}\n\n"
+
+        return Response(
+            status=200,
+            headers={
+                "Content-Type": "text/event-stream; charset=utf-8",
+                "Cache-Control": "no-store",
+            },
+            stream=stream(),
+        )
+
+
+async def serve(
+    service: CampaignService,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> HttpServer:
+    """Start a service's HTTP front end; caller owns the lifecycle."""
+    await service.start()
+    server = HttpServer(ServiceApp(service), host=host, port=port)
+    await server.start()
+    return server
+
+
+async def run_until_interrupted(
+    service: CampaignService,
+    host: str,
+    port: int,
+    ready: Optional[Any] = None,
+) -> None:
+    """Blocking serve loop for the CLI (`repro serve`)."""
+    server = await serve(service, host=host, port=port)
+    if ready is not None:
+        ready(server.host, server.port)
+    try:
+        while True:
+            await asyncio.sleep(3600)
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.close()
+        await service.close()

@@ -1,0 +1,141 @@
+"""Campaign progress streams: replayable event logs with async readers.
+
+Executors run in worker threads and publish plain-dict progress events
+(`unit-start`, `unit-done`, ...); HTTP clients consume them from the
+asyncio side as server-sent events. The :class:`EventBus` bridges the
+two worlds: publishes append to a bounded in-memory log under a
+threading lock and wake subscribers through
+``loop.call_soon_threadsafe``, so the executor never blocks on a slow
+reader and a reader joining late replays history from any sequence
+number before going live — a reconnect with ``?from=<seq>`` never
+drops or duplicates events.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, AsyncIterator, Dict, List, Optional
+
+#: Events kept for replay per campaign (oldest dropped beyond this).
+DEFAULT_HISTORY = 100_000
+
+#: Sentinel queued to subscribers when the bus closes.
+_CLOSED = object()
+
+
+class EventBus:
+    """One campaign's append-only progress log plus live fan-out."""
+
+    def __init__(
+        self,
+        loop: Optional[asyncio.AbstractEventLoop] = None,
+        history: int = DEFAULT_HISTORY,
+    ) -> None:
+        self._loop = loop
+        self._history = int(history)
+        self._events: List[Dict[str, Any]] = []
+        self._dropped = 0
+        self._seq = 0
+        self._closed = False
+        self._lock = threading.Lock()
+        self._queues: List[asyncio.Queue] = []
+
+    def attach_loop(self, loop: asyncio.AbstractEventLoop) -> None:
+        self._loop = loop
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    # -- publisher side (any thread) ----------------------------------------
+
+    def publish(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        """Append one event and wake subscribers; returns the stamped event."""
+        with self._lock:
+            if self._closed:
+                return dict(event)
+            stamped = {"seq": self._seq, **event}
+            self._seq += 1
+            self._events.append(stamped)
+            if len(self._events) > self._history:
+                overflow = len(self._events) - self._history
+                del self._events[:overflow]
+                self._dropped += overflow
+            queues = list(self._queues)
+        self._fanout(queues, stamped)
+        return stamped
+
+    def close(self) -> None:
+        """Mark the stream complete and end every live subscription."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            queues = list(self._queues)
+        self._fanout(queues, _CLOSED)
+
+    def _fanout(self, queues: List[asyncio.Queue], item: Any) -> None:
+        if not queues:
+            return
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self._deliver, queues, item)
+        except RuntimeError:  # loop shut down mid-publish
+            pass
+
+    @staticmethod
+    def _deliver(queues: List[asyncio.Queue], item: Any) -> None:
+        for queue in queues:
+            queue.put_nowait(item)
+
+    # -- subscriber side (event loop) ---------------------------------------
+
+    def replay(self, from_seq: int = 0) -> List[Dict[str, Any]]:
+        """Historical events with ``seq >= from_seq`` (oldest first)."""
+        with self._lock:
+            return [e for e in self._events if e["seq"] >= from_seq]
+
+    async def subscribe(
+        self, from_seq: int = 0
+    ) -> AsyncIterator[Dict[str, Any]]:
+        """Replay history from ``from_seq``, then yield live events.
+
+        The iterator ends when the bus closes (campaign reached a
+        terminal state). Must be consumed on the attached loop.
+        """
+        queue: asyncio.Queue = asyncio.Queue()
+        with self._lock:
+            history = [e for e in self._events if e["seq"] >= from_seq]
+            closed = self._closed
+            if not closed:
+                self._queues.append(queue)
+        try:
+            last = from_seq - 1
+            for event in history:
+                yield event
+                last = event["seq"]
+            if closed:
+                return
+            while True:
+                item = await queue.get()
+                if item is _CLOSED:
+                    return
+                if item["seq"] <= last:  # already replayed
+                    continue
+                yield item
+                last = item["seq"]
+        finally:
+            with self._lock:
+                if queue in self._queues:
+                    self._queues.remove(queue)

@@ -1,0 +1,266 @@
+"""A minimal asyncio HTTP/1.1 server on the standard library only.
+
+Just enough protocol for the control plane: request parsing with a
+bounded body, keep-alive connections, plain ``Content-Length``
+responses and chunked streaming for server-sent events. Not a general
+web server — no TLS, no pipelining of concurrent requests per
+connection, no compression — but it handles hundreds of concurrent
+keep-alive clients on one event loop, which is the service's actual
+load profile (the bench drives it with 500+).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, AsyncIterator, Awaitable, Callable, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+#: Reason phrases for the statuses the service actually emits.
+REASONS = {
+    200: "OK",
+    202: "Accepted",
+    204: "No Content",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    409: "Conflict",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+}
+
+#: Upper bound on request bodies (campaign specs are a few KiB).
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on the request line + headers block.
+MAX_HEADER_BYTES = 1 << 14
+
+
+class ProtocolError(Exception):
+    """Malformed request; carries the HTTP status to answer with."""
+
+    def __init__(self, status: int, reason: str) -> None:
+        super().__init__(reason)
+        self.status = status
+
+
+@dataclass
+class Request:
+    """One parsed HTTP request."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+
+    def json(self) -> Any:
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(400, f"invalid JSON body: {exc}") from exc
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "").lower() != "close"
+
+
+@dataclass
+class Response:
+    """One response: either a complete body or a streamed one."""
+
+    status: int = 200
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+    #: When set, the response streams as chunked transfer encoding and
+    #: ``body`` is ignored.
+    stream: Optional[AsyncIterator[bytes]] = None
+
+    @classmethod
+    def json(
+        cls,
+        payload: Any,
+        status: int = 200,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> "Response":
+        body = (json.dumps(payload, indent=1, sort_keys=True) + "\n").encode(
+            "utf-8"
+        )
+        merged = {"Content-Type": "application/json; charset=utf-8"}
+        if headers:
+            merged.update(headers)
+        return cls(status=status, headers=merged, body=body)
+
+    @classmethod
+    def text(cls, body: str, status: int = 200, content_type: str = "text/plain; charset=utf-8") -> "Response":
+        return cls(
+            status=status,
+            headers={"Content-Type": content_type},
+            body=body.encode("utf-8"),
+        )
+
+    @classmethod
+    def error(cls, status: int, message: str, **extra: Any) -> "Response":
+        return cls.json({"error": message, "status": status, **extra}, status=status)
+
+
+Handler = Callable[[Request], Awaitable[Response]]
+
+
+async def read_request(reader: asyncio.StreamReader) -> Optional[Request]:
+    """Parse one request off the wire; None on clean EOF between requests."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # client closed between requests
+        raise ProtocolError(400, "truncated request") from exc
+    except asyncio.LimitOverrunError as exc:
+        raise ProtocolError(431, "header block too large") from exc
+    if len(head) > MAX_HEADER_BYTES:
+        raise ProtocolError(431, "header block too large")
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise ProtocolError(400, f"malformed request line {lines[0]!r}")
+    method, target, _version = parts
+    split = urlsplit(target)
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise ProtocolError(400, f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or "0")
+    if length > MAX_BODY_BYTES:
+        raise ProtocolError(413, f"body exceeds {MAX_BODY_BYTES} bytes")
+    body = await reader.readexactly(length) if length else b""
+    return Request(
+        method=method.upper(),
+        path=split.path,
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+    )
+
+
+def _head_bytes(response: Response, extra: Dict[str, str]) -> bytes:
+    reason = REASONS.get(response.status, "Unknown")
+    lines = [f"HTTP/1.1 {response.status} {reason}"]
+    for name, value in {**response.headers, **extra}.items():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1")
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, response: Response, keep_alive: bool
+) -> None:
+    if response.stream is not None:
+        writer.write(
+            _head_bytes(
+                response,
+                {"Transfer-Encoding": "chunked", "Connection": "close"},
+            )
+        )
+        await writer.drain()
+        async for chunk in response.stream:
+            if not chunk:
+                continue
+            writer.write(b"%x\r\n%b\r\n" % (len(chunk), chunk))
+            await writer.drain()
+        writer.write(b"0\r\n\r\n")
+        await writer.drain()
+        return
+    extra = {
+        "Content-Length": str(len(response.body)),
+        "Connection": "keep-alive" if keep_alive else "close",
+    }
+    writer.write(_head_bytes(response, extra))
+    if response.body:
+        writer.write(response.body)
+    await writer.drain()
+
+
+class HttpServer:
+    """Keep-alive HTTP/1.1 server dispatching to one async handler."""
+
+    def __init__(
+        self,
+        handler: Handler,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.handler = handler
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+
+    async def start(self) -> Tuple[str, int]:
+        """Bind and serve; returns the (host, port) actually bound."""
+        self._server = await asyncio.start_server(
+            self._serve_connection,
+            self.host,
+            self.port,
+            limit=MAX_HEADER_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.host, self.port = sock.getsockname()[:2]
+        return self.host, self.port
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    async def close(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    request = await read_request(reader)
+                except ProtocolError as exc:
+                    await write_response(
+                        writer,
+                        Response.error(exc.status, str(exc)),
+                        keep_alive=False,
+                    )
+                    return
+                if request is None:
+                    return
+                try:
+                    response = await self.handler(request)
+                except ProtocolError as exc:
+                    response = Response.error(exc.status, str(exc))
+                except Exception as exc:  # noqa: BLE001 - connection boundary
+                    response = Response.error(
+                        500, f"{type(exc).__name__}: {exc}"
+                    )
+                keep_alive = request.keep_alive and response.stream is None
+                await write_response(writer, response, keep_alive)
+                if not keep_alive:
+                    return
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass  # client went away mid-exchange
+        except asyncio.CancelledError:
+            # Loop/server shutdown with the connection open. Absorb the
+            # cancellation so asyncio's connection_made callback does
+            # not log it as an unhandled task exception.
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError, asyncio.CancelledError):
+                pass

@@ -1,0 +1,174 @@
+"""Fair campaign admission: per-tenant quotas, bounded queues, 429s.
+
+The control plane is one event loop; campaign execution is blocking
+work handed to worker threads. Between the two sits this scheduler: it
+decides *which* queued campaign starts when a worker slot frees, and
+*whether* a new submission is admitted at all.
+
+Fairness is round-robin across tenants (the tenant order rotates on
+every dispatch, so one chatty tenant cannot starve the rest) combined
+with a per-tenant running cap. Backpressure is a bounded per-tenant
+queue: a submission beyond the bound raises :class:`BackpressureError`
+carrying a ``retry_after_s`` hint, which the HTTP layer maps onto
+``429 Too Many Requests`` + ``Retry-After`` — load is rejected at the
+door instead of growing an unbounded backlog.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Awaitable, Callable, Deque, Dict, Optional
+
+
+class BackpressureError(Exception):
+    """Submission rejected; retry after ``retry_after_s`` seconds."""
+
+    def __init__(self, reason: str, retry_after_s: float) -> None:
+        super().__init__(reason)
+        self.retry_after_s = float(retry_after_s)
+
+
+@dataclass(frozen=True)
+class SchedulerConfig:
+    """Admission and fairness knobs of one service instance."""
+
+    #: Campaigns running concurrently, service-wide (= worker threads).
+    max_running: int = 2
+    #: Campaigns one tenant may have running at once.
+    per_tenant_running: int = 1
+    #: Queued (admitted, not yet running) campaigns per tenant.
+    queue_depth: int = 8
+    #: ``Retry-After`` hint handed to rejected submitters.
+    retry_after_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.max_running < 1:
+            raise ValueError("max_running must be >= 1")
+        if self.per_tenant_running < 1:
+            raise ValueError("per_tenant_running must be >= 1")
+        if self.queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        if self.retry_after_s <= 0:
+            raise ValueError("retry_after_s must be positive")
+
+
+class FairScheduler:
+    """Round-robin dispatcher over per-tenant bounded queues.
+
+    ``runner(job)`` is awaited on the event loop for every dispatched
+    job (the service wraps the blocking drain in ``run_in_executor``).
+    All scheduler state is loop-confined: :meth:`submit` must be called
+    from the loop thread, which the HTTP handlers guarantee.
+    """
+
+    def __init__(
+        self,
+        runner: Callable[[Any], Awaitable[None]],
+        config: Optional[SchedulerConfig] = None,
+    ) -> None:
+        self.config = config or SchedulerConfig()
+        self._runner = runner
+        self._queues: Dict[str, Deque[Any]] = {}
+        self._order: Deque[str] = deque()
+        self._running: Dict[str, int] = {}
+        self._total_running = 0
+        self._tasks: set = set()
+        self._dispatched = 0
+        self._rejected = 0
+
+    # -- admission -----------------------------------------------------------
+
+    def submit(self, job: Any) -> None:
+        """Admit one job (``job.tenant`` names its queue) or raise 429."""
+        cfg = self.config
+        tenant = job.tenant
+        queue = self._queues.get(tenant)
+        if queue is None:
+            queue = self._queues[tenant] = deque()
+            self._order.append(tenant)
+        if len(queue) >= cfg.queue_depth:
+            self._rejected += 1
+            raise BackpressureError(
+                f"tenant {tenant!r} queue is full "
+                f"({cfg.queue_depth} campaigns waiting)",
+                cfg.retry_after_s,
+            )
+        queue.append(job)
+        self._maybe_start()
+
+    def cancel_queued(self, job: Any) -> bool:
+        """Drop a job that has not started yet; True when removed."""
+        queue = self._queues.get(job.tenant)
+        if queue is None or job not in queue:
+            return False
+        queue.remove(job)
+        return True
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _next_job(self) -> Optional[Any]:
+        for _ in range(len(self._order)):
+            tenant = self._order[0]
+            self._order.rotate(-1)
+            if self._running.get(tenant, 0) >= self.config.per_tenant_running:
+                continue
+            queue = self._queues.get(tenant)
+            if queue:
+                return queue.popleft()
+        return None
+
+    def _maybe_start(self) -> None:
+        while self._total_running < self.config.max_running:
+            job = self._next_job()
+            if job is None:
+                return
+            self._start(job)
+
+    def _start(self, job: Any) -> None:
+        self._running[job.tenant] = self._running.get(job.tenant, 0) + 1
+        self._total_running += 1
+        self._dispatched += 1
+        task = asyncio.ensure_future(self._run(job))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run(self, job: Any) -> None:
+        try:
+            await self._runner(job)
+        finally:
+            self._running[job.tenant] -= 1
+            self._total_running -= 1
+            self._maybe_start()
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def total_running(self) -> int:
+        return self._total_running
+
+    def queued(self, tenant: Optional[str] = None) -> int:
+        if tenant is not None:
+            return len(self._queues.get(tenant, ()))
+        return sum(len(q) for q in self._queues.values())
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "running": self._total_running,
+            "queued": self.queued(),
+            "queued_by_tenant": {
+                t: len(q) for t, q in sorted(self._queues.items()) if q
+            },
+            "dispatched": self._dispatched,
+            "rejected": self._rejected,
+        }
+
+    async def drain(self) -> None:
+        """Wait for every running/queued job to finish (tests, shutdown)."""
+        while self._tasks or self.queued():
+            tasks = list(self._tasks)
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            else:
+                await asyncio.sleep(0.01)

@@ -1,0 +1,263 @@
+"""The campaign service engine: everything behind the HTTP surface.
+
+:class:`CampaignService` owns the long-lived state — the multi-tenant
+store, the job table, the in-flight unit registry, the fair scheduler,
+the metrics registry and the report cache — and exposes the verbs the
+control plane routes to (`submit`, `status_doc`, `report`, `cancel`,
+`health`, `metrics_text`). It is deliberately HTTP-free so tests and
+embedders can drive a service in-process.
+
+Result caching happens at two content-addressed layers:
+
+* **unit artifacts** — the campaign layer's run keys, deduped through
+  the store / in-flight registry / cross-tenant shared cache;
+* **reports** — an aggregated EDP/Pareto summary is cached under the
+  hash of the exact set of completed unit keys it folds, so repeated
+  report queries (the hot read path) recompute only when a new unit
+  lands.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from ..campaign import (
+    CampaignSpec,
+    ExecutorConfig,
+    InFlightRegistry,
+    build_summary,
+    canonical_json,
+)
+from ..monitor import render_prometheus, stalled_worker_alerts
+from ..telemetry.metrics import MetricsRegistry
+from .events import EventBus
+from .jobs import DONE, QUEUED, RUNNING, CampaignJob, campaign_id
+from .scheduler import BackpressureError, FairScheduler, SchedulerConfig
+from .tenancy import MultiTenantRunStore, validate_tenant
+
+__all__ = [
+    "BackpressureError",
+    "CampaignService",
+    "ServiceConfig",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """One service instance's knobs."""
+
+    #: Root directory of the multi-tenant store.
+    root: str
+    #: Share completed artifacts across tenants (read-through cache).
+    shared_cache: bool = True
+    #: Scheduler admission/fairness settings.
+    scheduler: SchedulerConfig = field(default_factory=SchedulerConfig)
+    #: Per-campaign executor settings (workers=1 drains inline in the
+    #: job's worker thread; >1 adds a process pool per campaign).
+    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    #: Heartbeat age that surfaces a worker-stall alert in status docs.
+    stall_after_s: float = 120.0
+
+
+class CampaignService:
+    """Multi-tenant campaign execution with content-hash caching."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        self.stores = MultiTenantRunStore(
+            config.root, shared_cache=config.shared_cache
+        )
+        self.metrics = MetricsRegistry()
+        self.inflight = InFlightRegistry()
+        self.jobs: Dict[str, CampaignJob] = {}
+        self.started_s = time.time()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._scheduler: Optional[FairScheduler] = None
+        self._report_cache: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> "CampaignService":
+        self._loop = asyncio.get_running_loop()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.config.scheduler.max_running,
+            thread_name_prefix="repro-service-worker",
+        )
+        self._scheduler = FairScheduler(
+            self._run_job, config=self.config.scheduler
+        )
+        return self
+
+    async def close(self) -> None:
+        for job in self.jobs.values():
+            if not job.terminal:
+                job.request_cancel()
+        if self._scheduler is not None:
+            await self._scheduler.drain()
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def scheduler(self) -> FairScheduler:
+        if self._scheduler is None:
+            raise RuntimeError("service is not started")
+        return self._scheduler
+
+    # -- submission ----------------------------------------------------------
+
+    def submit(
+        self, tenant: Optional[str], spec_payload: Mapping[str, Any]
+    ) -> Tuple[CampaignJob, bool]:
+        """Admit one campaign spec; returns ``(job, created)``.
+
+        ``created`` is False when the submission deduplicated onto an
+        existing job (same tenant, byte-equivalent spec) that is
+        queued, running or done — the caller gets the original id and,
+        for a done job, an immediately-consistent result with zero
+        re-execution.
+        """
+        tenant = validate_tenant(tenant)
+        spec = CampaignSpec.from_dict(spec_payload)
+        job_id = campaign_id(tenant, spec)
+        existing = self.jobs.get(job_id)
+        if existing is not None and existing.state in (QUEUED, RUNNING, DONE):
+            existing.submissions += 1
+            self._count("service_submissions_deduped")
+            return existing, False
+        # A failed/cancelled job resubmits as a fresh attempt under the
+        # same content-addressed id; completed units stay cached.
+        store = self.stores.store_for(tenant, spec.name)
+        bus = EventBus(loop=self._loop)
+        job = CampaignJob(job_id, tenant, spec, store, bus)
+        try:
+            self.scheduler.submit(job)
+        except BackpressureError:
+            self._count("service_submissions_rejected")
+            raise
+        self.jobs[job_id] = job
+        self._count("service_submissions")
+        return job, True
+
+    async def _run_job(self, job: CampaignJob) -> None:
+        if job.cancel_requested:
+            job.mark_cancelled()
+            return
+        loop = asyncio.get_running_loop()
+        await loop.run_in_executor(
+            self._pool,
+            job.execute,
+            self.inflight,
+            self.config.executor,
+            self.stores.adopt_shared,
+            self.stores.publish_shared,
+        )
+        status = job.status
+        if status is not None:
+            self._count("service_units_executed", status.executed)
+            self._count("service_units_failed", status.failed)
+            # Adopted units are a subset of the skipped ones (the
+            # executor sees them as already completed), so don't add
+            # them twice.
+            hits = status.skipped + status.attached
+            self._count("service_unit_cache_hits", hits)
+
+    # -- queries -------------------------------------------------------------
+
+    def job(self, job_id: str) -> CampaignJob:
+        job = self.jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown campaign {job_id!r}")
+        return job
+
+    def jobs_for(self, tenant: Optional[str] = None) -> List[CampaignJob]:
+        jobs = sorted(self.jobs.values(), key=lambda j: j.created_s)
+        if tenant is None:
+            return jobs
+        tenant = validate_tenant(tenant)
+        return [j for j in jobs if j.tenant == tenant]
+
+    def status_doc(self, job: CampaignJob) -> Dict[str, Any]:
+        """Job status + live worker-stall alerts for running drains."""
+        doc = job.status_doc()
+        alerts: List[Dict[str, Any]] = []
+        if job.state == RUNNING:
+            try:
+                heartbeats = job.store.read_heartbeats()
+            except (OSError, ValueError):
+                heartbeats = {}
+            alerts = [
+                alert.to_dict()
+                for alert in stalled_worker_alerts(
+                    heartbeats, time.time(),
+                    stall_after_s=self.config.stall_after_s,
+                )
+            ]
+        doc["alerts"] = alerts
+        return doc
+
+    def cancel(self, job: CampaignJob) -> str:
+        """Cancel a job; returns its (possibly unchanged) state."""
+        if job.terminal:
+            return job.state
+        job.request_cancel()
+        if job.state == QUEUED and self.scheduler.cancel_queued(job):
+            job.mark_cancelled()
+        self._count("service_cancellations")
+        return job.state
+
+    # -- report cache --------------------------------------------------------
+
+    def report(self, job: CampaignJob) -> Dict[str, Any]:
+        """EDP/Pareto summary of the job's grid, content-hash cached."""
+        grid = set(job.grid_keys)
+        completed = sorted(job.store.completed_keys() & grid)
+        if not completed:
+            raise LookupError(
+                f"campaign {job.id!r} has no completed runs yet"
+            )
+        content = hashlib.sha256(
+            canonical_json([job.store.campaign, completed]).encode("utf-8")
+        ).hexdigest()
+        cached = self._report_cache.get(job.id)
+        if cached is not None and cached[0] == content:
+            self._count("service_report_cache_hits")
+            return cached[1]
+        self._count("service_report_cache_misses")
+        summary = build_summary(job.store, keys=job.grid_keys)
+        self._report_cache[job.id] = (content, summary)
+        return summary
+
+    # -- health / metrics ----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        states: Dict[str, int] = {}
+        for job in self.jobs.values():
+            states[job.state] = states.get(job.state, 0) + 1
+        return {
+            "status": "ok",
+            "uptime_s": time.time() - self.started_s,
+            "jobs": states,
+            "tenants": self.stores.tenants(),
+            "scheduler": self.scheduler.stats(),
+            "in_flight_units": len(self.inflight.in_flight()),
+        }
+
+    def metrics_text(self) -> str:
+        stats = self.scheduler.stats()
+        self.metrics.gauge("service_jobs_running").set(stats["running"])
+        self.metrics.gauge("service_jobs_queued").set(stats["queued"])
+        self.metrics.gauge(
+            "service_uptime_s"
+        ).set(time.time() - self.started_s)
+        return render_prometheus(self.metrics)
+
+    def _count(self, name: str, amount: float = 1.0) -> None:
+        if amount:
+            self.metrics.counter(name).inc(amount)

@@ -1,0 +1,188 @@
+"""Multi-tenant namespacing over the content-addressed run store.
+
+One service root holds every tenant's campaigns plus an optional
+cross-tenant result cache::
+
+    <root>/
+        tenants/<tenant>/campaigns/<slug>/   # one RunStore per campaign
+        shared/runs/<key>.json               # read-through result cache
+
+The layering is deliberately thin: run identity stays the campaign
+layer's sha256 content hash, tenancy only decides *which directory* a
+key lives in. Within a tenant, identical run units dedupe through the
+ordinary RunStore completed-key skip. Across tenants, the shared cache
+makes a unit computed by tenant A a free ``cache_hit`` for tenant B —
+read-through on submission, write-through on completion — without ever
+letting B enumerate or read A's store.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import threading
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..campaign.store import RunStore
+
+#: Tenant used when a request names none.
+DEFAULT_TENANT = "public"
+
+_TENANT_OK = re.compile(r"^[a-zA-Z0-9][a-zA-Z0-9._-]{0,63}$")
+
+_SLUG_BAD = re.compile(r"[^a-zA-Z0-9._-]+")
+
+
+def validate_tenant(name: Optional[str]) -> str:
+    """Coerce/validate a tenant name (filesystem- and label-safe)."""
+    if name is None or name == "":
+        return DEFAULT_TENANT
+    if not _TENANT_OK.match(name):
+        raise ValueError(
+            f"invalid tenant {name!r}: 1-64 chars from [a-zA-Z0-9._-], "
+            f"not starting with a separator"
+        )
+    return name
+
+
+def campaign_slug(campaign: str) -> str:
+    """Directory-safe, collision-free name for one campaign."""
+    digest = hashlib.sha256(campaign.encode("utf-8")).hexdigest()[:8]
+    safe = _SLUG_BAD.sub("-", campaign).strip("-") or "campaign"
+    return f"{safe[:48]}-{digest}"
+
+
+def namespaced_key(tenant: str, key: str) -> str:
+    """Globally-unique identity of one run within one tenant."""
+    return f"{tenant}/{key}"
+
+
+class SharedResultCache:
+    """Cross-tenant, content-addressed cache of completed run artifacts.
+
+    Artifacts are the same ``campaign-run`` documents a
+    :class:`RunStore` persists, keyed by the unit's content hash and
+    written atomically — a reader never observes a torn artifact, and
+    a double ``put`` of the same key is a harmless overwrite with
+    identical bytes.
+    """
+
+    def __init__(self, root: str) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def __contains__(self, key: str) -> bool:
+        return self.path(key).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path(key)
+        if not path.exists():
+            return None
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+        if payload.get("schema") != 1 or payload.get("kind") != "campaign-run":
+            raise ValueError(f"{path}: not a campaign run artifact")
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        path = self.path(key)
+        tmp = path.with_suffix(".json.tmp")
+        with self._lock:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(dict(payload), fh, indent=1, sort_keys=True)
+                fh.write("\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+
+
+class MultiTenantRunStore:
+    """Per-tenant RunStore namespaces plus the shared result cache.
+
+    Store instances are cached per ``(tenant, campaign)`` so every job
+    of the service that touches one campaign shares a single
+    :class:`RunStore` object — which is what makes the executor's
+    in-flight dedup and the store's thread-safe manifest work across
+    concurrently-running campaigns.
+    """
+
+    def __init__(self, root: str, shared_cache: bool = True) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.shared: Optional[SharedResultCache] = (
+            SharedResultCache(str(self.root / "shared" / "runs"))
+            if shared_cache
+            else None
+        )
+        self._stores: Dict[Tuple[str, str], RunStore] = {}
+        self._lock = threading.Lock()
+
+    def tenant_root(self, tenant: str) -> Path:
+        return self.root / "tenants" / validate_tenant(tenant)
+
+    def store_for(self, tenant: str, campaign: str) -> RunStore:
+        tenant = validate_tenant(tenant)
+        cache_key = (tenant, campaign)
+        with self._lock:
+            store = self._stores.get(cache_key)
+            if store is None:
+                directory = (
+                    self.tenant_root(tenant)
+                    / "campaigns"
+                    / campaign_slug(campaign)
+                )
+                store = RunStore(str(directory), campaign=campaign)
+                self._stores[cache_key] = store
+        return store
+
+    def tenants(self) -> List[str]:
+        base = self.root / "tenants"
+        if not base.is_dir():
+            return []
+        return sorted(p.name for p in base.iterdir() if p.is_dir())
+
+    # -- shared-cache plumbing ----------------------------------------------
+
+    def adopt_shared(self, store: RunStore, keys: Iterable[str]) -> List[str]:
+        """Read-through: pull missing-but-shared artifacts into a store.
+
+        Returns the adopted keys; the executor will then skip them like
+        any other completed unit, and the service reports them as
+        cross-tenant ``cache_hit``\\ s.
+        """
+        if self.shared is None:
+            return []
+        done = store.completed_keys()
+        adopted: List[str] = []
+        for key in keys:
+            if key in done:
+                continue
+            payload = self.shared.get(key)
+            if payload is None:
+                continue
+            store.record_done(key, payload["unit"], payload["result"])
+            adopted.append(key)
+        return adopted
+
+    def publish_shared(self, store: RunStore, keys: Iterable[str]) -> int:
+        """Write-through: publish completed artifacts to the cache."""
+        if self.shared is None:
+            return 0
+        published = 0
+        done = store.completed_keys()
+        for key in keys:
+            if key not in done or key in self.shared:
+                continue
+            self.shared.put(key, store.load_result(key))
+            published += 1
+        return published

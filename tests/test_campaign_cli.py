@@ -152,3 +152,39 @@ def test_compare_json_is_machine_readable(capsys):
 def test_compare_human_output_unchanged_by_default(capsys):
     assert main(["compare", "--steps", "2", "--particles", "1e7"]) == 0
     assert "normalized policy comparison" in capsys.readouterr().out
+
+
+def test_campaign_status_json_matches_service_serializer(
+    tmp_path, spec_path, capsys
+):
+    cdir = str(tmp_path / "c")
+    main(["campaign", "run", "--spec", spec_path, "--dir", cdir])
+    capsys.readouterr()
+    assert main(["campaign", "status", "--dir", cdir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    # Identical document to the one the service embeds in
+    # GET /campaigns/{id} -- one serializer, two transports.
+    from repro.campaign import CampaignSpec, RunStore, build_status_doc
+
+    spec = CampaignSpec.load(spec_path)
+    assert doc == build_status_doc(RunStore(cdir), spec)
+    assert doc["kind"] == "campaign-status"
+    assert doc["grid_units"] == 4
+    assert doc["done"] == 4 and doc["missing"] == 0
+    assert doc["complete"] is True
+
+
+def test_campaign_status_json_without_spec(tmp_path, capsys):
+    from repro.campaign import RunStore
+
+    cdir = str(tmp_path / "bare")
+    RunStore(cdir, campaign="bare").record_done(
+        "k1",
+        {"campaign": "bare"},
+        {"metrics": {"elapsed_s": 1.0, "gpu_energy_j": 2.0}},
+    )
+    assert main(["campaign", "status", "--dir", cdir, "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["done"] == 1
+    assert doc["grid_units"] is None  # no spec: no grid to compare to
+    assert doc["complete"] is None

@@ -351,3 +351,118 @@ def test_heartbeat_write_failure_does_not_kill_campaign(tmp_path, monkeypatch):
     monkeypatch.setattr(RunStore, "write_heartbeats", boom)
     status, store = run_campaign(spec, str(tmp_path / "c"))
     assert status.complete  # monitoring is best-effort, runs are not
+
+
+# ---------------------------------------------------------------------------
+# cooperative cancel, progress events, in-flight dedup, provenance
+# ---------------------------------------------------------------------------
+
+
+def test_should_stop_interrupts_between_units(tmp_path):
+    spec = _spec()
+    store = RunStore(str(tmp_path), campaign=spec.name)
+    executed = []
+
+    def stop_after_two():
+        return len(executed) >= 2
+
+    executor = CampaignExecutor(
+        store,
+        on_event=lambda e: (
+            executed.append(e["key"]) if e["event"] == "unit-done" else None
+        ),
+        should_stop=stop_after_two,
+    )
+    status = executor.run(spec.expand())
+    assert status.interrupted
+    assert status.executed == 2
+    assert len(store.completed_keys()) == 2  # finished units stay durable
+
+
+def test_on_event_stream_covers_lifecycle(tmp_path):
+    spec = _spec(policies=({"kind": "baseline"},), clocks_mhz=(1305.0,))
+    store = RunStore(str(tmp_path), campaign=spec.name)
+    events = []
+    CampaignExecutor(store, on_event=events.append).run(spec.expand())
+    assert [e["event"] for e in events] == ["unit-start", "unit-done"]
+
+    # A re-drain reports the same unit as served from the store.
+    events.clear()
+    status = CampaignExecutor(store, on_event=events.append).run(spec.expand())
+    assert [e["event"] for e in events] == ["unit-cached"]
+    assert status.skipped == 1
+
+
+def test_observer_exceptions_do_not_break_the_drain(tmp_path):
+    spec = _spec(policies=({"kind": "baseline"},), clocks_mhz=(1305.0,))
+    store = RunStore(str(tmp_path), campaign=spec.name)
+
+    def broken_observer(event):
+        raise RuntimeError("observer bug")
+
+    status = CampaignExecutor(store, on_event=broken_observer).run(
+        spec.expand()
+    )
+    assert status.executed == 1
+
+
+def test_inflight_registry_claim_release_wait():
+    reg = executor_mod.InFlightRegistry()
+    assert reg.claim("k1")
+    assert not reg.claim("k1")  # second claimant defers
+    assert reg.in_flight() == {"k1"}
+    assert not reg.wait("k1", timeout=0.01)  # still running
+    reg.release("k1")
+    assert reg.wait("k1", timeout=0.01)  # resolved instantly
+    assert reg.in_flight() == set()
+    assert reg.claim("k1")  # reusable after release
+
+
+def test_provenance_tracks_cached_vs_executed(tmp_path):
+    spec = _spec()
+    store = RunStore(str(tmp_path), campaign=spec.name)
+    keys = [u.key for u in spec.expand()]
+    first = CampaignExecutor(store, config=ExecutorConfig(max_units=2)).run(
+        spec.expand()
+    )
+    assert sorted(first.provenance.values()) == ["executed", "executed"]
+    second = CampaignExecutor(store).run(spec.expand())
+    assert set(second.provenance) == set(keys)
+    counts = {}
+    for prov in second.provenance.values():
+        counts[prov] = counts.get(prov, 0) + 1
+    assert counts == {"cached": 2, "executed": len(keys) - 2}
+
+
+def test_concurrent_campaigns_share_inflight_units(tmp_path):
+    """Two concurrent drains over one store never execute a key twice."""
+    import threading
+
+    spec = _spec()
+    store = RunStore(str(tmp_path), campaign=spec.name)
+    registry = executor_mod.InFlightRegistry()
+    statuses = {}
+
+    def drain(tag):
+        executor = CampaignExecutor(
+            store, inflight=registry, min_unit_wall_s=0.01
+        )
+        statuses[tag] = executor.run(spec.expand())
+
+    threads = [
+        threading.Thread(target=drain, args=(tag,)) for tag in ("a", "b")
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    n = spec.n_units()
+    a, b = statuses["a"], statuses["b"]
+    # Every unit computed exactly once across both drains...
+    assert a.executed + b.executed == n
+    # ...and each drain accounts for all n units one way or another.
+    for status in (a, b):
+        assert status.executed + status.skipped + status.attached == n
+        assert status.complete
+    assert store.completed_keys() == {u.key for u in spec.expand()}

@@ -121,3 +121,46 @@ def test_heartbeats_reject_foreign_payload(tmp_path):
     store.heartbeats_path.write_text('{"kind": "other"}', encoding="utf-8")
     with pytest.raises(ValueError):
         store.read_heartbeats()
+
+
+# ---------------------------------------------------------------------------
+# torn final line (crash mid-append)
+# ---------------------------------------------------------------------------
+
+
+def test_torn_final_line_skipped_with_warning(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    # A crash mid-append leaves a final line without its newline.
+    with open(store.manifest_path, "a", encoding="utf-8") as fh:
+        fh.write('{"schema": 1, "kind": "campaign-manifest", "key": "k2"')
+    with pytest.warns(RuntimeWarning, match="torn final manifest line"):
+        reopened = RunStore(str(tmp_path))
+    # Everything before the torn tail replays; the torn unit re-runs.
+    assert reopened.completed_keys() == {"k1"}
+    assert reopened.counts() == {"done": 1, "failed": 0}
+
+
+def test_torn_tail_recovers_after_next_append(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    with open(store.manifest_path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn')
+    with pytest.warns(RuntimeWarning, match="torn final manifest line"):
+        recovered = RunStore(str(tmp_path))
+    # Recovery truncates the torn bytes, so the next append starts on
+    # its own line -- and k2 is durable on the following (clean) reopen.
+    recovered.record_done("k2", UNIT, RESULT)
+    assert recovered.completed_keys() == {"k1", "k2"}
+    assert RunStore(str(tmp_path)).completed_keys() == {"k1", "k2"}
+
+
+def test_torn_line_mid_file_still_raises(tmp_path):
+    store = RunStore(str(tmp_path), campaign="t")
+    store.record_done("k1", UNIT, RESULT)
+    # Corruption *with* a trailing newline is not a torn append -- it
+    # must keep failing loudly (see the corrupt-manifest test above).
+    with open(store.manifest_path, "a", encoding="utf-8") as fh:
+        fh.write('{"torn\n{"also-torn\n')
+    with pytest.raises(ValueError, match="not valid JSON"):
+        RunStore(str(tmp_path))

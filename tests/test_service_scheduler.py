@@ -1,0 +1,189 @@
+"""Fair scheduling, backpressure, and the thread->loop event bus."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.service import (
+    BackpressureError,
+    EventBus,
+    FairScheduler,
+    SchedulerConfig,
+)
+
+
+class Job:
+    """Minimal scheduler job: a tenant plus a completion gate."""
+
+    def __init__(self, tenant, tag):
+        self.tenant = tenant
+        self.tag = tag
+        self.gate = asyncio.Event()
+
+
+def _scheduler(config, started):
+    async def runner(job):
+        started.append(job.tag)
+        await job.gate.wait()
+
+    return FairScheduler(runner, config=config)
+
+
+# ---------------------------------------------------------------------------
+# config validation
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"max_running": 0},
+        {"per_tenant_running": 0},
+        {"queue_depth": 0},
+        {"retry_after_s": 0.0},
+    ],
+)
+def test_scheduler_config_rejects_nonpositive(kwargs):
+    with pytest.raises(ValueError):
+        SchedulerConfig(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# fairness and backpressure
+# ---------------------------------------------------------------------------
+
+
+def test_per_tenant_running_cap_and_round_robin():
+    async def scenario():
+        started = []
+        sched = _scheduler(
+            SchedulerConfig(max_running=2, per_tenant_running=1,
+                            queue_depth=8),
+            started,
+        )
+        a1, a2 = Job("a", "a1"), Job("a", "a2")
+        b1 = Job("b", "b1")
+        sched.submit(a1)
+        sched.submit(a2)
+        sched.submit(b1)
+        await asyncio.sleep(0)
+        # a2 must NOT start even though a slot is free: tenant "a" is
+        # capped at 1, so the free slot goes to tenant "b".
+        assert started == ["a1", "b1"]
+        assert sched.queued("a") == 1
+        a1.gate.set()
+        b1.gate.set()
+        for _ in range(5):
+            await asyncio.sleep(0)
+        assert started == ["a1", "b1", "a2"]
+        a2.gate.set()
+        await sched.drain()
+        assert sched.stats()["dispatched"] == 3
+
+    asyncio.run(scenario())
+
+
+def test_bounded_queue_rejects_with_retry_hint():
+    async def scenario():
+        started = []
+        sched = _scheduler(
+            SchedulerConfig(max_running=1, per_tenant_running=1,
+                            queue_depth=1, retry_after_s=2.5),
+            started,
+        )
+        running = Job("a", "run")
+        queued = Job("a", "wait")
+        sched.submit(running)
+        sched.submit(queued)
+        with pytest.raises(BackpressureError) as err:
+            sched.submit(Job("a", "reject"))
+        assert err.value.retry_after_s == 2.5
+        assert sched.stats()["rejected"] == 1
+        # Another tenant still gets in: the bound is per tenant.
+        other = Job("b", "other")
+        sched.submit(other)
+        running.gate.set()
+        queued.gate.set()
+        other.gate.set()
+        await sched.drain()
+        assert set(started) == {"run", "wait", "other"}
+
+    asyncio.run(scenario())
+
+
+def test_cancel_queued_removes_before_start():
+    async def scenario():
+        started = []
+        sched = _scheduler(SchedulerConfig(max_running=1), started)
+        first, second = Job("a", "first"), Job("a", "second")
+        sched.submit(first)
+        sched.submit(second)
+        assert sched.cancel_queued(second)
+        assert not sched.cancel_queued(second)  # already gone
+        first.gate.set()
+        await sched.drain()
+        assert started == ["first"]
+
+    asyncio.run(scenario())
+
+
+# ---------------------------------------------------------------------------
+# event bus
+# ---------------------------------------------------------------------------
+
+
+def test_event_bus_replay_and_live_subscription():
+    async def scenario():
+        bus = EventBus(loop=asyncio.get_running_loop())
+        bus.publish({"event": "one"})
+        bus.publish({"event": "two"})
+
+        seen = []
+
+        async def consume():
+            async for event in bus.subscribe():
+                seen.append(event)
+
+        task = asyncio.ensure_future(consume())
+        await asyncio.sleep(0.01)
+        # Publish from a worker thread, like the executor does.
+        thread = threading.Thread(
+            target=lambda: (bus.publish({"event": "three"}), bus.close())
+        )
+        thread.start()
+        await asyncio.wait_for(task, timeout=5)
+        thread.join()
+        assert [e["event"] for e in seen] == ["one", "two", "three"]
+        assert [e["seq"] for e in seen] == [0, 1, 2]
+
+    asyncio.run(scenario())
+
+
+def test_event_bus_resume_from_sequence():
+    async def scenario():
+        bus = EventBus(loop=asyncio.get_running_loop())
+        for i in range(5):
+            bus.publish({"event": f"e{i}"})
+        bus.close()
+        assert [e["seq"] for e in bus.replay(from_seq=3)] == [3, 4]
+        seen = [e async for e in bus.subscribe(from_seq=3)]
+        assert [e["event"] for e in seen] == ["e3", "e4"]
+
+    asyncio.run(scenario())
+
+
+def test_event_bus_bounded_history():
+    bus = EventBus(history=3)
+    for i in range(10):
+        bus.publish({"event": f"e{i}"})
+    assert bus.dropped == 7
+    assert [e["seq"] for e in bus.replay()] == [7, 8, 9]
+
+
+def test_event_bus_publish_after_close_is_noop():
+    bus = EventBus()
+    bus.publish({"event": "kept"})
+    bus.close()
+    bus.publish({"event": "dropped"})
+    assert len(bus) == 1

@@ -1,0 +1,124 @@
+"""Multi-tenant namespacing and the cross-tenant result cache."""
+
+import json
+
+import pytest
+
+from repro.service import (
+    DEFAULT_TENANT,
+    MultiTenantRunStore,
+    SharedResultCache,
+    campaign_slug,
+    validate_tenant,
+)
+
+UNIT = {"campaign": "t", "system": "miniHPC", "seed": 0}
+RESULT = {"metrics": {"elapsed_s": 1.0, "gpu_energy_j": 2.0}}
+
+
+# ---------------------------------------------------------------------------
+# tenant names and campaign slugs
+# ---------------------------------------------------------------------------
+
+
+def test_validate_tenant_defaults_and_accepts():
+    assert validate_tenant(None) == DEFAULT_TENANT
+    assert validate_tenant("") == DEFAULT_TENANT
+    assert validate_tenant("team-a.42") == "team-a.42"
+
+
+@pytest.mark.parametrize(
+    "bad", ["../escape", "a/b", "-leading", ".hidden", "x" * 65, "sp ace"]
+)
+def test_validate_tenant_rejects_unsafe_names(bad):
+    with pytest.raises(ValueError, match="invalid tenant"):
+        validate_tenant(bad)
+
+
+def test_campaign_slug_is_safe_and_collision_free():
+    slug = campaign_slug("fig7 dynamic/static sweep")
+    assert "/" not in slug and " " not in slug
+    # Same digest length suffix disambiguates sanitization collisions.
+    assert campaign_slug("a b") != campaign_slug("a/b")
+    assert campaign_slug("a b") != campaign_slug("a-b")
+
+
+# ---------------------------------------------------------------------------
+# shared result cache
+# ---------------------------------------------------------------------------
+
+
+def _artifact():
+    return {"schema": 1, "kind": "campaign-run", "unit": UNIT,
+            "result": RESULT}
+
+
+def test_shared_cache_roundtrip(tmp_path):
+    cache = SharedResultCache(str(tmp_path / "shared"))
+    assert cache.get("k1") is None
+    assert "k1" not in cache
+    cache.put("k1", _artifact())
+    assert "k1" in cache and len(cache) == 1
+    assert cache.get("k1")["unit"] == UNIT
+    # Overwrites are idempotent, no tmp litter.
+    cache.put("k1", _artifact())
+    assert len(cache) == 1
+    assert not list(tmp_path.rglob("*.tmp"))
+
+
+def test_shared_cache_rejects_foreign_documents(tmp_path):
+    cache = SharedResultCache(str(tmp_path))
+    cache.path("bad").write_text(json.dumps({"kind": "other"}))
+    with pytest.raises(ValueError, match="not a campaign run artifact"):
+        cache.get("bad")
+
+
+# ---------------------------------------------------------------------------
+# multi-tenant store
+# ---------------------------------------------------------------------------
+
+
+def test_store_for_is_cached_and_namespaced(tmp_path):
+    stores = MultiTenantRunStore(str(tmp_path))
+    a = stores.store_for("alice", "c1")
+    assert stores.store_for("alice", "c1") is a  # same instance: dedup works
+    b = stores.store_for("bob", "c1")
+    assert b is not a
+    a.record_done("k1", UNIT, RESULT)
+    assert b.completed_keys() == set()  # namespaces are disjoint
+    assert stores.tenants() == ["alice", "bob"]
+
+
+def test_adopt_and_publish_shared(tmp_path):
+    stores = MultiTenantRunStore(str(tmp_path))
+    a = stores.store_for("alice", "c1")
+    a.record_done("k1", UNIT, RESULT)
+
+    # Write-through: alice's artifact reaches the shared cache once.
+    assert stores.publish_shared(a, ["k1", "k-missing"]) == 1
+    assert stores.publish_shared(a, ["k1"]) == 0  # already shared
+
+    # Read-through: bob adopts it without executing anything.
+    b = stores.store_for("bob", "c1")
+    adopted = stores.adopt_shared(b, ["k1", "k-unknown"])
+    assert adopted == ["k1"]
+    assert b.completed_keys() == {"k1"}
+    assert b.load_result("k1")["result"] == RESULT
+    # Re-adoption is a no-op (already completed locally).
+    assert stores.adopt_shared(b, ["k1"]) == []
+
+
+def test_shared_cache_disabled(tmp_path):
+    stores = MultiTenantRunStore(str(tmp_path), shared_cache=False)
+    a = stores.store_for("alice", "c1")
+    a.record_done("k1", UNIT, RESULT)
+    assert stores.publish_shared(a, ["k1"]) == 0
+    b = stores.store_for("bob", "c1")
+    assert stores.adopt_shared(b, ["k1"]) == []
+    assert not (tmp_path / "shared").exists()
+
+
+def test_tenant_root_rejects_traversal(tmp_path):
+    stores = MultiTenantRunStore(str(tmp_path))
+    with pytest.raises(ValueError):
+        stores.store_for("../../etc", "c1")
