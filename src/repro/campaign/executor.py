@@ -39,10 +39,13 @@ export`` renders a campaign timeline like any other run trace.
 
 from __future__ import annotations
 
+import os
+import signal
 import threading
 import time
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set
 
@@ -120,6 +123,11 @@ class ExecutorConfig:
     backoff_multiplier: float = 2.0
     #: Execute at most this many missing units (smoke tests, previews).
     max_units: Optional[int] = None
+    #: Declare a worker lane dead after this many seconds without a
+    #: beat (``None`` disables supervision). Dead lanes get a SIGTERM
+    #: (best effort), lose their in-flight unit to the transient-retry
+    #: path, and release their claim.
+    lane_dead_after_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
@@ -132,6 +140,8 @@ class ExecutorConfig:
             raise ValueError("backoff multiplier must be >= 1")
         if self.max_units is not None and self.max_units < 0:
             raise ValueError("max_units must be >= 0 (or None)")
+        if self.lane_dead_after_s is not None and self.lane_dead_after_s <= 0:
+            raise ValueError("lane_dead_after_s must be positive (or None)")
 
     def backoff_for_attempt(self, attempt: int) -> float:
         """Backoff before retry ``attempt`` (0-based), seconds."""
@@ -153,6 +163,10 @@ class CampaignRunStatus:
     failed_units: List[str] = field(default_factory=list)
     #: Per-unit outcome provenance: key -> executed|cached|attached|failed.
     provenance: Dict[str, str] = field(default_factory=dict)
+    #: Units whose (re)execution resumed from a simulation checkpoint.
+    checkpoint_hits: int = 0
+    #: Worker lanes declared dead by heartbeat supervision.
+    lanes_reaped: int = 0
 
     @property
     def complete(self) -> bool:
@@ -167,6 +181,10 @@ class CampaignRunStatus:
         )
         if self.attached:
             line += f" [{self.attached} attached to concurrent campaigns]"
+        if self.checkpoint_hits:
+            line += f" [{self.checkpoint_hits} resumed from checkpoints]"
+        if self.lanes_reaped:
+            line += f" [{self.lanes_reaped} dead lanes reaped]"
         if self.interrupted:
             line += " [interrupted — re-run to resume]"
         return line
@@ -184,7 +202,10 @@ class CampaignExecutor:
         on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
         should_stop: Optional[Callable[[], bool]] = None,
         inflight: Optional[InFlightRegistry] = None,
+        checkpoint_every: int = 0,
     ) -> None:
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         self.store = store
         self.config = config or ExecutorConfig()
         self.telemetry = telemetry
@@ -192,6 +213,8 @@ class CampaignExecutor:
         self.on_event = on_event
         self.should_stop = should_stop
         self.inflight = inflight
+        #: Worker-side simulation checkpoint cadence (0 = disabled).
+        self.checkpoint_every = int(checkpoint_every)
         self._t0 = 0.0
         self._heartbeats: Dict[str, Dict[str, Any]] = {}
         self._claimed: Set[str] = set()
@@ -266,6 +289,16 @@ class CampaignExecutor:
         except OSError:  # pragma: no cover - disk-full / perms only
             pass
 
+    # -- worker dispatch -------------------------------------------------------
+
+    def _checkpoint_path(self, unit: RunUnit) -> Optional[str]:
+        if self.checkpoint_every <= 0:
+            return None
+        return str(self.store.checkpoint_path(unit.key))
+
+    def _beat_path(self, lane: int) -> str:
+        return str(self.store.lane_beat_path(lane))
+
     # -- outcome handling ----------------------------------------------------
 
     def _handle_outcome(
@@ -279,6 +312,12 @@ class CampaignExecutor:
         if outcome.get("ok"):
             result = dict(outcome["result"])
             self.store.record_done(unit.key, unit.config(), result)
+            if self.checkpoint_every > 0:
+                # The durable artifact supersedes the mid-run snapshot.
+                self.store.clear_checkpoint(unit.key)
+                if result.get("checkpoint") == "hit":
+                    status.checkpoint_hits += 1
+                    self._count("campaign_checkpoint_hits")
             self._release(unit)
             status.executed += 1
             status.provenance[unit.key] = PROVENANCE_EXECUTED
@@ -330,7 +369,11 @@ class CampaignExecutor:
                     self._beat(0, "running", unit=unit.label)
                     self._notify("unit-start", unit, attempts=attempts)
                     outcome = run_unit_safe(
-                        unit.config(), self.min_unit_wall_s
+                        unit.config(),
+                        self.min_unit_wall_s,
+                        checkpoint_path=self._checkpoint_path(unit),
+                        checkpoint_every=self.checkpoint_every,
+                        beat_path=self._beat_path(0),
                     )
                     verdict = self._handle_outcome(
                         unit, outcome, attempts, status
@@ -350,102 +393,224 @@ class CampaignExecutor:
 
     # -- parallel path -------------------------------------------------------
 
+    def _transient_outcome(self, error_type: str, message: str) -> Dict[str, Any]:
+        return {
+            "ok": False,
+            "error": {
+                "type": error_type,
+                "message": message,
+                "severity": "transient",
+            },
+        }
+
+    def _poll_interval(self) -> Optional[float]:
+        """How long one ``wait()`` may block before supervision runs."""
+        cfg = self.config
+        poll = cfg.timeout_s
+        if cfg.lane_dead_after_s is not None:
+            tick = max(0.05, cfg.lane_dead_after_s / 4.0)
+            poll = tick if poll is None else min(poll, tick)
+        return poll
+
+    def _lane_is_dead(
+        self, unit: RunUnit, lane: int, dispatched_wall: float
+    ) -> bool:
+        """Missed-heartbeat verdict for one in-flight lane.
+
+        A lane is live while its beat file carries a fresh beat *for
+        the unit it was dispatched* (a leftover beat from the previous
+        occupant must not vouch for the current one). Before the first
+        step completes there is no beat at all, so the dispatch time
+        anchors the grace period.
+        """
+        threshold = self.config.lane_dead_after_s
+        beat = self.store.read_lane_beats().get(str(lane), {})
+        last = dispatched_wall
+        if beat.get("key") == unit.key:
+            last = max(last, float(beat.get("updated_s", 0.0)))
+        return time.time() - last > threshold
+
+    def _reap_lane(self, lane: int) -> None:
+        """Best-effort SIGTERM to a dead lane's recorded worker pid.
+
+        With checkpointing enabled the worker's SIGTERM handler turns
+        this into a :class:`~repro.faults.JobPreempted`, so a hung-but-
+        alive worker persists a final checkpoint and frees its pool
+        slot; a truly dead process ignores it harmlessly.
+        """
+        beat = self.store.read_lane_beats().get(str(lane), {})
+        pid = beat.get("pid")
+        if not pid:
+            return
+        try:
+            os.kill(int(pid), signal.SIGTERM)
+        except (OSError, ValueError):  # pragma: no cover - already gone
+            pass
+
     def _run_pool(
         self, pending: Sequence[RunUnit], status: CampaignRunStatus
     ) -> None:
         cfg = self.config
         queue = deque((unit, 0) for unit in pending)
-        in_flight: Dict[Any, Any] = {}  # future -> (unit, attempts, t, lane)
+        # future -> (unit, attempts, t_start, lane, dispatched_wall)
+        in_flight: Dict[Any, Any] = {}
         next_lane = 0
-        with ProcessPoolExecutor(max_workers=cfg.workers) as pool:
-            try:
-                while queue or in_flight:
-                    if self._stopping():
-                        status.interrupted = True
-                        self._emit_instant("campaign-interrupted", 0)
-                        pool.shutdown(wait=False, cancel_futures=True)
-                        return
-                    while queue and len(in_flight) < cfg.workers + _BACKLOG:
-                        unit, attempts = queue.popleft()
-                        lane = next_lane % cfg.workers
-                        next_lane += 1
-                        self._beat(lane, "running", unit=unit.label)
-                        self._notify("unit-start", unit, attempts=attempts)
-                        future = pool.submit(
-                            run_unit_safe, unit.config(), self.min_unit_wall_s
-                        )
-                        in_flight[future] = (
-                            unit, attempts, self._now(), lane
-                        )
-                    finished, _ = wait(
-                        list(in_flight),
-                        timeout=cfg.timeout_s,
-                        return_when=FIRST_COMPLETED,
+        pool = ProcessPoolExecutor(max_workers=cfg.workers)
+        try:
+            while queue or in_flight:
+                if self._stopping():
+                    status.interrupted = True
+                    self._emit_instant("campaign-interrupted", 0)
+                    return
+                while queue and len(in_flight) < cfg.workers + _BACKLOG:
+                    unit, attempts = queue.popleft()
+                    lane = next_lane % cfg.workers
+                    next_lane += 1
+                    self._beat(lane, "running", unit=unit.label)
+                    self._notify("unit-start", unit, attempts=attempts)
+                    future = pool.submit(
+                        run_unit_safe,
+                        unit.config(),
+                        self.min_unit_wall_s,
+                        self._checkpoint_path(unit),
+                        self.checkpoint_every,
+                        self._beat_path(lane),
                     )
-                    for future in finished:
-                        unit, attempts, t_start, lane = in_flight.pop(future)
+                    in_flight[future] = (
+                        unit, attempts, self._now(), lane, time.time()
+                    )
+                finished, _ = wait(
+                    list(in_flight),
+                    timeout=self._poll_interval(),
+                    return_when=FIRST_COMPLETED,
+                )
+                broken = False
+                for future in finished:
+                    unit, attempts, t_start, lane, _ = in_flight.pop(future)
+                    try:
                         outcome = future.result()
-                        self._beat(lane, "waiting")
+                    except BrokenProcessPool:
+                        # A worker process died hard (SIGKILL, OOM):
+                        # every sibling future is poisoned too. Convert
+                        # this unit to a transient retry and rebuild the
+                        # pool below.
+                        broken = True
+                        outcome = self._transient_outcome(
+                            "BrokenProcessPool",
+                            "worker process died mid-unit",
+                        )
+                    self._beat(lane, "waiting")
+                    verdict = self._handle_outcome(
+                        unit, outcome, attempts, status
+                    )
+                    if verdict == "done":
+                        self._emit_span(
+                            unit.label, lane, t_start, self._now(),
+                            key=unit.key, status="done", attempts=attempts,
+                        )
+                    elif verdict == "retry":
+                        queue.append((unit, attempts + 1))
+                if broken:
+                    # Drain the rest of the poisoned pool: requeue every
+                    # in-flight unit as a transient failure, then start
+                    # a fresh pool so the campaign keeps going.
+                    for future, (unit, attempts, t_start, lane, _) in list(
+                        in_flight.items()
+                    ):
+                        del in_flight[future]
                         verdict = self._handle_outcome(
+                            unit,
+                            self._transient_outcome(
+                                "BrokenProcessPool",
+                                "worker pool lost this unit",
+                            ),
+                            attempts,
+                            status,
+                        )
+                        if verdict == "retry":
+                            queue.append((unit, attempts + 1))
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    pool = ProcessPoolExecutor(max_workers=cfg.workers)
+                    self._count("campaign_pools_rebuilt")
+                    self._emit_instant("pool-rebuilt", 0)
+                    continue
+                if not finished and cfg.timeout_s is not None:
+                    # Nothing completed within the timeout window:
+                    # expire every overdue future (best effort — the
+                    # worker keeps running; its late result is
+                    # discarded because the future left in_flight).
+                    now = self._now()
+                    for future in list(in_flight):
+                        unit, attempts, t_start, lane, _ = in_flight[future]
+                        if now - t_start < cfg.timeout_s:
+                            continue
+                        del in_flight[future]
+                        future.cancel()
+                        verdict = self._handle_outcome(
+                            unit,
+                            self._transient_outcome(
+                                "TimeoutError",
+                                f"unit exceeded {cfg.timeout_s:g}s wall",
+                            ),
+                            attempts,
+                            status,
+                        )
+                        if verdict == "retry":
+                            queue.append((unit, attempts + 1))
+                if cfg.lane_dead_after_s is not None:
+                    for future in list(in_flight):
+                        unit, attempts, t_start, lane, dispatched = in_flight[
+                            future
+                        ]
+                        if future.done() or not self._lane_is_dead(
+                            unit, lane, dispatched
+                        ):
+                            continue
+                        del in_flight[future]
+                        future.cancel()
+                        self._reap_lane(lane)
+                        status.lanes_reaped += 1
+                        self._count("campaign_lanes_reaped")
+                        self._emit_instant(
+                            "lane-dead", lane, key=unit.key, unit=unit.label
+                        )
+                        self._beat(lane, "dead", unit=unit.label)
+                        verdict = self._handle_outcome(
+                            unit,
+                            self._transient_outcome(
+                                "LaneDead",
+                                f"lane {lane} missed heartbeats for "
+                                f"{cfg.lane_dead_after_s:g}s",
+                            ),
+                            attempts,
+                            status,
+                        )
+                        if verdict == "retry":
+                            queue.append((unit, attempts + 1))
+        except KeyboardInterrupt:
+            status.interrupted = True
+            # Persist whatever already finished, drop the rest.
+            for future, (unit, attempts, t_start, lane, _) in list(
+                in_flight.items()
+            ):
+                if future.done() and not future.cancelled():
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        continue
+                    if outcome.get("ok"):
+                        self._handle_outcome(
                             unit, outcome, attempts, status
                         )
-                        if verdict == "done":
-                            self._emit_span(
-                                unit.label, lane, t_start, self._now(),
-                                key=unit.key, status="done", attempts=attempts,
-                            )
-                        elif verdict == "retry":
-                            queue.append((unit, attempts + 1))
-                    if not finished and cfg.timeout_s is not None:
-                        # Nothing completed within the timeout window:
-                        # expire every overdue future (best effort — the
-                        # worker keeps running; its late result is
-                        # discarded because the future left in_flight).
-                        now = self._now()
-                        for future in list(in_flight):
-                            unit, attempts, t_start, lane = in_flight[future]
-                            if now - t_start < cfg.timeout_s:
-                                continue
-                            del in_flight[future]
-                            future.cancel()
-                            verdict = self._handle_outcome(
-                                unit,
-                                {
-                                    "ok": False,
-                                    "error": {
-                                        "type": "TimeoutError",
-                                        "message": (
-                                            f"unit exceeded "
-                                            f"{cfg.timeout_s:g}s wall"
-                                        ),
-                                        "severity": "transient",
-                                    },
-                                },
-                                attempts,
-                                status,
-                            )
-                            if verdict == "retry":
-                                queue.append((unit, attempts + 1))
-            except KeyboardInterrupt:
-                status.interrupted = True
-                # Persist whatever already finished, drop the rest.
-                for future, (unit, attempts, t_start, lane) in list(
-                    in_flight.items()
-                ):
-                    if future.done() and not future.cancelled():
-                        outcome = future.result()
-                        if outcome.get("ok"):
-                            self._handle_outcome(
-                                unit, outcome, attempts, status
-                            )
-                            self._emit_span(
-                                unit.label, lane, t_start, self._now(),
-                                key=unit.key, status="done", attempts=attempts,
-                            )
-                    else:
-                        future.cancel()
-                self._emit_instant("campaign-interrupted", 0)
-                pool.shutdown(wait=False, cancel_futures=True)
+                        self._emit_span(
+                            unit.label, lane, t_start, self._now(),
+                            key=unit.key, status="done", attempts=attempts,
+                        )
+                else:
+                    future.cancel()
+            self._emit_instant("campaign-interrupted", 0)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     # -- entry point ---------------------------------------------------------
 
@@ -484,6 +649,14 @@ class CampaignExecutor:
     def run(self, units: Sequence[RunUnit]) -> CampaignRunStatus:
         """Execute every unit not already in the store."""
         self._t0 = time.perf_counter()
+        # Drop liveness files from previous (possibly killed) drains so
+        # monitor watchers never alarm on another invocation's ghosts
+        # and lane supervision starts from a clean slate.
+        try:
+            self.store.reset_heartbeats()
+            self.store.reset_lane_beats()
+        except OSError:  # pragma: no cover - disk-full / perms only
+            pass
         status = CampaignRunStatus(total=len(units))
         done = self.store.completed_keys()
         pending: List[RunUnit] = []
@@ -563,6 +736,7 @@ def run_campaign(
         config=config,
         telemetry=telemetry,
         min_unit_wall_s=spec.min_unit_wall_s,
+        checkpoint_every=spec.checkpoint_every,
     )
     status = executor.run(spec.expand())
     if telemetry is not None:

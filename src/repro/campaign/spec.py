@@ -202,6 +202,13 @@ class CampaignSpec:
         campaigns whose workers block on real hardware. Execution-only:
         does not enter run keys or results. Used by the throughput
         benchmark and smoke tests.
+    checkpoint_every:
+        With a positive value, workers snapshot full simulation state
+        every that many steps into the run store's ``checkpoints/``
+        directory, and a preempted / killed / timed-out unit resumes
+        from its latest checkpoint on retry instead of step 0.
+        Execution-only: crash tolerance does not change what a unit
+        computes, so it does not enter run keys.
     """
 
     name: str
@@ -215,6 +222,7 @@ class CampaignSpec:
     seeds: Sequence[int] = (0,)
     fault_scenario: Optional[str] = None
     min_unit_wall_s: float = 0.0
+    checkpoint_every: int = 0
     _canonical_policies: Tuple[Dict[str, Any], ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -228,6 +236,8 @@ class CampaignSpec:
             raise ValueError("ranks must be >= 1")
         if self.min_unit_wall_s < 0.0:
             raise ValueError("min_unit_wall_s must be non-negative")
+        if self.checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
         if not self.workloads:
             raise ValueError("campaign needs at least one workload")
         if not self.policies:
@@ -290,7 +300,7 @@ class CampaignSpec:
         known = {
             "name", "workloads", "policies", "clocks_mhz", "systems",
             "particles", "steps", "ranks", "seeds", "fault_scenario",
-            "min_unit_wall_s",
+            "min_unit_wall_s", "checkpoint_every",
         }
         unknown = set(data) - known
         if unknown:
@@ -327,6 +337,8 @@ class CampaignSpec:
             payload["fault_scenario"] = self.fault_scenario
         if self.min_unit_wall_s:
             payload["min_unit_wall_s"] = self.min_unit_wall_s
+        if self.checkpoint_every:
+            payload["checkpoint_every"] = int(self.checkpoint_every)
         return payload
 
     def save(self, path: str) -> None:

@@ -42,6 +42,8 @@ SPEC_NAME = "spec.json"
 TRACE_NAME = "trace.jsonl"
 HEARTBEATS_NAME = "heartbeats.json"
 RUNS_DIR = "runs"
+CHECKPOINTS_DIR = "checkpoints"
+LANES_DIR = "lanes"
 
 
 class RunStore:
@@ -79,6 +81,41 @@ class RunStore:
     @property
     def heartbeats_path(self) -> Path:
         return self.root / HEARTBEATS_NAME
+
+    # -- checkpoints -----------------------------------------------------------
+
+    def checkpoint_path(self, key: str) -> Path:
+        """Where a unit's in-progress simulation checkpoint lives.
+
+        The directory is created lazily so stores from campaigns that
+        never checkpoint stay exactly as before.
+        """
+        directory = self.root / CHECKPOINTS_DIR
+        directory.mkdir(exist_ok=True)
+        return directory / f"{key}.json"
+
+    def has_checkpoint(self, key: str) -> bool:
+        return (self.root / CHECKPOINTS_DIR / f"{key}.json").exists()
+
+    def clear_checkpoint(self, key: str) -> None:
+        """Drop a unit's checkpoint once its outcome is durable.
+
+        A finished unit's result artifact supersedes any mid-run
+        snapshot; keeping stale checkpoints around would only risk a
+        future spec revision resuming from the wrong state. Idempotent.
+        """
+        path = self.root / CHECKPOINTS_DIR / f"{key}.json"
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def checkpoint_keys(self) -> Set[str]:
+        """Keys with a live (not yet cleared) checkpoint on disk."""
+        directory = self.root / CHECKPOINTS_DIR
+        if not directory.is_dir():
+            return set()
+        return {p.stem for p in directory.glob("*.json")}
 
     # -- worker heartbeats ----------------------------------------------------
 
@@ -118,6 +155,61 @@ class RunStore:
         ):
             raise ValueError(f"{path}: not a campaign heartbeats file")
         return {str(k): dict(v) for k, v in payload.get("lanes", {}).items()}
+
+    def reset_heartbeats(self) -> None:
+        """Remove the heartbeat file left by a previous (dead) drain.
+
+        A campaign killed mid-drain leaves ``heartbeats.json`` frozen
+        at its final lane states; without this reset, a monitor watcher
+        started before the next drain re-reads those stale timestamps
+        and fires ``campaign_worker_stalled`` false alarms. Every
+        executor invocation starts from a clean slate.
+        """
+        try:
+            self.heartbeats_path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- worker lane beats -----------------------------------------------------
+
+    def lane_beat_path(self, lane: int) -> Path:
+        """Where worker process ``lane`` writes its per-step beat file.
+
+        Unlike ``heartbeats.json`` (written by the executor between
+        dispatches), lane beat files are written *from inside* the
+        worker process after every simulation step, so the executor can
+        distinguish a lane that is slowly computing from one whose
+        process is hung or gone.
+        """
+        directory = self.root / LANES_DIR
+        directory.mkdir(exist_ok=True)
+        return directory / f"lane-{int(lane)}.json"
+
+    def read_lane_beats(self) -> Dict[str, Dict[str, Any]]:
+        """Latest beat per lane ({} when no worker ever beat)."""
+        directory = self.root / LANES_DIR
+        if not directory.is_dir():
+            return {}
+        beats: Dict[str, Dict[str, Any]] = {}
+        for path in directory.glob("lane-*.json"):
+            try:
+                with open(path, encoding="utf-8") as fh:
+                    payload = json.load(fh)
+            except (OSError, json.JSONDecodeError):
+                continue  # torn or vanished beat: treat as absent
+            beats[path.stem.removeprefix("lane-")] = payload
+        return beats
+
+    def reset_lane_beats(self) -> None:
+        """Drop beat files from previous drains (fresh supervision)."""
+        directory = self.root / LANES_DIR
+        if not directory.is_dir():
+            return
+        for path in directory.glob("lane-*.json"):
+            try:
+                path.unlink()
+            except FileNotFoundError:
+                pass
 
     def _load_manifest(self) -> None:
         path = self.manifest_path

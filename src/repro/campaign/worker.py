@@ -13,9 +13,14 @@ depends on cross-process exception pickling.
 
 from __future__ import annotations
 
+import json
+import os
+import signal
+import threading
 import time
-from typing import Any, Dict, Mapping, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
+from ..checkpoint import CheckpointError, checkpoint_exists, read_checkpoint
 from ..core import (
     DvfsPolicy,
     EnergyReport,
@@ -34,6 +39,7 @@ from ..rocm.smi import RocmSmiError
 from ..sph import run_instrumented
 from ..systems import Cluster, by_name
 from ..units import to_mhz
+from .spec import run_key
 
 #: The Fig. 2 outcome, used when a mandyn policy entry omits its map:
 #: the two compute-bound kernels stay at the device maximum, everything
@@ -105,20 +111,89 @@ def _metrics_of(result) -> Dict[str, Any]:
         "preempted": result.preempted,
         "faults_injected": result.faults_injected,
         "retries": result.retries,
+        "resumed_from_step": result.resumed_from_step,
+        "checkpoints_written": result.checkpoints_written,
     }
 
 
-def execute_unit(config: Mapping[str, Any]) -> Dict[str, Any]:
+def _write_beat(path: str, payload: Mapping[str, Any]) -> None:
+    """Atomically persist one worker-lane beat; never raises.
+
+    Beats are pure liveness evidence for the executor's lane
+    supervision — losing one must not take the unit down.
+    """
+    tmp = f"{path}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(dict(payload), fh, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+    except OSError:  # pragma: no cover - disk-full / perms only
+        pass
+
+
+def _install_preempt_signal_handler() -> None:
+    """Deliver SIGTERM to the step loop as a :class:`JobPreempted`.
+
+    A scheduler (or the campaign executor reaping a lane) terminates
+    workers with SIGTERM; raising :class:`JobPreempted` routes that
+    through the simulation's preemption path, which persists a final
+    checkpoint at the last completed step boundary before unwinding.
+    Signal handlers only install on the main thread of a process —
+    inline (serial) execution inside a service worker thread simply
+    skips this, keeping SIGTERM semantics owned by the host process.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        return
+
+    def _raise_preempted(signum, frame):  # noqa: ARG001 - signal ABI
+        raise JobPreempted(time_s=0.0, steps_done=-1)
+
+    try:
+        signal.signal(signal.SIGTERM, _raise_preempted)
+    except ValueError:  # pragma: no cover - non-main interpreter thread
+        pass
+
+
+def execute_unit(
+    config: Mapping[str, Any],
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    on_step: Optional[Callable[[int], None]] = None,
+) -> Dict[str, Any]:
     """Run one campaign unit to completion; raises on failure.
 
     The returned payload carries the scalar metrics plus the full
     per-rank :class:`~repro.core.EnergyReport` as a dict, so the run
     store can persist a durable, re-analyzable artifact.
+
+    With ``checkpoint_path`` set, an existing checkpoint at that path
+    is restored (the retry-after-crash path: the unit resumes at its
+    recorded step instead of step 0) and, with ``checkpoint_every >
+    0``, fresh snapshots are written on that cadence. The payload's
+    ``checkpoint`` field records ``"hit"`` or ``"miss"`` provenance.
+    A preempted run with checkpointing enabled re-raises
+    :class:`JobPreempted` — its state *is* durable at the checkpoint,
+    so the executor's transient-retry path finishes the remaining
+    steps rather than recording a truncated result.
     """
     system = by_name(config["system"])
     cluster = Cluster(system, int(config["ranks"]))
     injector = None
     resilience = None
+    restore_from = None
+    if checkpoint_path is not None and checkpoint_exists(checkpoint_path):
+        try:
+            read_checkpoint(checkpoint_path)
+        except CheckpointError:
+            # A torn or foreign checkpoint must not poison the retry:
+            # drop it and start the unit from step 0.
+            try:
+                os.unlink(checkpoint_path)
+            except OSError:
+                pass
+        else:
+            restore_from = checkpoint_path
     try:
         max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
         policy = build_policy(config["policy"], max_mhz, cluster=cluster)
@@ -139,30 +214,73 @@ def execute_unit(config: Mapping[str, Any]) -> Dict[str, Any]:
             policy=policy,
             resilience=resilience,
             faults=injector,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            restore_from=restore_from,
+            checkpoint_fingerprint=(
+                run_key(config) if checkpoint_path is not None else None
+            ),
+            on_step=on_step,
         )
     finally:
         cluster.detach_management_library()
+    if result.preempted and checkpoint_path is not None:
+        # The preemption checkpoint is on disk; surface the
+        # interruption so the executor retries from it.
+        raise JobPreempted(time_s=result.elapsed_s, steps_done=result.steps)
     payload: Dict[str, Any] = {
         "metrics": _metrics_of(result),
         "report": result.report.to_dict(),
     }
+    if checkpoint_path is not None:
+        payload["checkpoint"] = "hit" if restore_from is not None else "miss"
     if injector is not None:
         payload["faults"] = injector.summary()
     return payload
 
 
 def run_unit_safe(
-    config: Mapping[str, Any], min_wall_s: float = 0.0
+    config: Mapping[str, Any],
+    min_wall_s: float = 0.0,
+    checkpoint_path: Optional[str] = None,
+    checkpoint_every: int = 0,
+    beat_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Pool entry point: execute one unit, never raise.
 
     ``min_wall_s`` paces the unit to at least that much wall time,
     emulating workers that block on real hardware (see
     :attr:`~repro.campaign.spec.CampaignSpec.min_unit_wall_s`).
+    ``checkpoint_path``/``checkpoint_every`` enable crash-tolerant
+    execution (see :func:`execute_unit`); ``beat_path`` names the lane
+    beat file this worker refreshes after every simulation step so the
+    executor's supervision can tell slow from dead.
     """
     t0 = time.perf_counter()
+    if checkpoint_path is not None:
+        _install_preempt_signal_handler()
+    on_step = None
+    if beat_path is not None:
+        unit_key = run_key(config)
+
+        def on_step(steps_done: int) -> None:
+            _write_beat(
+                beat_path,
+                {
+                    "updated_s": time.time(),
+                    "pid": os.getpid(),
+                    "key": unit_key,
+                    "step": steps_done,
+                },
+            )
+
     try:
-        result = execute_unit(config)
+        result = execute_unit(
+            config,
+            checkpoint_path=checkpoint_path,
+            checkpoint_every=checkpoint_every,
+            on_step=on_step,
+        )
     except BaseException as exc:  # noqa: BLE001 - classified, not hidden
         return {
             "ok": False,

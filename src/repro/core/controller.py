@@ -157,6 +157,46 @@ class FrequencyController:
     def degradation_for(self, rank: int) -> Optional[DegradationRecord]:
         return self._degraded.get(rank)
 
+    # -- checkpoint -------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable counters and degradation history."""
+        return {
+            "clock_set_calls": self.clock_set_calls,
+            "clock_set_skipped": self.clock_set_skipped,
+            "retries_performed": self.retries_performed,
+            "vendor_errors": self.vendor_errors,
+            "consecutive_failures": {
+                str(rank): n
+                for rank, n in self._consecutive_failures.items()
+            },
+            "degradations": [
+                {"rank": d.rank, "time_s": d.time_s, "reason": d.reason}
+                for d in self.degradations
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.clock_set_calls = int(state["clock_set_calls"])
+        self.clock_set_skipped = int(state["clock_set_skipped"])
+        self.retries_performed = int(state["retries_performed"])
+        self.vendor_errors = int(state["vendor_errors"])
+        self._consecutive_failures = {
+            int(rank): int(n)
+            for rank, n in state["consecutive_failures"].items()
+        }
+        self.degradations = [
+            DegradationRecord(
+                rank=int(d["rank"]),
+                time_s=float(d["time_s"]),
+                reason=str(d["reason"]),
+            )
+            for d in state["degradations"]
+        ]
+        # The per-rank degraded map is derivable: the *latest* trip per
+        # rank wins (ranks never un-degrade within a run).
+        self._degraded = {d.rank: d for d in self.degradations}
+
     # -- hook interface --------------------------------------------------------
 
     def before_function(self, function: str, rank: int) -> None:

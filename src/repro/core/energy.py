@@ -235,6 +235,38 @@ class EnergyProfiler:
                 self._sources[rank].read_j() - self._window_open_gpu_j[rank]
             )
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable state (valid only between functions/steps)."""
+        if self._open_fn:
+            raise RuntimeError(
+                "cannot checkpoint the profiler with open measurements: "
+                + ", ".join(sorted(self._open_fn.values()))
+            )
+        return {
+            "reports": EnergyReport(ranks=self.reports).to_dict(),
+            "window_open_gpu_j": list(self._window_open_gpu_j),
+            "timeline": [
+                {fn: [t, j] for fn, (t, j) in step.items()}
+                for step in self.timeline
+            ],
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self.reports = EnergyReport.from_dict(state["reports"]).ranks
+        self._window_open_gpu_j = [
+            float(v) for v in state["window_open_gpu_j"]
+        ]
+        self.timeline = [
+            {fn: (float(pair[0]), float(pair[1])) for fn, pair in step.items()}
+            for step in state["timeline"]
+        ]
+        self._open_t = {}
+        self._open_gpu_j = {}
+        self._open_fn = {}
+        self._step_acc = {}
+
     # -- gather / persist -----------------------------------------------------
 
     def gather(self, comm) -> "EnergyReport":

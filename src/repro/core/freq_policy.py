@@ -31,6 +31,16 @@ class FrequencyPolicy(abc.ABC):
         """Clock to pin before ``function``, MHz; ``None`` = leave as is."""
         return None
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable policy state; stateless policies return ``{}``."""
+        return {}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` (no-op for stateless policies)."""
+        return None
+
 
 class StaticFrequencyPolicy(FrequencyPolicy):
     """Whole-run pinned application clocks."""

@@ -108,6 +108,42 @@ class OnlineTuningPolicy(FrequencyPolicy):
             if self._progress[function] >= total_needed:
                 self._converge(function)
 
+    # -- checkpoint ---------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Exploration progress (valid between functions: ``_open`` empty)."""
+        return {
+            "observations": {
+                fn: [
+                    {"time_s": o.time_s, "energy_j": o.energy_j, "calls": o.calls}
+                    for o in obs_list
+                ]
+                for fn, obs_list in self._observations.items()
+            },
+            "progress": dict(self._progress),
+            "converged_map": dict(self.converged_map),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._observations = {
+            fn: [
+                _Observation(
+                    time_s=float(o["time_s"]),
+                    energy_j=float(o["energy_j"]),
+                    calls=int(o["calls"]),
+                )
+                for o in obs_list
+            ]
+            for fn, obs_list in state["observations"].items()
+        }
+        self._progress = {
+            fn: int(n) for fn, n in state["progress"].items()
+        }
+        self.converged_map = {
+            fn: float(mhz) for fn, mhz in state["converged_map"].items()
+        }
+        self._open = {}
+
     # -- internals ---------------------------------------------------------------
 
     def _candidate_index(self, function: str) -> int:

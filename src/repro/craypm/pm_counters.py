@@ -168,6 +168,36 @@ class PmCounters:
             return f"{int(self.read_power_w(name))} W {ts_us}"
         raise FileNotFoundError(f"/sys/cray/pm_counters/{name}")
 
+    # -- checkpoint ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "startup": self._startup,
+            "freshness": self._freshness,
+            "generation": self._generation,
+            "last_publish_t": self._last_publish_t,
+            "prev_t": self._prev_t,
+            "prev": dict(self._prev),
+            "published": dict(self._published),
+            "published_power": dict(self._published_power),
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self._startup = float(state["startup"])
+        self._freshness = int(state["freshness"])
+        self._generation = int(state["generation"])
+        self._last_publish_t = float(state["last_publish_t"])
+        self._prev_t = float(state["prev_t"])
+        self._prev = {k: float(v) for k, v in state["prev"].items()}
+        self._published = {
+            k: float(v) for k, v in state["published"].items()
+        }
+        self._published_power = {
+            k: float(v) for k, v in state["published_power"].items()
+        }
+        if self._export_dir is not None:
+            self._export()
+
     # -- optional on-disk export ----------------------------------------------
 
     def _export(self) -> None:

@@ -344,6 +344,84 @@ class FaultInjector:
             raise JobPreempted(self._now(None), steps_done)
 
     # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Full decision state: resuming replays the plan exactly.
+
+        ``check_preemption`` consumes RNG/strike state *before* raising
+        :class:`JobPreempted`, so a checkpoint written at the preemption
+        boundary already counts the delivered strike — the resumed run
+        will not re-preempt on a ``count=1`` spec.
+        """
+        return {
+            # random.Random.getstate() -> (version, tuple-of-ints, gauss)
+            "rng": list(self._rng.getstate()[1]),
+            "rng_version": self._rng.getstate()[0],
+            "rng_gauss": self._rng.getstate()[2],
+            "calls": [
+                [op, rank, n] for (op, rank), n in self._calls.items()
+            ],
+            "spec_state": [
+                {
+                    "strikes": [
+                        [rank, n] for rank, n in state.strikes.items()
+                    ]
+                }
+                for state in self._spec_state
+            ],
+            "records": [
+                {
+                    "op": rec.op,
+                    "rank": rec.rank,
+                    "kind": rec.kind.value,
+                    "call_index": rec.call_index,
+                    "t_s": rec.t_s,
+                }
+                for rec in self.records
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._rng.setstate(
+            (
+                int(state["rng_version"]),
+                tuple(int(v) for v in state["rng"]),
+                state["rng_gauss"],
+            )
+        )
+        self._calls = {
+            (op, None if rank is None else int(rank)): int(n)
+            for op, rank, n in state["calls"]
+        }
+        self._spec_state = [
+            _SpecState(
+                strikes={
+                    (None if rank is None else int(rank)): int(n)
+                    for rank, n in entry["strikes"]
+                }
+            )
+            for entry in state["spec_state"]
+        ]
+        if len(self._spec_state) != len(self.plan.specs):
+            raise ValueError(
+                "fault-injector state does not match the plan "
+                f"({len(self._spec_state)} spec states for "
+                f"{len(self.plan.specs)} specs)"
+            )
+        self.records = [
+            InjectionRecord(
+                op=rec["op"],
+                rank=None if rec["rank"] is None else int(rec["rank"]),
+                kind=FaultKind(rec["kind"]),
+                call_index=int(rec["call_index"]),
+                t_s=float(rec["t_s"]),
+            )
+            for rec in state["records"]
+        ]
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
 

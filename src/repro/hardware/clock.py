@@ -93,5 +93,20 @@ class VirtualClock:
             )
         return self.advance(t - self._now)
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable state (the current simulated time)."""
+        return {"now": self._now}
+
+    def restore_state(self, state: dict) -> None:
+        """Restore from :meth:`state_dict` *without* firing listeners.
+
+        Listeners integrate power over advanced intervals; a restore is
+        a teleport back to an already-accounted instant, so energy must
+        not be integrated again.
+        """
+        self._now = float(state["now"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"VirtualClock(now={self._now:.6f}s, listeners={len(self._listeners)})"

@@ -73,6 +73,20 @@ class SimulatedCpu:
     def _on_advance(self, t0: float, t1: float) -> None:
         self._energy_j += self.power_w() * (t1 - t0)
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        return {
+            "activity": self._activity,
+            "freq_khz": self._freq_khz,
+            "energy_j": self._energy_j,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._activity = float(state["activity"])
+        self._freq_khz = int(state["freq_khz"])
+        self._energy_j = float(state["energy_j"])
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (
             f"SimulatedCpu({self.spec.name!r}, activity={self._activity:.2f}, "

@@ -175,6 +175,29 @@ class DvfsGovernor:
             self._transitions += 1
             self._clock_hz = new_hz
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable governor state.
+
+        ``since_launch`` starts at ``inf``; the checkpoint writer keeps
+        JSON's default ``allow_nan=True`` so it round-trips.
+        """
+        return {
+            "util_estimate": self._util_estimate,
+            "idle_elapsed": self._idle_elapsed,
+            "since_launch": self._since_launch,
+            "transitions": self._transitions,
+            "clock_hz": self._clock_hz,
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._util_estimate = float(state["util_estimate"])
+        self._idle_elapsed = float(state["idle_elapsed"])
+        self._since_launch = float(state["since_launch"])
+        self._transitions = int(state["transitions"])
+        self._clock_hz = float(state["clock_hz"])
+
     def decision(self) -> GovernorDecision:
         """Snapshot the governor's current clock/power decision."""
         return GovernorDecision(

@@ -22,6 +22,8 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from .clock import VirtualClock
 from .dvfs import DvfsGovernor
 from .kernel import KernelLaunch, KernelRecord
@@ -386,6 +388,76 @@ class SimulatedGpu:
             busy += b - max(a, lo)
         span = min(window_s, now) or 1.0
         return min(busy / span, 1.0)
+
+    # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """Checkpointable device state (valid at kernel boundaries only).
+
+        The instantaneous ``_PowerState`` is not stored: at a step
+        boundary the device is idle, so restore rebuilds it via
+        :meth:`_set_idle_state`. The Fig. 9 frequency trace is a debug
+        aid and deliberately not checkpointed. Busy intervals older
+        than every plausible utilization window are pruned, mirroring
+        what :meth:`utilization` would discard anyway.
+        """
+        if self._executing:
+            raise RuntimeError("cannot checkpoint a GPU mid-kernel")
+        now = self._clock.now
+        # As an ndarray, not nested lists: utilization windows retain
+        # thousands of intervals at SPH timestep scale, and raw-byte
+        # array transport keeps the snapshot's JSON walk off them.
+        intervals = np.array(
+            [[a, b] for a, b in self._busy_intervals if b >= now - 10.0],
+            dtype=np.float64,
+        ).reshape(-1, 2)
+        return {
+            "app_clock_hz": self._app_clock_hz,
+            "memory_clock_hz": self._memory_clock_hz,
+            "temp_c": self._temp_c,
+            "energy_j": self._energy_j,
+            "busy_seconds": self._busy_seconds,
+            "clock_transitions": self._clock_transitions,
+            "busy_intervals": intervals,
+            "governor": self._governor.state_dict(),
+            "kernel_records": {
+                name: {
+                    "launches": rec.launches,
+                    "busy_seconds": rec.busy_seconds,
+                    "energy_joules": rec.energy_joules,
+                    "flops": rec.flops,
+                    "bytes_moved": rec.bytes_moved,
+                }
+                for name, rec in self._kernel_records.items()
+            },
+        }
+
+    def restore_state(self, state: dict) -> None:
+        app_clock = state["app_clock_hz"]
+        self._app_clock_hz = None if app_clock is None else float(app_clock)
+        self._memory_clock_hz = float(state["memory_clock_hz"])
+        self._temp_c = float(state["temp_c"])
+        self._energy_j = float(state["energy_j"])
+        self._busy_seconds = float(state["busy_seconds"])
+        self._clock_transitions = int(state["clock_transitions"])
+        self._busy_intervals = [
+            (float(a), float(b)) for a, b in np.asarray(
+                state["busy_intervals"]
+            ).reshape(-1, 2)
+        ]
+        self._governor.restore_state(state["governor"])
+        self._kernel_records = {}
+        for name, rec in state["kernel_records"].items():
+            record = KernelRecord(name=name)
+            record.launches = int(rec["launches"])
+            record.busy_seconds = float(rec["busy_seconds"])
+            record.energy_joules = float(rec["energy_joules"])
+            record.flops = float(rec["flops"])
+            record.bytes_moved = float(rec["bytes_moved"])
+            self._kernel_records[name] = record
+        self._set_idle_state()
 
     # ------------------------------------------------------------------
     # Frequency tracing (Fig. 9)

@@ -113,6 +113,19 @@ class ComputeNode:
             + self.gpu_energy_j
         )
 
+    def state_dict(self) -> dict:
+        """Node-local accumulators (GPUs checkpoint themselves)."""
+        return {
+            "memory_energy_j": self._memory_energy_j,
+            "aux_energy_j": self._aux_energy_j,
+            "cpu": self.cpu.state_dict(),
+        }
+
+    def restore_state(self, state: dict) -> None:
+        self._memory_energy_j = float(state["memory_energy_j"])
+        self._aux_energy_j = float(state["aux_energy_j"])
+        self.cpu.restore_state(state["cpu"])
+
     def device_energy_breakdown_j(self) -> Dict[str, float]:
         """Energy per device class, keyed as the Fig. 4 legend."""
         return {

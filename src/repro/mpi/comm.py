@@ -50,6 +50,22 @@ class CommStats:
         self.sync_wait_s += wait_s
         self.comm_time_s += comm_s
 
+    # -- checkpoint ----------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        return {
+            "calls": dict(self.calls),
+            "bytes_moved": self.bytes_moved,
+            "sync_wait_s": self.sync_wait_s,
+            "comm_time_s": self.comm_time_s,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.calls = {k: int(v) for k, v in state["calls"].items()}
+        self.bytes_moved = float(state["bytes_moved"])
+        self.sync_wait_s = float(state["sync_wait_s"])
+        self.comm_time_s = float(state["comm_time_s"])
+
 
 def _payload_bytes(value: Any) -> float:
     """Approximate wire size of a per-rank contribution."""

@@ -28,7 +28,7 @@ from ..monitor import PROM_CONTENT_TYPE
 from .http import HttpServer, ProtocolError, Request, Response
 from .jobs import CampaignJob
 from .scheduler import BackpressureError
-from .service import CampaignService
+from .service import CampaignService, ServiceUnavailable
 
 __all__ = ["ServiceApp", "TENANT_HEADER"]
 
@@ -135,6 +135,12 @@ class ServiceApp:
             tenant = payload.get("tenant", tenant)
         try:
             job, created = self.service.submit(tenant, spec_doc)
+        except ServiceUnavailable as exc:
+            return Response.json(
+                {"error": str(exc), "status": 503},
+                status=503,
+                headers={"Retry-After": "5"},
+            )
         except BackpressureError as exc:
             retry_after = max(1, round(exc.retry_after_s))
             return Response.json(
@@ -214,15 +220,45 @@ async def run_until_interrupted(
     port: int,
     ready: Optional[Any] = None,
 ) -> None:
-    """Blocking serve loop for the CLI (`repro serve`)."""
+    """Blocking serve loop for the CLI (`repro serve`).
+
+    SIGTERM/SIGINT trigger a graceful drain: the service stops
+    admitting work (503), running campaigns halt at the next unit
+    boundary with their transitions journaled in the WAL, open SSE
+    streams get their terminal event, and only then does the socket
+    close — a restarted ``repro serve`` on the same root resumes the
+    interrupted campaigns.
+    """
+    import signal as _signal
+
     server = await serve(service, host=host, port=port)
     if ready is not None:
         ready(server.host, server.port)
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+
+    def _drain() -> None:
+        service.begin_shutdown()
+        stop.set()
+
+    installed = []
+    for sig in (_signal.SIGTERM, _signal.SIGINT):
+        try:
+            loop.add_signal_handler(sig, _drain)
+            installed.append(sig)
+        except (NotImplementedError, RuntimeError, ValueError):
+            # Non-main thread or platform without signal support: the
+            # caller cancels this coroutine instead.
+            pass
     try:
-        while True:
-            await asyncio.sleep(3600)
+        await stop.wait()
     except asyncio.CancelledError:
-        pass
+        service.begin_shutdown()
     finally:
+        for sig in installed:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
         await server.close()
         await service.close()

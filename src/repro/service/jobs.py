@@ -70,6 +70,7 @@ class CampaignJob:
         spec: CampaignSpec,
         store: RunStore,
         bus: EventBus,
+        on_transition: Optional[Callable[["CampaignJob"], None]] = None,
     ) -> None:
         self.id = job_id
         self.tenant = tenant
@@ -85,6 +86,12 @@ class CampaignJob:
         self.started_s: Optional[float] = None
         self.finished_s: Optional[float] = None
         self._cancel = False
+        #: Journal hook: called after every state change so the service
+        #: WAL records the transition (see :mod:`repro.service.wal`).
+        self.on_transition = on_transition
+        #: True when this job object was rebuilt from the WAL after a
+        #: service restart rather than submitted over HTTP.
+        self.recovered = False
         # The grid is immutable per spec; expand once, reuse on every
         # status poll instead of re-walking the cross product.
         self.units = spec.expand()
@@ -96,6 +103,20 @@ class CampaignJob:
     def terminal(self) -> bool:
         return self.state in TERMINAL_STATES
 
+    def _transition(self, state: str) -> None:
+        """Move the state machine and journal the move.
+
+        A journaling failure (disk full on the WAL append) must not
+        take the job down — the in-memory table stays authoritative for
+        this process; recovery just sees the previous state.
+        """
+        self.state = state
+        if self.on_transition is not None:
+            try:
+                self.on_transition(self)
+            except OSError:  # pragma: no cover - disk-full / perms only
+                pass
+
     def request_cancel(self) -> None:
         self._cancel = True
 
@@ -105,7 +126,7 @@ class CampaignJob:
 
     def mark_cancelled(self) -> None:
         """Cancelled before ever starting (dropped from the queue)."""
-        self.state = CANCELLED
+        self._transition(CANCELLED)
         self.finished_s = time.time()
         self.bus.publish({"event": "campaign-cancelled", "id": self.id})
         self.bus.close()
@@ -120,9 +141,12 @@ class CampaignJob:
         """Drain the campaign (worker thread); never raises.
 
         ``adopt``/``publish`` are the tenancy layer's shared-cache
-        read-through and write-through hooks.
+        read-through and write-through hooks. Even a ``BaseException``
+        (worker-thread interrupt, interpreter shutdown) leaves the job
+        in a terminal state with its event bus closed — subscribers
+        and WAL replay must never see a job wedged in ``running``.
         """
-        self.state = RUNNING
+        self._transition(RUNNING)
         self.started_s = time.time()
         self.bus.publish(
             {"event": "campaign-start", "id": self.id,
@@ -142,17 +166,22 @@ class CampaignJob:
                 on_event=self.bus.publish,
                 should_stop=lambda: self._cancel,
                 inflight=inflight,
+                checkpoint_every=self.spec.checkpoint_every,
             )
             self.status = executor.run(self.units)
             if publish is not None:
                 publish(self.store, self.grid_keys)
             if self.status.interrupted and self._cancel:
-                self.state = CANCELLED
+                self._transition(CANCELLED)
             else:
-                self.state = DONE
+                self._transition(DONE)
         except Exception as exc:  # noqa: BLE001 - job boundary
             self.error = f"{type(exc).__name__}: {exc}"
-            self.state = FAILED
+            self._transition(FAILED)
+        except BaseException as exc:  # noqa: BLE001 - thread teardown
+            self.error = f"{type(exc).__name__}: {exc}"
+            self._transition(FAILED)
+            raise
         finally:
             self.finished_s = time.time()
             summary: Dict[str, Any] = {
@@ -218,6 +247,8 @@ class CampaignJob:
             "campaign": build_status_doc(self.store, self.spec),
             "events": len(self.bus),
         }
+        if self.recovered:
+            doc["recovered"] = True
         if self.error is not None:
             doc["error"] = self.error
         if self.status is not None:
@@ -229,6 +260,8 @@ class CampaignJob:
                 "retries": self.status.retries,
                 "interrupted": self.status.interrupted,
                 "wall_s": self.status.wall_s,
+                "checkpoint_hits": self.status.checkpoint_hits,
+                "lanes_reaped": self.status.lanes_reaped,
             }
             doc["units"] = self.unit_provenance()
         return doc

@@ -36,15 +36,28 @@ from ..campaign import (
 from ..monitor import render_prometheus, stalled_worker_alerts
 from ..telemetry.metrics import MetricsRegistry
 from .events import EventBus
-from .jobs import DONE, QUEUED, RUNNING, CampaignJob, campaign_id
+from .jobs import (
+    DONE,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    CampaignJob,
+    campaign_id,
+)
 from .scheduler import BackpressureError, FairScheduler, SchedulerConfig
 from .tenancy import MultiTenantRunStore, validate_tenant
+from .wal import JOB_WAL_NAME, JobWal
 
 __all__ = [
     "BackpressureError",
     "CampaignService",
     "ServiceConfig",
+    "ServiceUnavailable",
 ]
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service is draining for shutdown; submissions are refused."""
 
 
 @dataclass(frozen=True)
@@ -80,6 +93,10 @@ class CampaignService:
         self._pool: Optional[ThreadPoolExecutor] = None
         self._scheduler: Optional[FairScheduler] = None
         self._report_cache: Dict[str, Tuple[str, Dict[str, Any]]] = {}
+        self._wals: Dict[str, JobWal] = {}
+        self._draining = False
+        #: Campaign ids rebuilt from the WAL on the last start().
+        self.recovered_ids: List[str] = []
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -92,17 +109,112 @@ class CampaignService:
         self._scheduler = FairScheduler(
             self._run_job, config=self.config.scheduler
         )
+        self._recover()
         return self
 
-    async def close(self) -> None:
+    def begin_shutdown(self) -> None:
+        """Graceful drain: refuse new work, stop running campaigns.
+
+        New submissions get :class:`ServiceUnavailable` (503); running
+        drains see their ``should_stop`` flag and halt at the next unit
+        boundary (completed units are durable, interrupted ones resume
+        from their checkpoints on the next start); every transition is
+        journaled, so a subsequent :meth:`start` replays the WAL and
+        picks the interrupted campaigns back up.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        self._count("service_shutdowns")
         for job in self.jobs.values():
             if not job.terminal:
                 job.request_cancel()
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def close(self) -> None:
+        self.begin_shutdown()
         if self._scheduler is not None:
             await self._scheduler.drain()
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+    # -- durability ----------------------------------------------------------
+
+    def wal_for(self, tenant: str) -> JobWal:
+        """The tenant's job journal (created lazily, cached)."""
+        tenant = validate_tenant(tenant)
+        wal = self._wals.get(tenant)
+        if wal is None:
+            wal = self._wals[tenant] = JobWal(
+                str(self.stores.tenant_root(tenant) / JOB_WAL_NAME)
+            )
+        return wal
+
+    def _journal_transition(self, job: CampaignJob) -> None:
+        self.wal_for(job.tenant).record_state(
+            job.id, job.state, error=job.error
+        )
+
+    def _recover(self) -> None:
+        """Rebuild the job table from every tenant's WAL.
+
+        Terminal jobs come back as queryable records (status, report
+        and SSE answer for their pre-restart ids); jobs that were
+        queued or running when the previous process died are
+        resubmitted to the scheduler — their drains resume from the
+        run store (completed units cached) and from unit checkpoints
+        (partially-run units continue mid-simulation).
+        """
+        self.recovered_ids = []
+        for tenant in self.stores.tenants():
+            wal_path = self.stores.tenant_root(tenant) / JOB_WAL_NAME
+            if not wal_path.exists():
+                continue
+            try:
+                lifecycles = self.wal_for(tenant).replay()
+            except ValueError:
+                self._count("service_wal_replay_errors")
+                continue
+            for job_id, lifecycle in lifecycles.items():
+                if job_id in self.jobs:
+                    continue
+                try:
+                    spec = CampaignSpec.from_dict(lifecycle.spec)
+                except (KeyError, TypeError, ValueError):
+                    self._count("service_wal_replay_errors")
+                    continue
+                store = self.stores.store_for(tenant, spec.name)
+                bus = EventBus(loop=self._loop)
+                job = CampaignJob(
+                    job_id, tenant, spec, store, bus,
+                    on_transition=self._journal_transition,
+                )
+                job.recovered = True
+                job.submissions = lifecycle.submissions
+                job.created_s = lifecycle.submitted_s
+                if lifecycle.state in TERMINAL_STATES:
+                    job.state = lifecycle.state
+                    job.error = lifecycle.error
+                    job.finished_s = lifecycle.updated_s
+                    job.bus.close()
+                    self.jobs[job_id] = job
+                    self.recovered_ids.append(job_id)
+                    self._count("service_jobs_recovered_terminal")
+                else:
+                    # queued or running at crash: run it (again); the
+                    # store/checkpoints make the re-drain incremental.
+                    try:
+                        self.scheduler.submit(job)
+                    except BackpressureError:
+                        self._count("service_recovery_rejected")
+                        continue
+                    self.jobs[job_id] = job
+                    self.recovered_ids.append(job_id)
+                    self._count("service_jobs_recovered_resumed")
 
     @property
     def scheduler(self) -> FairScheduler:
@@ -123,6 +235,11 @@ class CampaignService:
         for a done job, an immediately-consistent result with zero
         re-execution.
         """
+        if self._draining:
+            self._count("service_submissions_refused_draining")
+            raise ServiceUnavailable(
+                "service is shutting down; resubmit after restart"
+            )
         tenant = validate_tenant(tenant)
         spec = CampaignSpec.from_dict(spec_payload)
         job_id = campaign_id(tenant, spec)
@@ -135,12 +252,19 @@ class CampaignService:
         # same content-addressed id; completed units stay cached.
         store = self.stores.store_for(tenant, spec.name)
         bus = EventBus(loop=self._loop)
-        job = CampaignJob(job_id, tenant, spec, store, bus)
+        job = CampaignJob(
+            job_id, tenant, spec, store, bus,
+            on_transition=self._journal_transition,
+        )
         try:
             self.scheduler.submit(job)
         except BackpressureError:
             self._count("service_submissions_rejected")
             raise
+        # Write-ahead: the submission is on disk before the caller gets
+        # its 202 — a crash after this point can only *delay* the
+        # campaign, never lose it.
+        self.wal_for(tenant).record_submit(job_id, tenant, spec.to_dict())
         self.jobs[job_id] = job
         self._count("service_submissions")
         return job, True
@@ -241,7 +365,8 @@ class CampaignService:
         for job in self.jobs.values():
             states[job.state] = states.get(job.state, 0) + 1
         return {
-            "status": "ok",
+            "status": "draining" if self._draining else "ok",
+            "draining": self._draining,
             "uptime_s": time.time() - self.started_s,
             "jobs": states,
             "tenants": self.stores.tenants(),

@@ -1,0 +1,197 @@
+"""Per-tenant write-ahead log of the service job table.
+
+The in-memory job table of :class:`~repro.service.service.CampaignService`
+dies with the process; the unit *results* survive in the run store, but
+without a durable record of which campaigns were submitted (and where
+their lifecycles stood) a restarted ``repro serve`` would answer 404
+for every pre-restart campaign id and silently drop queued work.
+
+:class:`JobWal` closes that gap with the same discipline as the run
+store's manifest: an append-only, schema-headered JSONL file at
+``<tenant root>/jobs.jsonl``. Every record is fsync'd before the
+caller proceeds — *write-ahead*: the submit response leaves the
+service only after the submission is on disk. Two record shapes::
+
+    {"op": "submit", "id": ..., "tenant": ..., "spec": {...}, "t_s": ...}
+    {"op": "state",  "id": ..., "state": ..., "t_s": ..., ["error": ...]}
+
+Replay folds the log into per-job lifecycles (latest state wins). A
+crash mid-append leaves at most one torn final line; replay drops it
+with a warning and truncates the file so the next append starts clean
+— identical semantics to the manifest reader, and the worst case is
+losing the single most recent transition, never a whole job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional
+
+from ..telemetry.events import check_schema_header, schema_header
+
+__all__ = ["JOB_WAL_NAME", "JobWal", "WalJob", "replay_wal"]
+
+#: File name of the per-tenant job journal.
+JOB_WAL_NAME = "jobs.jsonl"
+
+#: Schema kind of the WAL's header line.
+WAL_KIND = "service-job-wal"
+
+
+@dataclass
+class WalJob:
+    """One job's folded lifecycle after replay."""
+
+    id: str
+    tenant: str
+    spec: Dict[str, Any]
+    state: str
+    submitted_s: float
+    updated_s: float
+    error: Optional[str] = None
+    submissions: int = 1
+    #: Every state this job passed through, in log order.
+    history: List[str] = field(default_factory=list)
+
+
+class JobWal:
+    """Append-only, torn-tail-tolerant journal of job transitions."""
+
+    def __init__(self, path: str) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+
+    def append(self, record: Mapping[str, Any]) -> None:
+        """Durably append one record (fsync before returning).
+
+        The schema header is written lazily with the first record, so
+        a tenant that never submits anything gets no file at all.
+        """
+        payload = dict(record)
+        payload.setdefault("t_s", time.time())
+        with self._lock:
+            new_file = not self.path.exists()
+            with open(self.path, "a", encoding="utf-8") as fh:
+                if new_file:
+                    fh.write(
+                        json.dumps(schema_header(WAL_KIND), sort_keys=True)
+                        + "\n"
+                    )
+                fh.write(json.dumps(payload, sort_keys=True) + "\n")
+                fh.flush()
+                os.fsync(fh.fileno())
+
+    def record_submit(
+        self, job_id: str, tenant: str, spec: Mapping[str, Any]
+    ) -> None:
+        self.append(
+            {"op": "submit", "id": job_id, "tenant": tenant,
+             "spec": dict(spec)}
+        )
+
+    def record_state(
+        self, job_id: str, state: str, error: Optional[str] = None
+    ) -> None:
+        record: Dict[str, Any] = {"op": "state", "id": job_id, "state": state}
+        if error is not None:
+            record["error"] = error
+        self.append(record)
+
+    # -- replay ----------------------------------------------------------------
+
+    def read_records(self) -> List[Dict[str, Any]]:
+        """Raw log records in append order (header validated, torn tail
+        dropped and truncated)."""
+        path = self.path
+        if not path.exists():
+            return []
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        lines = text.split("\n")
+        torn_tail = bool(text) and not text.endswith("\n")
+        records: List[Dict[str, Any]] = []
+        header_seen = False
+        for lineno, line in enumerate(lines, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                if torn_tail and lineno == len(lines):
+                    warnings.warn(
+                        f"{path}:{lineno}: dropping torn final WAL line "
+                        f"(crash during append?)",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    keep = len(text.encode("utf-8")) - len(
+                        lines[-1].encode("utf-8")
+                    )
+                    with open(path, "r+b") as out:
+                        out.truncate(keep)
+                    continue
+                raise ValueError(
+                    f"{path}:{lineno}: not valid JSON ({exc})"
+                ) from None
+            if not header_seen:
+                try:
+                    check_schema_header(record, WAL_KIND)
+                except ValueError as exc:
+                    raise ValueError(f"{path}:{lineno}: {exc}") from None
+                header_seen = True
+                continue
+            records.append(record)
+        return records
+
+    def replay(self) -> Dict[str, WalJob]:
+        """Fold the log into per-job lifecycles, keyed by job id."""
+        return replay_wal(self.read_records())
+
+
+def replay_wal(records: List[Mapping[str, Any]]) -> Dict[str, WalJob]:
+    """Fold raw WAL records into :class:`WalJob` lifecycles.
+
+    Unknown ops and state records for never-submitted ids are skipped
+    (forward compatibility / partial-log tolerance) rather than fatal.
+    """
+    jobs: Dict[str, WalJob] = {}
+    for record in records:
+        op = record.get("op")
+        job_id = record.get("id")
+        if not job_id:
+            continue
+        t_s = float(record.get("t_s", 0.0))
+        if op == "submit":
+            existing = jobs.get(job_id)
+            if existing is not None:
+                # A resubmission of a terminal job: fresh attempt under
+                # the same content-addressed id.
+                existing.submissions += 1
+                existing.updated_s = t_s
+                continue
+            jobs[job_id] = WalJob(
+                id=job_id,
+                tenant=str(record.get("tenant", "")),
+                spec=dict(record.get("spec", {})),
+                state="queued",
+                submitted_s=t_s,
+                updated_s=t_s,
+                history=["queued"],
+            )
+        elif op == "state":
+            job = jobs.get(job_id)
+            if job is None:
+                continue
+            job.state = str(record.get("state", job.state))
+            job.error = record.get("error", None)
+            job.updated_s = t_s
+            job.history.append(job.state)
+    return jobs

@@ -309,6 +309,70 @@ class NumericProblem:
         self._gravity_acc = None
 
     # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete inter-step physics state (raw arrays allowed).
+
+        The wide Verlet-skin neighbor list is serialized *in full*
+        rather than replaced by a rebuild marker: a fresh tree search
+        after restore could order neighbors differently, changing
+        floating-point summation order and breaking bit-exactness at
+        ``skin > 0``. Per-step scratch (``nlist``/``geometry``/
+        ``_gravity_acc``) is rebuilt by the next ``find_neighbors``
+        call, so it is not stored.
+        """
+        wide = self._wide_nlist
+        return {
+            "particles": self.particles.state_dict(),
+            "rank_of_particle": self.rank_of_particle,
+            "dt": self.dt,
+            "previous_dt": self.previous_dt,
+            "step_index": self.step_index,
+            "exchange_bytes": self.exchange_bytes,
+            "neighbor_rebuilds": self.neighbor_rebuilds,
+            "neighbor_reuses": self.neighbor_reuses,
+            "previous_ranks": self._previous_ranks,
+            "wide_neighbors": None if wide is None else wide.neighbors,
+            "wide_offsets": None if wide is None else wide.offsets,
+            "wide_mirror_absent": self._wide_mirror_absent,
+            "rebuild_x": self._rebuild_x,
+            "rebuild_y": self._rebuild_y,
+            "rebuild_z": self._rebuild_z,
+            "rebuild_h": self._rebuild_h,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        self.particles = ParticleSet.from_state(state["particles"])
+        self.rank_of_particle = state["rank_of_particle"]
+        self.dt = float(state["dt"])
+        previous_dt = state["previous_dt"]
+        self.previous_dt = (
+            None if previous_dt is None else float(previous_dt)
+        )
+        self.step_index = int(state["step_index"])
+        self.exchange_bytes = state["exchange_bytes"]
+        self.neighbor_rebuilds = int(state["neighbor_rebuilds"])
+        self.neighbor_reuses = int(state["neighbor_reuses"])
+        self._previous_ranks = state["previous_ranks"]
+        if state["wide_neighbors"] is None:
+            self._wide_nlist = None
+        else:
+            self._wide_nlist = NeighborList(
+                neighbors=state["wide_neighbors"],
+                offsets=state["wide_offsets"],
+            )
+        self._wide_mirror_absent = state["wide_mirror_absent"]
+        self._rebuild_x = state["rebuild_x"]
+        self._rebuild_y = state["rebuild_y"]
+        self._rebuild_z = state["rebuild_z"]
+        self._rebuild_h = state["rebuild_h"]
+        self.nlist = None
+        self.geometry = None
+        self._gravity_acc = None
+
+    # ------------------------------------------------------------------
     # Feedback to the workload model
     # ------------------------------------------------------------------
 

@@ -152,6 +152,19 @@ class ParticleSet:
                 kwargs[f.name] = np.concatenate(arrays)
         return ParticleSet(**kwargs)
 
+    def state_dict(self) -> dict:
+        """All fields (raw arrays), preserving unallocated derived ones."""
+        state = {}
+        for f in dataclass_fields(self):
+            arr = getattr(self, f.name)
+            state[f.name] = None if arr is None else arr
+        return state
+
+    @staticmethod
+    def from_state(state: dict) -> "ParticleSet":
+        """Inverse of :meth:`state_dict` (arrays already decoded)."""
+        return ParticleSet(**dict(state))
+
     @staticmethod
     def zeros(n: int) -> "ParticleSet":
         """An all-zero particle set of size ``n`` (testing helper)."""

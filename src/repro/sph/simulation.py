@@ -19,10 +19,11 @@ from __future__ import annotations
 
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional
 
 import numpy as np
 
+from ..checkpoint import CheckpointError, read_checkpoint, write_checkpoint
 from ..core.controller import FrequencyController, ResilienceConfig
 from ..core.energy import EnergyProfiler, EnergyReport, make_profiler
 from ..core.freq_policy import FrequencyPolicy, baseline_policy
@@ -62,6 +63,10 @@ class SimulationResult:
     faults_injected: int = 0
     #: Transient-error retries the controller performed.
     retries: int = 0
+    #: Step the run resumed from (0 = started from scratch).
+    resumed_from_step: int = 0
+    #: Periodic checkpoints written during this run.
+    checkpoints_written: int = 0
 
     @property
     def edp(self) -> float:
@@ -209,8 +214,17 @@ class Simulation:
         self.controller.apply_initial_mode()
         self._initialized = True
 
-    def run(self, n_steps: int) -> SimulationResult:
-        """Execute ``n_steps`` of the instrumented time-stepping loop.
+    def run(
+        self,
+        n_steps: int,
+        *,
+        checkpoint_every: int = 0,
+        checkpoint_path: Optional[str] = None,
+        restore_from: Optional[str] = None,
+        checkpoint_fingerprint: Optional[str] = None,
+        on_step: Optional[Callable[[int], None]] = None,
+    ) -> SimulationResult:
+        """Execute the instrumented time-stepping loop up to ``n_steps``.
 
         With a fault injector attached, the vendor layers are wrapped
         for the duration of the run (including initialization — the
@@ -218,28 +232,89 @@ class Simulation:
         steps, and the result carries the degradation outcome: which
         ranks fell back to DVFS, whether the run was preempted, and how
         many faults were delivered.
+
+        Crash tolerance: with ``checkpoint_every > 0`` and a
+        ``checkpoint_path``, a full state snapshot is written atomically
+        every that many completed steps (and at a preemption boundary).
+        With ``restore_from`` naming an existing checkpoint, the run
+        resumes from its recorded step instead of step 0 — the loop
+        executes only the remaining steps, and the final result is
+        bit-identical to an uninterrupted run. ``n_steps`` is always the
+        *total* step count. ``checkpoint_fingerprint`` (e.g. a campaign
+        run key) guards against restoring a checkpoint from a different
+        configuration. ``on_step`` is invoked with the completed-step
+        count after every step (worker-lane heartbeats hang off it).
         """
         if n_steps < 1:
             raise ValueError("need at least one step")
+        if checkpoint_every < 0:
+            raise ValueError("checkpoint_every must be >= 0")
+        if checkpoint_every > 0 and checkpoint_path is None:
+            raise ValueError("checkpoint_every needs a checkpoint_path")
         injected = self.faults
-        steps_done = 0
+        resumed_from = 0
+        checkpoints_written = 0
+        if restore_from is not None:
+            state = read_checkpoint(restore_from)
+            self._check_compatible(state, checkpoint_fingerprint)
+            resumed_from = self.restore(state)
+            if resumed_from > n_steps:
+                raise CheckpointError(
+                    f"checkpoint is at step {resumed_from}, beyond the "
+                    f"requested {n_steps}"
+                )
+        steps_done = resumed_from
         preempted = False
         with injected if injected is not None else nullcontext():
-            self.initialize()
-            # The sampler opens with the instrumented window, so the
-            # setup phase (idle GPUs, one long clock advance) does not
-            # masquerade as a sampling gap.
-            if self.monitor is not None and not self.monitor.running:
+            if resumed_from == 0:
+                self.initialize()
+                # The sampler opens with the instrumented window, so the
+                # setup phase (idle GPUs, one long clock advance) does
+                # not masquerade as a sampling gap.
+                if self.monitor is not None and not self.monitor.running:
+                    self.monitor.start()
+                self.profiler.open_window()
+            elif self.monitor is not None and not self.monitor.running:
+                # The restored profiler window is already open; the
+                # monitor restarts fresh (sampling is observability,
+                # not result state).
                 self.monitor.start()
-            self.profiler.open_window()
             try:
-                for _ in range(n_steps):
+                while steps_done < n_steps:
                     if injected is not None:
                         injected.check_preemption(steps_done)
                     self._run_step()
                     steps_done += 1
+                    if on_step is not None:
+                        on_step(steps_done)
+                    if (
+                        checkpoint_every > 0
+                        and steps_done % checkpoint_every == 0
+                    ):
+                        self.save_checkpoint(
+                            checkpoint_path,
+                            n_steps=n_steps,
+                            steps_done=steps_done,
+                            fingerprint=checkpoint_fingerprint,
+                        )
+                        checkpoints_written += 1
             except JobPreempted as exc:
                 preempted = True
+                if checkpoint_path is not None:
+                    # check_preemption raises between steps, so the
+                    # state is at a boundary; an async (signal-raised)
+                    # preemption mid-step is refused by the profiler
+                    # guard and the last periodic checkpoint stands.
+                    try:
+                        self.save_checkpoint(
+                            checkpoint_path,
+                            n_steps=n_steps,
+                            steps_done=steps_done,
+                            fingerprint=checkpoint_fingerprint,
+                        )
+                        checkpoints_written += 1
+                    except (RuntimeError, CheckpointError):
+                        pass
                 if self.telemetry is not None:
                     self.telemetry.emit_instant(
                         "job-preempted",
@@ -267,7 +342,134 @@ class Simulation:
                 len(injected.records) if injected is not None else 0
             ),
             retries=self.controller.retries_performed,
+            resumed_from_step=resumed_from,
+            checkpoints_written=checkpoints_written,
         )
+
+    # ------------------------------------------------------------------
+    # Checkpoint / restore
+    # ------------------------------------------------------------------
+
+    def state_dict(
+        self,
+        n_steps: int,
+        steps_done: int,
+        fingerprint: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Complete simulation state at a step boundary.
+
+        Raises :class:`RuntimeError` when called mid-step (open
+        profiler measurements) — a checkpoint must never capture a
+        half-executed step.
+        """
+        state: Dict[str, object] = {
+            "workload": self.workload_name,
+            "policy": self.policy.name,
+            "n_steps": int(n_steps),
+            "steps_done": int(steps_done),
+            "fingerprint": fingerprint,
+            "initialized": self._initialized,
+            "cluster": self.cluster.state_dict(),
+            "profiler": self.profiler.state_dict(),
+            "controller": self.controller.state_dict(),
+            "policy_state": self.policy.state_dict(),
+            "workloads": [
+                {
+                    "n_particles": w.n_particles,
+                    "mean_neighbors": w.mean_neighbors,
+                    "with_gravity": w.with_gravity,
+                }
+                for w in self.workloads
+            ],
+            "dt_history": list(self.dt_history),
+            "numeric": (
+                None if self.numeric is None else self.numeric.state_dict()
+            ),
+            "faults": (
+                None if self.faults is None else self.faults.state_dict()
+            ),
+            "telemetry": (
+                self.telemetry.state_dict()
+                if self.telemetry is not None
+                and hasattr(self.telemetry, "state_dict")
+                else None
+            ),
+        }
+        return state
+
+    def save_checkpoint(
+        self,
+        path: str,
+        n_steps: int,
+        steps_done: int,
+        fingerprint: Optional[str] = None,
+    ) -> None:
+        """Atomically write a checkpoint of the current state."""
+        write_checkpoint(
+            path,
+            self.state_dict(
+                n_steps, steps_done, fingerprint=fingerprint
+            ),
+        )
+
+    def _check_compatible(
+        self, state: Dict[str, object], fingerprint: Optional[str]
+    ) -> None:
+        if state.get("workload") != self.workload_name:
+            raise CheckpointError(
+                f"checkpoint is for workload {state.get('workload')!r}, "
+                f"not {self.workload_name!r}"
+            )
+        if state.get("policy") != self.policy.name:
+            raise CheckpointError(
+                f"checkpoint is for policy {state.get('policy')!r}, "
+                f"not {self.policy.name!r}"
+            )
+        saved = state.get("fingerprint")
+        if fingerprint is not None and saved not in (None, fingerprint):
+            raise CheckpointError(
+                f"checkpoint fingerprint {saved!r} does not match "
+                f"{fingerprint!r}"
+            )
+        if (self.numeric is None) != (state.get("numeric") is None):
+            raise CheckpointError(
+                "checkpoint and simulation disagree on numeric mode"
+            )
+        if (self.faults is None) != (state.get("faults") is None):
+            raise CheckpointError(
+                "checkpoint and simulation disagree on fault injection"
+            )
+
+    def restore(self, state: Dict[str, object]) -> int:
+        """Restore a :meth:`state_dict`; returns the completed-step count.
+
+        The restored simulation is mid-window: :meth:`run` skips
+        ``initialize``/``open_window`` and continues the loop from the
+        returned step.
+        """
+        self.cluster.restore_state(state["cluster"])
+        self.profiler.restore_state(state["profiler"])
+        self.controller.restore_state(state["controller"])
+        self.policy.restore_state(state["policy_state"])
+        self.workloads = [
+            WorkloadModel(
+                w["n_particles"], w["mean_neighbors"], w["with_gravity"]
+            )
+            for w in state["workloads"]
+        ]
+        self.dt_history = [float(dt) for dt in state["dt_history"]]
+        if self.numeric is not None:
+            self.numeric.restore_state(state["numeric"])
+        if self.faults is not None:
+            self.faults.restore_state(state["faults"])
+        if (
+            self.telemetry is not None
+            and hasattr(self.telemetry, "restore_state")
+            and state.get("telemetry") is not None
+        ):
+            self.telemetry.restore_state(state["telemetry"])
+        self._initialized = bool(state["initialized"])
+        return int(state["steps_done"])
 
     # ------------------------------------------------------------------
     # Step execution
@@ -422,6 +624,11 @@ def run_instrumented(
     resilience: Optional[ResilienceConfig] = None,
     faults: Optional[FaultInjector] = None,
     monitor=None,
+    checkpoint_every: int = 0,
+    checkpoint_path: Optional[str] = None,
+    restore_from: Optional[str] = None,
+    checkpoint_fingerprint: Optional[str] = None,
+    on_step: Optional[Callable[[int], None]] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build, initialize and run a simulation."""
     sim = Simulation(
@@ -436,4 +643,11 @@ def run_instrumented(
         faults=faults,
         monitor=monitor,
     )
-    return sim.run(n_steps)
+    return sim.run(
+        n_steps,
+        checkpoint_every=checkpoint_every,
+        checkpoint_path=checkpoint_path,
+        restore_from=restore_from,
+        checkpoint_fingerprint=checkpoint_fingerprint,
+        on_step=on_step,
+    )

@@ -168,6 +168,48 @@ class Cluster:
         return self.node_of(rank).cpu.slowdown_factor
 
     # ------------------------------------------------------------------
+    # Checkpoint
+    # ------------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Complete hardware state of the allocation.
+
+        Valid at step boundaries (no kernel executing, no open
+        measurement); the per-rank clocks, devices, node accumulators,
+        comm statistics and pm_counters emulation all round-trip.
+        """
+        return {
+            "system": self.system.name,
+            "n_ranks": self.n_ranks,
+            "clocks": [c.state_dict() for c in self.clocks],
+            "gpus": [g.state_dict() for g in self.gpus],
+            "nodes": [n.state_dict() for n in self.nodes],
+            "comm_stats": self.comm.stats.state_dict(),
+            "pm_counters": [p.state_dict() for p in self.pm_counters],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        if state["system"] != self.system.name:
+            raise ValueError(
+                f"checkpoint is for system {state['system']!r}, "
+                f"not {self.system.name!r}"
+            )
+        if int(state["n_ranks"]) != self.n_ranks:
+            raise ValueError(
+                f"checkpoint has {state['n_ranks']} ranks, "
+                f"cluster has {self.n_ranks}"
+            )
+        for clock, s in zip(self.clocks, state["clocks"]):
+            clock.restore_state(s)
+        for gpu, s in zip(self.gpus, state["gpus"]):
+            gpu.restore_state(s)
+        for node, s in zip(self.nodes, state["nodes"]):
+            node.restore_state(s)
+        self.comm.stats.restore_state(state["comm_stats"])
+        for pm, s in zip(self.pm_counters, state["pm_counters"]):
+            pm.restore_state(s)
+
+    # ------------------------------------------------------------------
     # Energy accounting
     # ------------------------------------------------------------------
 

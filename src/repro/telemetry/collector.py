@@ -115,6 +115,28 @@ class TraceCollector:
     def bound(self) -> bool:
         return self._clocks is not None
 
+    # -- checkpoint ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Counters, step index and drop count (not the event ring).
+
+        The bounded event ring is a trailing debug window, not part of
+        any result; a resumed run restarts it empty while the metric
+        counters continue exactly where they left off.
+        """
+        return {
+            "step": self._step,
+            "dropped": self.dropped,
+            "metrics": self.metrics.state_dict(),
+        }
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self._step = int(state["step"])
+        self.dropped = int(state["dropped"])
+        self.metrics.restore_state(state["metrics"])
+        self._events.clear()
+        self._open = {}
+
     def now(self, rank: int) -> float:
         """Rank-local simulated time."""
         if self._clocks is None:

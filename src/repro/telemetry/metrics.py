@@ -200,6 +200,59 @@ class MetricsRegistry:
         for (name, labels), histogram in sorted(self._histograms.items()):
             yield name, labels, histogram
 
+    # -- checkpoint ------------------------------------------------------------
+
+    def state_dict(self) -> Dict[str, object]:
+        """Losslessly serializable registry contents (labels preserved)."""
+        return {
+            "counters": [
+                [name, [list(pair) for pair in labels], c.value]
+                for (name, labels), c in sorted(self._counters.items())
+            ],
+            "gauges": [
+                [name, [list(pair) for pair in labels], g.value]
+                for (name, labels), g in sorted(self._gauges.items())
+            ],
+            "histograms": [
+                [
+                    name,
+                    [list(pair) for pair in labels],
+                    {
+                        "bounds": list(h.bounds),
+                        "bucket_counts": list(h.bucket_counts),
+                        "count": h.count,
+                        "sum": h.sum,
+                        "min": h.min,
+                        "max": h.max,
+                    },
+                ]
+                for (name, labels), h in sorted(self._histograms.items())
+            ],
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Replace the registry contents with a :meth:`state_dict`."""
+        self._counters = {}
+        self._gauges = {}
+        self._histograms = {}
+        for name, labels, value in state["counters"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            counter = self._counters[key] = Counter()
+            counter.value = float(value)
+        for name, labels, value in state["gauges"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            gauge = self._gauges[key] = Gauge()
+            gauge.value = float(value)
+        for name, labels, payload in state["histograms"]:
+            key = (name, tuple((k, v) for k, v in labels))
+            histogram = Histogram(bounds=payload["bounds"])
+            histogram.bucket_counts = [int(n) for n in payload["bucket_counts"]]
+            histogram.count = int(payload["count"])
+            histogram.sum = float(payload["sum"])
+            histogram.min = float(payload["min"])
+            histogram.max = float(payload["max"])
+            self._histograms[key] = histogram
+
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Everything, as plain dicts keyed by rendered series name."""
         return {

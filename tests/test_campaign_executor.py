@@ -133,7 +133,7 @@ def test_parallel_pool_matches_serial_results(tmp_path):
 def _stub_worker(outcomes):
     calls = {"n": 0}
 
-    def fake_run_unit_safe(config, min_wall_s=0.0):
+    def fake_run_unit_safe(config, min_wall_s=0.0, *args, **kwargs):
         outcome = outcomes[min(calls["n"], len(outcomes) - 1)]
         calls["n"] += 1
         return outcome
@@ -223,11 +223,11 @@ def test_keyboard_interrupt_drains_and_flags(tmp_path, monkeypatch):
     real = executor_mod.run_unit_safe
     calls = {"n": 0}
 
-    def interrupting(config, min_wall_s=0.0):
+    def interrupting(config, min_wall_s=0.0, *args, **kwargs):
         calls["n"] += 1
         if calls["n"] == 3:
             raise KeyboardInterrupt
-        return real(config, min_wall_s)
+        return real(config, min_wall_s, *args, **kwargs)
 
     monkeypatch.setattr(executor_mod, "run_unit_safe", interrupting)
     store = RunStore(str(tmp_path), campaign=spec.name)
