@@ -1,0 +1,206 @@
+"""Step-loop scaling of the process comm backend vs the local one.
+
+Runs the same seeded Sedov step loop once per backend at several rank
+counts and writes the ``BENCH_mpi.json`` artifact at the repo root.
+Two properties are measured and gated:
+
+* **Equivalence** — per-rank virtual times, dt history, the full
+  energy report and the GPU energy total must be bit-identical between
+  backends (and unaffected by pacing). Any difference fails the bench
+  outright, before speed is even considered.
+* **Scaling** — with device-time pacing enabled the process backend
+  must beat the local one by ``MIN_SPEEDUP_2`` at 2 ranks and
+  ``MIN_SPEEDUP_8`` at 8 ranks.
+
+Pacing is what makes the measurement meaningful on single-core CI
+runners (the same trick as ``bench_campaign_throughput.py``): each
+rank's modelled GPU-busy time is slept on the host, serially under the
+local backend and concurrently across rank workers under the process
+backend — exactly the overlap a real multi-GPU node provides. The
+pace scale is auto-calibrated per rank count so every rank sleeps
+about ``TARGET_BUSY_S`` per step regardless of its particle share, and
+the unpaced wall times are recorded alongside for honesty.
+
+Modes::
+
+    python benchmarks/bench_mpi_scaling.py           # full, writes artifact
+    python benchmarks/bench_mpi_scaling.py --smoke   # 2 ranks only (CI)
+    python benchmarks/bench_mpi_scaling.py --check   # gate speedups, exit 1
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.sph import NumericProblem, Simulation  # noqa: E402
+from repro.sph.init import SedovConfig, make_sedov, make_sedov_eos  # noqa: E402
+from repro.systems import Cluster, mini_hpc  # noqa: E402
+
+ARTIFACT = REPO_ROOT / "BENCH_mpi.json"
+
+NSIDE = 6
+STEPS = 3
+RANK_COUNTS = (2, 4, 8)
+SMOKE_RANK_COUNTS = (2,)
+
+#: Calibrated per-rank paced busy time per step, wall seconds. Big
+#: enough to dominate the (backend-independent) host-side numeric
+#: work, small enough to keep the whole bench under ~15 s.
+TARGET_BUSY_S = 0.12
+
+#: Pace scale of the calibration run (amplifies the busy signal well
+#: above wall-clock noise without costing more than ~1 s).
+CAL_SCALE = 5.0
+
+#: Acceptance gates (ISSUE criterion): the paced step loop must run at
+#: least this much faster under the process backend.
+MIN_SPEEDUP_2 = 1.6
+MIN_SPEEDUP_8 = 3.0
+
+
+def run_once(n_ranks: int, comm_backend: str, pace_scale: float) -> dict:
+    """One seeded Sedov step loop; wall time plus virtual-state snapshot."""
+    cfg = SedovConfig(nside=NSIDE, blast_energy=1.0, seed=11)
+    particles = make_sedov(cfg)
+    cluster = Cluster(mini_hpc(), n_ranks, comm_backend=comm_backend)
+    try:
+        problem = NumericProblem(
+            particles=particles,
+            n_ranks=n_ranks,
+            eos=make_sedov_eos(cfg),
+            box_size=cfg.box_size,
+            skin=0.0,
+        )
+        sim = Simulation(
+            cluster,
+            "SedovBlast",
+            n_particles_per_rank=particles.n / n_ranks,
+            numeric=problem,
+            pace_scale=pace_scale,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(STEPS)
+        wall = time.perf_counter() - t0
+        return {
+            "wall_s": wall,
+            "window_s": result.report.max_window_time_s(),
+            "virtual": {
+                "clocks": [c.now for c in cluster.clocks],
+                "dt_history": list(sim.dt_history),
+                "gpu_energy_j": result.gpu_energy_j,
+                "report": result.report.to_dict(),
+            },
+        }
+    finally:
+        cluster.detach_management_library()
+
+
+def bench_ranks(n_ranks: int) -> dict:
+    """Equivalence check + paced speedup for one rank count."""
+    local0 = run_once(n_ranks, "local", 0.0)
+    process0 = run_once(n_ranks, "process", 0.0)
+    if process0["virtual"] != local0["virtual"]:
+        raise RuntimeError(
+            f"{n_ranks} ranks: unpaced process backend diverged from local"
+        )
+
+    # Calibrate pacing empirically: one local run at CAL_SCALE measures
+    # what a unit of pace_scale costs in wall time (only the GPU-kernel
+    # busy share of a step is paced — comm latency and host overhead
+    # are virtual-only), then scale to TARGET_BUSY_S per rank per step.
+    cal = run_once(n_ranks, "local", CAL_SCALE)
+    paced_wall = max(cal["wall_s"] - local0["wall_s"], 0.0)
+    busy_per_step = max(paced_wall / (CAL_SCALE * STEPS * n_ranks), 1e-5)
+    pace_scale = TARGET_BUSY_S / busy_per_step
+
+    local = run_once(n_ranks, "local", pace_scale)
+    process = run_once(n_ranks, "process", pace_scale)
+    for name, paced in (("local", local), ("process", process)):
+        if paced["virtual"] != local0["virtual"]:
+            raise RuntimeError(
+                f"{n_ranks} ranks: pacing changed the {name} backend's "
+                f"virtual results"
+            )
+
+    speedup = local["wall_s"] / process["wall_s"]
+    print(
+        f"{n_ranks} ranks: local {local['wall_s']:.2f}s, "
+        f"process {process['wall_s']:.2f}s -> speedup {speedup:.2f}x "
+        f"(pace_scale {pace_scale:.1f}, identical virtual state)"
+    )
+    return {
+        "ranks": n_ranks,
+        "pace_scale": round(pace_scale, 2),
+        "local_wall_s": round(local["wall_s"], 4),
+        "process_wall_s": round(process["wall_s"], 4),
+        "speedup": round(speedup, 3),
+        "unpaced": {
+            "local_wall_s": round(local0["wall_s"], 4),
+            "process_wall_s": round(process0["wall_s"], 4),
+        },
+        "virtual_state_identical": True,
+        "gpu_energy_j": local0["virtual"]["gpu_energy_j"],
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="2-rank measurement only (CI smoke job)",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help=f"exit 1 unless speedups >= {MIN_SPEEDUP_2}x at 2 ranks "
+        f"and >= {MIN_SPEEDUP_8}x at 8 ranks",
+    )
+    args = parser.parse_args()
+
+    rank_counts = SMOKE_RANK_COUNTS if args.smoke else RANK_COUNTS
+    results = [bench_ranks(n) for n in rank_counts]
+
+    gates = {2: MIN_SPEEDUP_2, 8: MIN_SPEEDUP_8}
+    failures = []
+    for entry in results:
+        required = gates.get(entry["ranks"])
+        if required is not None and entry["speedup"] < required:
+            failures.append(
+                f"{entry['ranks']} ranks: speedup {entry['speedup']:.2f}x "
+                f"< required {required}x"
+            )
+
+    payload = {
+        "schema": 1,
+        "kind": "bench-mpi-scaling",
+        "workload": {"name": "SedovBlast", "nside": NSIDE, "steps": STEPS},
+        "target_busy_s": TARGET_BUSY_S,
+        "host_cores": os.cpu_count(),
+        "smoke": args.smoke,
+        "gates": {"min_speedup_2_ranks": MIN_SPEEDUP_2,
+                  "min_speedup_8_ranks": MIN_SPEEDUP_8},
+        "results": results,
+    }
+    ARTIFACT.write_text(
+        json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"artifact: {ARTIFACT.name}")
+
+    if args.check and failures:
+        for line in failures:
+            print(f"error: {line}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

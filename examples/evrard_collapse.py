@@ -7,6 +7,7 @@ one simulated rank and tracks the collapse diagnostics and the energy
 budget.
 
     python examples/evrard_collapse.py [n_particles] [steps] [--skin S]
+        [--ranks N] [--comm-backend local|process]
 """
 
 import argparse
@@ -38,6 +39,20 @@ def main() -> None:
         help="Verlet skin in units of h; 0 searches every step "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="simulated MPI ranks (default %(default)s)",
+    )
+    parser.add_argument(
+        "--comm-backend",
+        choices=("local", "process"),
+        default="local",
+        dest="comm_backend",
+        help="rank execution backend; 'process' runs one OS process "
+        "per rank with identical results (default %(default)s)",
+    )
     args = parser.parse_args()
     n, steps = args.n_particles, args.steps
 
@@ -55,17 +70,20 @@ def main() -> None:
         f"total {budget0.total:.4f}"
     )
 
-    cluster = Cluster(mini_hpc(), n_ranks=1)
+    cluster = Cluster(
+        mini_hpc(), n_ranks=args.ranks, comm_backend=args.comm_backend
+    )
     try:
         problem = NumericProblem(
             particles=particles,
-            n_ranks=1,
+            n_ranks=args.ranks,
             eos=make_evrard_eos(cfg),
             gravity=gravity,
             skin=args.skin,
         )
         sim = Simulation(
-            cluster, "EvrardCollapse", n_particles_per_rank=n,
+            cluster, "EvrardCollapse",
+            n_particles_per_rank=n / args.ranks,
             numeric=problem,
         )
         sim.initialize()

@@ -7,6 +7,7 @@ shock radius is compared against R(t) = xi_0 (E t^2 / rho_0)^(1/5)
 while the instrumented energy measurement runs as usual.
 
     python examples/sedov_blast.py [nside] [steps] [--skin S]
+        [--ranks N] [--comm-backend local|process]
 """
 
 import argparse
@@ -36,6 +37,20 @@ def main() -> None:
         help="Verlet skin in units of h; 0 searches every step "
         "(default %(default)s)",
     )
+    parser.add_argument(
+        "--ranks",
+        type=int,
+        default=1,
+        help="simulated MPI ranks (default %(default)s)",
+    )
+    parser.add_argument(
+        "--comm-backend",
+        choices=("local", "process"),
+        default="local",
+        dest="comm_backend",
+        help="rank execution backend; 'process' runs one OS process "
+        "per rank with identical results (default %(default)s)",
+    )
     args = parser.parse_args()
     nside, steps = args.nside, args.steps
 
@@ -47,17 +62,20 @@ def main() -> None:
     )
     e0 = particles.internal_energy()
 
-    cluster = Cluster(mini_hpc(), n_ranks=1)
+    cluster = Cluster(
+        mini_hpc(), n_ranks=args.ranks, comm_backend=args.comm_backend
+    )
     try:
         problem = NumericProblem(
             particles=particles,
-            n_ranks=1,
+            n_ranks=args.ranks,
             eos=make_sedov_eos(cfg),
             box_size=cfg.box_size,
             skin=args.skin,
         )
         sim = Simulation(
-            cluster, "SedovBlast", n_particles_per_rank=particles.n,
+            cluster, "SedovBlast",
+            n_particles_per_rank=particles.n / args.ranks,
             numeric=problem,
         )
         sim.initialize()

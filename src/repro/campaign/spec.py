@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -113,6 +114,7 @@ class RunUnit:
     seed: int
     policy: Tuple[Tuple[str, Any], ...]
     fault_scenario: Optional[str] = None
+    comm_backend: str = "local"
 
     def policy_dict(self) -> Dict[str, Any]:
         return {k: _thaw_value(v) for k, v in self.policy}
@@ -131,6 +133,11 @@ class RunUnit:
         }
         if self.fault_scenario is not None:
             cfg["fault_scenario"] = self.fault_scenario
+        # Only a non-default backend enters the config: backends are
+        # bit-identical in every result, so pre-existing run keys (and
+        # cached local-backend results) stay valid.
+        if self.comm_backend != "local":
+            cfg["comm_backend"] = self.comm_backend
         return cfg
 
     @property
@@ -209,6 +216,12 @@ class CampaignSpec:
         from its latest checkpoint on retry instead of step 0.
         Execution-only: crash tolerance does not change what a unit
         computes, so it does not enter run keys.
+    comm_backend:
+        Rank execution backend for every unit: ``"local"`` (default,
+        sequential in-process ranks) or ``"process"`` (one OS process
+        per rank, see docs/parallelism.md). Backends are bit-identical
+        in every virtual result, so only a non-default value enters run
+        keys — existing cached results stay valid.
     """
 
     name: str
@@ -223,6 +236,7 @@ class CampaignSpec:
     fault_scenario: Optional[str] = None
     min_unit_wall_s: float = 0.0
     checkpoint_every: int = 0
+    comm_backend: str = "local"
     _canonical_policies: Tuple[Dict[str, Any], ...] = field(
         init=False, repr=False, compare=False, default=()
     )
@@ -238,6 +252,11 @@ class CampaignSpec:
             raise ValueError("min_unit_wall_s must be non-negative")
         if self.checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
+        if self.comm_backend not in ("local", "process"):
+            raise ValueError(
+                f"unknown comm backend {self.comm_backend!r} "
+                "(expected local|process)"
+            )
         if not self.workloads:
             raise ValueError("campaign needs at least one workload")
         if not self.policies:
@@ -300,7 +319,7 @@ class CampaignSpec:
         known = {
             "name", "workloads", "policies", "clocks_mhz", "systems",
             "particles", "steps", "ranks", "seeds", "fault_scenario",
-            "min_unit_wall_s", "checkpoint_every",
+            "min_unit_wall_s", "checkpoint_every", "comm_backend",
         }
         unknown = set(data) - known
         if unknown:
@@ -339,6 +358,8 @@ class CampaignSpec:
             payload["min_unit_wall_s"] = self.min_unit_wall_s
         if self.checkpoint_every:
             payload["checkpoint_every"] = int(self.checkpoint_every)
+        if self.comm_backend != "local":
+            payload["comm_backend"] = self.comm_backend
         return payload
 
     def save(self, path: str) -> None:
@@ -383,6 +404,7 @@ class CampaignSpec:
                                     seed=int(seed),
                                     policy=_freeze_policy(policy),
                                     fault_scenario=self.fault_scenario,
+                                    comm_backend=self.comm_backend,
                                 )
                             )
         keys = [u.key for u in units]
@@ -398,3 +420,23 @@ class CampaignSpec:
 
     def n_units(self) -> int:
         return len(self.expand())
+
+    def check_oversubscription(self, workers: int) -> Optional[str]:
+        """Warn-worthy message when ``workers x ranks`` exceeds the
+        host's cores for a process-backend campaign, else ``None``.
+
+        The executor (and the CLI) call this before a drain; with the
+        ``process`` backend every lane forks ``ranks`` rank workers, so
+        the true process footprint is the product.
+        """
+        if self.comm_backend != "process" or workers < 1:
+            return None
+        cores = os.cpu_count() or 1
+        if workers * self.ranks <= cores:
+            return None
+        return (
+            f"{workers} workers x {self.ranks} ranks = "
+            f"{workers * self.ranks} rank processes oversubscribe "
+            f"{cores} host cores; consider --workers "
+            f"{max(1, cores // self.ranks)}"
+        )

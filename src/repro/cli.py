@@ -100,7 +100,11 @@ def _version() -> str:
 
 
 def _run_once(args, policy: FrequencyPolicy, telemetry=None):
-    cluster = Cluster(by_name(args.system), args.ranks)
+    cluster = Cluster(
+        by_name(args.system),
+        args.ranks,
+        comm_backend=getattr(args, "comm_backend", "local"),
+    )
     try:
         result = run_instrumented(
             cluster,
@@ -470,6 +474,7 @@ def cmd_trace_summary(args) -> int:
             "max_drift_s": max_drift_s(rows),
             "events": len(collector.events),
             "dropped": collector.dropped,
+            "comm": result.report.comm,
         }
         print(json.dumps(payload, indent=1, sort_keys=True))
         return 0
@@ -1044,6 +1049,11 @@ def build_parser() -> argparse.ArgumentParser:
                        help="time-steps to run")
         p.add_argument("--ranks", type=int, default=1,
                        help="MPI ranks (= GPUs/GCDs)")
+        p.add_argument("--comm-backend", default="local",
+                       choices=("local", "process"), dest="comm_backend",
+                       help="rank execution backend: local (sequential, "
+                       "in-process) or process (one OS process per rank; "
+                       "see docs/parallelism.md)")
 
     run_p = sub.add_parser("run", help="run one instrumented simulation")
     common(run_p)

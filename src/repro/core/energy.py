@@ -270,9 +270,25 @@ class EnergyProfiler:
     # -- gather / persist -----------------------------------------------------
 
     def gather(self, comm) -> "EnergyReport":
-        """End-of-run gather of all rank reports (root keeps them all)."""
+        """End-of-run gather of all rank reports (root keeps them all).
+
+        The communicator's own statistics ride along: per-op call
+        counts, bytes moved, total synchronization wait and its
+        per-rank breakdown used to die with the communicator when the
+        cluster was torn down; now every saved report carries them.
+        """
         gathered = comm.gather(self.reports)
-        return EnergyReport(ranks=list(gathered))
+        stats = getattr(comm, "stats", None)
+        comm_payload = None
+        if stats is not None:
+            comm_payload = {
+                "calls": dict(stats.calls),
+                "bytes_moved": stats.bytes_moved,
+                "sync_wait_s": stats.sync_wait_s,
+                "comm_time_s": stats.comm_time_s,
+                "rank_wait_s": list(stats.rank_wait_s),
+            }
+        return EnergyReport(ranks=list(gathered), comm=comm_payload)
 
 
 @dataclass
@@ -280,6 +296,10 @@ class EnergyReport:
     """Gathered per-rank reports plus aggregation helpers."""
 
     ranks: List[RankEnergyReport]
+    #: Communicator statistics snapshot (per-op calls, bytes moved,
+    #: sync waits and their per-rank split), or ``None`` for reports
+    #: written before the stats were gathered.
+    comm: Optional[Dict] = None
 
     def aggregate_functions(self) -> Dict[str, FunctionEnergyRecord]:
         """Sum records across ranks, keyed by function name."""
@@ -333,7 +353,7 @@ class EnergyReport:
         Also the wire format campaign workers return results in, so a
         gathered report survives process boundaries losslessly.
         """
-        return {
+        payload: Dict = {
             "ranks": [
                 {
                     "rank": r.rank,
@@ -349,6 +369,9 @@ class EnergyReport:
                 for r in self.ranks
             ]
         }
+        if self.comm is not None:
+            payload["comm"] = self.comm
+        return payload
 
     def save(self, path: str) -> None:
         """Write the gathered report as JSON for post-hoc analysis."""
@@ -379,7 +402,7 @@ class EnergyReport:
                     degraded_reason=rd.get("degraded_reason"),
                 )
             )
-        return EnergyReport(ranks=ranks)
+        return EnergyReport(ranks=ranks, comm=payload.get("comm"))
 
     @staticmethod
     def load(path: str) -> "EnergyReport":

@@ -1,6 +1,24 @@
 """Deterministic simulated MPI layer (DESIGN.md §2)."""
 
-from .comm import CommStats, MpiError, SimComm
+from .comm import (
+    CommBackend,
+    CommStats,
+    LocalBackend,
+    MpiError,
+    SimComm,
+    make_backend,
+)
+from .proc import ProcessBackend, RankDied
 from .timing import CommModel
 
-__all__ = ["CommStats", "MpiError", "SimComm", "CommModel"]
+__all__ = [
+    "CommBackend",
+    "CommStats",
+    "LocalBackend",
+    "MpiError",
+    "ProcessBackend",
+    "RankDied",
+    "SimComm",
+    "CommModel",
+    "make_backend",
+]

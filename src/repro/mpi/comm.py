@@ -21,6 +21,7 @@ calling conventions.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import reduce as _functools_reduce
 from typing import Any, Callable, Dict, List, Optional, Sequence
@@ -43,12 +44,37 @@ class CommStats:
     bytes_moved: float = 0.0
     sync_wait_s: float = 0.0
     comm_time_s: float = 0.0
+    #: Per-rank share of ``sync_wait_s`` (idle time at collectives);
+    #: grown lazily to the highest rank seen.
+    rank_wait_s: List[float] = field(default_factory=list)
 
-    def note(self, op: str, nbytes: float, wait_s: float, comm_s: float) -> None:
+    def note(
+        self,
+        op: str,
+        nbytes: float,
+        wait_s: float,
+        comm_s: float,
+        rank_waits: Optional[Sequence[float]] = None,
+    ) -> None:
         self.calls[op] = self.calls.get(op, 0) + 1
         self.bytes_moved += nbytes
         self.sync_wait_s += wait_s
         self.comm_time_s += comm_s
+        if rank_waits is not None:
+            if len(self.rank_wait_s) < len(rank_waits):
+                self.rank_wait_s.extend(
+                    0.0 for _ in range(len(rank_waits) - len(self.rank_wait_s))
+                )
+            for rank, w in enumerate(rank_waits):
+                self.rank_wait_s[rank] += w
+
+    def note_rank_wait(self, rank: int, wait_s: float) -> None:
+        """Charge ``wait_s`` of idle time to a single rank."""
+        if len(self.rank_wait_s) <= rank:
+            self.rank_wait_s.extend(
+                0.0 for _ in range(rank + 1 - len(self.rank_wait_s))
+            )
+        self.rank_wait_s[rank] += wait_s
 
     # -- checkpoint ----------------------------------------------------------
 
@@ -58,6 +84,7 @@ class CommStats:
             "bytes_moved": self.bytes_moved,
             "sync_wait_s": self.sync_wait_s,
             "comm_time_s": self.comm_time_s,
+            "rank_wait_s": list(self.rank_wait_s),
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
@@ -65,6 +92,8 @@ class CommStats:
         self.bytes_moved = float(state["bytes_moved"])
         self.sync_wait_s = float(state["sync_wait_s"])
         self.comm_time_s = float(state["comm_time_s"])
+        # Pre-backend checkpoints carry no per-rank breakdown.
+        self.rank_wait_s = [float(w) for w in state.get("rank_wait_s", [])]
 
 
 def _payload_bytes(value: Any) -> float:
@@ -88,6 +117,67 @@ def _payload_bytes(value: Any) -> float:
     return 64.0  # pickled-object fallback
 
 
+class CommBackend:
+    """Execution backend behind a :class:`SimComm`.
+
+    The communicator's *virtual-time* semantics are backend-independent:
+    collectives always advance every participant to max(times) plus the
+    modelled latency. What a backend decides is where rank-local
+    *compute* actually runs — inline in this process (``local``) or on
+    one OS process per rank (``process``, see :mod:`repro.mpi.proc`) —
+    and how modelled device-busy time is paced on the host (serially
+    vs. concurrently).
+    """
+
+    name: str = "backend"
+
+    #: True when rank work executes on separate OS processes.
+    parallel: bool = False
+
+    def pace(self, seconds: Sequence[float]) -> float:
+        """Sleep the modelled per-rank busy times; returns wall slept."""
+        raise NotImplementedError
+
+    def start(self) -> None:
+        """Bring the backend up (spawn workers, map memory). Idempotent."""
+
+    def shutdown(self) -> None:
+        """Tear the backend down. Idempotent; safe to call twice."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class LocalBackend(CommBackend):
+    """Current behaviour: every rank runs sequentially in-process.
+
+    Paced busy times accumulate serially — eight ranks sleeping 100 ms
+    each cost 800 ms of wall clock, exactly the serialization the
+    ``process`` backend removes.
+    """
+
+    name = "local"
+    parallel = False
+
+    def pace(self, seconds: Sequence[float]) -> float:
+        t0 = time.perf_counter()
+        for s in seconds:
+            if s > 0.0:
+                time.sleep(s)
+        return time.perf_counter() - t0
+
+
+def make_backend(name: str, n_ranks: int) -> CommBackend:
+    """Construct a comm backend by name (``local`` or ``process``)."""
+    if name == "local":
+        return LocalBackend()
+    if name == "process":
+        from .proc import ProcessBackend
+
+        return ProcessBackend(n_ranks)
+    raise MpiError(f"unknown comm backend {name!r} (expected local|process)")
+
+
 class SimComm:
     """A simulated communicator over ``size`` ranks.
 
@@ -107,6 +197,7 @@ class SimComm:
         clocks: Sequence[VirtualClock],
         model: Optional[CommModel] = None,
         node_of_rank: Optional[Sequence[int]] = None,
+        backend: Optional[CommBackend] = None,
     ) -> None:
         if not clocks:
             raise MpiError("a communicator needs at least one rank")
@@ -120,6 +211,7 @@ class SimComm:
         if len(self.node_of_rank) != len(self._clocks):
             raise MpiError("node_of_rank must have one entry per rank")
         self.stats = CommStats()
+        self.backend = backend if backend is not None else LocalBackend()
 
     @property
     def size(self) -> int:
@@ -141,10 +233,13 @@ class SimComm:
         """Advance all ranks to the common completion time of an op."""
         arrive = max(c.now for c in self._clocks)
         finish = arrive + comm_s
-        wait = sum(arrive - c.now for c in self._clocks)
+        rank_waits = [arrive - c.now for c in self._clocks]
         for c in self._clocks:
             c.advance_to(finish)
-        self.stats.note(op, nbytes_per_rank * self.size, wait, comm_s)
+        self.stats.note(
+            op, nbytes_per_rank * self.size, sum(rank_waits), comm_s,
+            rank_waits=rank_waits,
+        )
 
     def barrier(self) -> None:
         """Synchronize all ranks (zero-payload collective)."""
@@ -179,7 +274,7 @@ class SimComm:
             self.model.collective_s(self.size, nbytes, self.multi_node),
         )
         if op is None:
-            op = _default_sum
+            return self._reduce_values(values)
         return _functools_reduce(op, values)
 
     def reduce(
@@ -198,8 +293,19 @@ class SimComm:
             self.model.collective_s(self.size, nbytes, self.multi_node),
         )
         if op is None:
-            op = _default_sum
+            return self._reduce_values(values)
         return _functools_reduce(op, values)
+
+    def _reduce_values(self, values: Sequence[Any]) -> Any:
+        """Default-sum reduction; large float64 ndarray payloads go
+        through the backend's shared-memory slice-parallel path (which
+        preserves per-element addition order, so the result is
+        bit-identical to the in-process fold)."""
+        backend = self.backend
+        if backend.parallel and getattr(backend, "can_reduce", None):
+            if backend.can_reduce(values):
+                return backend.reduce_arrays(values)
+        return _functools_reduce(_default_sum, values)
 
     def bcast(self, value: Any, root: int = 0) -> List[Any]:
         """Broadcast ``value`` from ``root``; returns per-rank copies."""
@@ -251,6 +357,38 @@ class SimComm:
         return [[matrix[src][dst] for src in range(self.size)]
                 for dst in range(self.size)]
 
+    def reduce_scatter(
+        self,
+        matrix: Sequence[Sequence[Any]],
+        op: Callable[[Any, Any], Any] = None,
+    ) -> List[Any]:
+        """Reduce ``matrix[src][dst]`` over ``src``; rank ``dst`` keeps
+        element ``dst`` of the result.
+
+        The mpi4py ``Reduce_scatter_block`` shape: every rank
+        contributes one block per destination, each destination
+        receives the reduction of its column. Costed like a reduce
+        followed by a scatter (one tree each), which is how
+        recursive-halving implementations behave.
+        """
+        self._check_contribs(matrix)
+        for row in matrix:
+            self._check_contribs(row)
+        nbytes = max(
+            _payload_bytes(cell) for row in matrix for cell in row
+        )
+        self._synchronize(
+            "reduce_scatter",
+            nbytes,
+            2.0 * self.model.collective_s(self.size, nbytes, self.multi_node),
+        )
+        if op is None:
+            op = _default_sum
+        return [
+            _functools_reduce(op, [matrix[src][dst] for src in range(self.size)])
+            for dst in range(self.size)
+        ]
+
     # ------------------------------------------------------------------
     # Point-to-point (used by halo exchange)
     # ------------------------------------------------------------------
@@ -269,10 +407,13 @@ class SimComm:
         cost = self.model.point_to_point_s(nbytes, same_node)
         start = max(self._clocks[src].now, self._clocks[dst].now)
         finish = start + cost
-        wait = (start - self._clocks[src].now) + (start - self._clocks[dst].now)
+        src_wait = start - self._clocks[src].now
+        dst_wait = start - self._clocks[dst].now
         self._clocks[src].advance_to(finish)
         self._clocks[dst].advance_to(finish)
-        self.stats.note("sendrecv", nbytes, wait, cost)
+        self.stats.note("sendrecv", nbytes, src_wait + dst_wait, cost)
+        self.stats.note_rank_wait(src, src_wait)
+        self.stats.note_rank_wait(dst, dst_wait)
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:

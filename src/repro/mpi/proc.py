@@ -1,0 +1,315 @@
+"""Process-parallel comm backend: one OS process per simulated rank.
+
+The ``local`` backend runs every rank sequentially inside one Python
+process — an 8-rank Sedov run uses one core, and eight ranks' worth of
+modelled device-busy time serializes on the host. This backend gives
+each rank a real OS process (``fork`` + duplex pipes) plus one shared
+anonymous ``mmap`` arena for ndarray payloads, behind the exact same
+:class:`~repro.mpi.comm.SimComm` collective API:
+
+* **Virtual-time semantics are unchanged.** Collectives still advance
+  every participant to ``max(rank times) + modelled latency`` — that
+  arithmetic is pure bookkeeping and stays where the clocks live, so a
+  run under this backend is bit-identical to the ``local`` backend in
+  every virtual observable (clock times, energy totals, dt history,
+  comm stats).
+* **Host wall time is where the parallelism lands.** Modelled per-rank
+  device-busy time is *paced* concurrently (every rank worker sleeps
+  its own share simultaneously instead of back-to-back), and large
+  float64 reduction payloads are summed slice-parallel in the workers
+  through the shared arena. Slicing an elementwise sum never reorders
+  any element's additions, so the reduced array is bit-identical to the
+  single-process ``functools.reduce`` result.
+* **Failure is detected, not hung.** Every dispatch round polls the
+  worker pipes with a deadline and checks liveness; a SIGKILLed rank
+  raises :class:`RankDied` (classified transient by the campaign
+  layer, like a Slurm preemption) instead of blocking forever.
+
+Workers are stateless compute servers: the team can be torn down and
+lazily respawned at any time (arena growth, shutdown between runs)
+without touching simulation state.
+"""
+
+from __future__ import annotations
+
+import mmap
+import os
+import time
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from .comm import CommBackend, MpiError
+
+#: Default shared-arena capacity (bytes); grows by respawn on demand.
+DEFAULT_ARENA_BYTES = 8 * 1024 * 1024
+
+#: Smallest ndarray (elements) worth routing through the shared arena;
+#: below this the pipe round-trip costs more than the sum saves.
+ARRAY_REDUCE_MIN_ELEMENTS = 256
+
+#: Seconds a worker may stay silent before it is declared dead.
+DEFAULT_REPLY_TIMEOUT_S = 60.0
+
+
+class RankDied(MpiError):
+    """A rank worker process died (or stopped responding) mid-run."""
+
+    def __init__(self, rank: int, reason: str) -> None:
+        super().__init__(f"rank {rank} worker died: {reason}")
+        self.rank = rank
+        self.reason = reason
+
+
+def _worker_main(rank: int, conn, arena: mmap.mmap) -> None:
+    """Rank worker loop: serve pace/sum/ping commands until stopped."""
+    buf = np.frombuffer(arena, dtype=np.float64)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            break
+        cmd = msg[0]
+        if cmd == "pace":
+            seconds = msg[1]
+            if seconds > 0.0:
+                time.sleep(seconds)
+            conn.send(("ok", rank))
+        elif cmd == "sum":
+            # Sum n_contribs stacked arena blocks of `count` float64s
+            # into the output block, over this rank's [lo, hi) slice.
+            # Accumulation order over contributions matches the
+            # parent's functools.reduce(np.add, ...) exactly.
+            _, n_contribs, count, lo, hi = msg
+            acc = np.copy(buf[lo:hi])
+            for k in range(1, n_contribs):
+                acc += buf[k * count + lo:k * count + hi]
+            buf[n_contribs * count + lo:n_contribs * count + hi] = acc
+            conn.send(("ok", rank))
+        elif cmd == "ping":
+            conn.send(("ok", rank))
+        elif cmd == "stop":
+            conn.send(("ok", rank))
+            break
+        else:  # pragma: no cover - protocol bug guard
+            conn.send(("error", rank, f"unknown command {cmd!r}"))
+
+
+class ProcessTeam:
+    """A fleet of rank worker processes sharing one mmap arena."""
+
+    def __init__(
+        self,
+        n_ranks: int,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+        reply_timeout_s: float = DEFAULT_REPLY_TIMEOUT_S,
+    ) -> None:
+        import multiprocessing as mp
+
+        try:
+            ctx = mp.get_context("fork")
+        except ValueError as exc:  # pragma: no cover - non-POSIX hosts
+            raise MpiError(
+                "the process backend needs the fork start method"
+            ) from exc
+        self.n_ranks = n_ranks
+        self.arena_bytes = arena_bytes
+        self.reply_timeout_s = reply_timeout_s
+        # Anonymous shared mapping: inherited by fork, no named segment
+        # to leak or for a resource tracker to double-unlink.
+        self.arena = mmap.mmap(-1, arena_bytes)
+        self.view = np.frombuffer(self.arena, dtype=np.float64)
+        self._conns = []
+        self._procs = []
+        for rank in range(n_ranks):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            proc = ctx.Process(
+                target=_worker_main,
+                args=(rank, child_conn, self.arena),
+                name=f"repro-rank-{rank}",
+                daemon=False,
+            )
+            proc.start()
+            # Drop the parent's copy of the child end so a dead worker
+            # surfaces as EOF instead of a silent stall.
+            child_conn.close()
+            self._conns.append(parent_conn)
+            self._procs.append(proc)
+
+    # -- protocol ------------------------------------------------------------
+
+    def _send(self, rank: int, msg) -> None:
+        try:
+            self._conns[rank].send(msg)
+        except (BrokenPipeError, OSError) as exc:
+            raise RankDied(rank, f"pipe closed ({exc})") from None
+
+    def _recv(self, rank: int):
+        conn = self._conns[rank]
+        proc = self._procs[rank]
+        deadline = time.monotonic() + self.reply_timeout_s
+        while True:
+            try:
+                if conn.poll(0.05):
+                    return conn.recv()
+            except (EOFError, OSError):
+                raise RankDied(rank, "connection lost") from None
+            if not proc.is_alive():
+                raise RankDied(
+                    rank, f"process exited with code {proc.exitcode}"
+                )
+            if time.monotonic() > deadline:
+                raise RankDied(
+                    rank,
+                    f"no reply within {self.reply_timeout_s:.0f}s",
+                )
+
+    def _round(self, messages: Sequence) -> None:
+        """One dispatch round: send to all ranks, collect all replies.
+
+        The rank-ordered send/recv loop is the barrier — no worker's
+        result is consumed before every worker has answered.
+        """
+        for rank, msg in enumerate(messages):
+            self._send(rank, msg)
+        for rank in range(self.n_ranks):
+            self._recv(rank)
+
+    # -- commands ------------------------------------------------------------
+
+    def pace(self, seconds: Sequence[float]) -> float:
+        if len(seconds) != self.n_ranks:
+            raise MpiError("pace needs one busy time per rank")
+        t0 = time.perf_counter()
+        self._round([("pace", float(s)) for s in seconds])
+        return time.perf_counter() - t0
+
+    def ping(self) -> None:
+        self._round([("ping",)] * self.n_ranks)
+
+    def reduce_sum(self, arrays: Sequence[np.ndarray]) -> np.ndarray:
+        """Elementwise sum of equal-shape float64 arrays, slice-parallel."""
+        count = arrays[0].size
+        shape = arrays[0].shape
+        n_contribs = len(arrays)
+        needed = (n_contribs + 1) * count
+        if needed > self.view.size:
+            raise MpiError("arena too small for reduction payload")
+        for k, arr in enumerate(arrays):
+            self.view[k * count:(k + 1) * count] = arr.ravel()
+        # Contiguous slice per rank; trailing ranks may get empty slices.
+        bounds = np.linspace(0, count, self.n_ranks + 1).astype(np.int64)
+        self._round([
+            ("sum", n_contribs, count, int(bounds[r]), int(bounds[r + 1]))
+            for r in range(self.n_ranks)
+        ])
+        out = np.copy(self.view[n_contribs * count:needed])
+        return out.reshape(shape)
+
+    def pids(self) -> List[int]:
+        return [proc.pid for proc in self._procs]
+
+    def shutdown(self) -> None:
+        for rank in range(self.n_ranks):
+            try:
+                self._conns[rank].send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for proc in self._procs:
+            proc.join(timeout=2.0)
+            if proc.is_alive():  # pragma: no cover - stuck worker
+                proc.terminate()
+                proc.join(timeout=2.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._conns = []
+        self._procs = []
+        self.view = None
+        self.arena.close()
+
+
+class ProcessBackend(CommBackend):
+    """``process`` comm backend: rank work on real OS processes.
+
+    Lazily spawns its :class:`ProcessTeam` on first use so building a
+    cluster stays cheap and a shut-down backend transparently restarts
+    (workers are stateless). ``reduce_arrays`` grows the arena by
+    respawning the team when a payload outsizes it.
+    """
+
+    name = "process"
+    parallel = True
+
+    def __init__(
+        self,
+        n_ranks: int,
+        arena_bytes: int = DEFAULT_ARENA_BYTES,
+        reply_timeout_s: float = DEFAULT_REPLY_TIMEOUT_S,
+    ) -> None:
+        if n_ranks < 1:
+            raise MpiError("need at least one rank")
+        self.n_ranks = n_ranks
+        self.arena_bytes = arena_bytes
+        self.reply_timeout_s = reply_timeout_s
+        self._team: Optional[ProcessTeam] = None
+
+    @property
+    def team(self) -> ProcessTeam:
+        if self._team is None:
+            self.start()
+        return self._team
+
+    def start(self) -> None:
+        if self._team is None:
+            self._team = ProcessTeam(
+                self.n_ranks,
+                arena_bytes=self.arena_bytes,
+                reply_timeout_s=self.reply_timeout_s,
+            )
+
+    def shutdown(self) -> None:
+        if self._team is not None:
+            self._team.shutdown()
+            self._team = None
+
+    @property
+    def started(self) -> bool:
+        return self._team is not None
+
+    def pace(self, seconds: Sequence[float]) -> float:
+        """Pace all ranks' busy times concurrently (wall ~= max, not sum)."""
+        return self.team.pace(seconds)
+
+    def check_alive(self) -> None:
+        """Barrier ping; raises :class:`RankDied` on a lost worker."""
+        self.team.ping()
+
+    def worker_pids(self) -> List[int]:
+        return self.team.pids()
+
+    def can_reduce(self, values: Sequence) -> bool:
+        """True when a payload qualifies for the shared-arena sum path."""
+        if not values:
+            return False
+        first = values[0]
+        if not isinstance(first, np.ndarray) or first.dtype != np.float64:
+            return False
+        if first.size < ARRAY_REDUCE_MIN_ELEMENTS:
+            return False
+        return all(
+            isinstance(v, np.ndarray)
+            and v.dtype == np.float64
+            and v.shape == first.shape
+            for v in values
+        )
+
+    def reduce_arrays(self, values: Sequence[np.ndarray]) -> np.ndarray:
+        needed_bytes = (len(values) + 1) * values[0].size * 8
+        if needed_bytes > self.arena_bytes:
+            # Stateless workers: grow by respawn with headroom.
+            self.arena_bytes = int(needed_bytes * 1.5)
+            self.shutdown()
+        return self.team.reduce_sum(values)

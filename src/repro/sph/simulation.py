@@ -122,6 +122,16 @@ class Simulation:
         initialization — covering exactly the instrumented window — and
         stops when the run finishes. When ``None`` — the default — no
         monitoring happens and the run is unchanged.
+    pace_scale:
+        Host pacing of modelled device time. When positive, each step
+        function's per-rank GPU busy time (virtual seconds) is slept on
+        the host, scaled by this factor, through the cluster's comm
+        backend: the ``local`` backend serializes the sleeps (eight
+        ranks cost eight shares of wall clock, like the rest of the
+        single-process fiction), the ``process`` backend overlaps them
+        on real rank processes. ``0.0`` — the default — paces nothing
+        and leaves wall-clock behaviour exactly as before. Pacing never
+        touches virtual state: results are bit-identical at any scale.
     """
 
     def __init__(
@@ -136,6 +146,7 @@ class Simulation:
         resilience: Optional[ResilienceConfig] = None,
         faults: Optional[FaultInjector] = None,
         monitor=None,
+        pace_scale: float = 0.0,
     ) -> None:
         self.cluster = cluster
         self.workload_name = workload_name
@@ -192,6 +203,9 @@ class Simulation:
                 monitor.bind_cluster(cluster, controller=self.controller)
             else:
                 monitor.bind_controller(self.controller)
+        if pace_scale < 0.0:
+            raise ValueError("pace_scale must be >= 0")
+        self.pace_scale = pace_scale
         self.dt_history: List[float] = []
         self._initialized = False
 
@@ -265,6 +279,46 @@ class Simulation:
                 )
         steps_done = resumed_from
         preempted = False
+        try:
+            return self._run_loop(
+                n_steps,
+                steps_done,
+                preempted,
+                resumed_from,
+                checkpoints_written,
+                injected,
+                checkpoint_every=checkpoint_every,
+                checkpoint_path=checkpoint_path,
+                checkpoint_fingerprint=checkpoint_fingerprint,
+                on_step=on_step,
+            )
+        finally:
+            # Rank worker processes never outlive the run (they respawn
+            # lazily if the same simulation runs again).
+            self.cluster.comm.backend.shutdown()
+
+    def shutdown(self) -> None:
+        """Tear down the comm backend's rank workers (idempotent).
+
+        Needed by callers that drive :meth:`_run_step` directly instead
+        of going through :meth:`run` (which tears down on exit).
+        """
+        self.cluster.comm.backend.shutdown()
+
+    def _run_loop(
+        self,
+        n_steps: int,
+        steps_done: int,
+        preempted: bool,
+        resumed_from: int,
+        checkpoints_written: int,
+        injected,
+        *,
+        checkpoint_every: int,
+        checkpoint_path: Optional[str],
+        checkpoint_fingerprint: Optional[str],
+        on_step: Optional[Callable[[int], None]],
+    ) -> SimulationResult:
         with injected if injected is not None else nullcontext():
             if resumed_from == 0:
                 self.initialize()
@@ -362,7 +416,14 @@ class Simulation:
         profiler measurements) — a checkpoint must never capture a
         half-executed step.
         """
+        backend = self.cluster.comm.backend
+        if backend.parallel and getattr(backend, "started", False):
+            # Per-rank state is gathered through the backend: a snapshot
+            # is refused while any rank worker is dead (RankDied), so a
+            # checkpoint can never capture a half-crashed team.
+            backend.check_alive()
         state: Dict[str, object] = {
+            "comm_backend": backend.name,
             "workload": self.workload_name,
             "policy": self.policy.name,
             "n_steps": int(n_steps),
@@ -489,10 +550,22 @@ class Simulation:
             self.hooks.fire_before(fn.name, rank)
 
         # Per-rank GPU work (each rank advances its own clock).
+        pace = self.pace_scale > 0.0
+        busy: Optional[List[float]] = [] if pace else None
         for rank in range(n_ranks):
             gpu = self.cluster.gpu_of_rank(rank)
+            clock = self.cluster.clocks[rank]
+            before = clock.now
             for launch in self.workloads[rank].launches_for(fn.name):
                 gpu.execute(launch)
+            if pace:
+                busy.append(clock.now - before)
+
+        # Pace the modelled busy time on the host: serial under the
+        # local backend, overlapped across rank processes under the
+        # process backend. Purely wall-clock — no virtual state moves.
+        if pace:
+            comm.backend.pace([b * self.pace_scale for b in busy])
 
         # Real numerics (no simulated-time cost: the GPU model carries it).
         if self.numeric is not None:
@@ -629,6 +702,7 @@ def run_instrumented(
     restore_from: Optional[str] = None,
     checkpoint_fingerprint: Optional[str] = None,
     on_step: Optional[Callable[[int], None]] = None,
+    pace_scale: float = 0.0,
 ) -> SimulationResult:
     """Convenience wrapper: build, initialize and run a simulation."""
     sim = Simulation(
@@ -642,6 +716,7 @@ def run_instrumented(
         resilience=resilience,
         faults=faults,
         monitor=monitor,
+        pace_scale=pace_scale,
     )
     return sim.run(
         n_steps,

@@ -5,7 +5,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.hardware import VirtualClock
-from repro.mpi import CommModel, MpiError, SimComm
+from repro.mpi import CommModel, LocalBackend, MpiError, SimComm, make_backend
 
 
 def _comm(n=4, node_of_rank=None):
@@ -119,6 +119,82 @@ def test_multi_node_detection():
 def test_empty_comm_rejected():
     with pytest.raises(MpiError):
         SimComm([])
+
+
+def test_reduce_scatter_column_sums():
+    comm, clocks = _comm(4)
+    matrix = [[float(src * 10 + dst) for dst in range(4)] for src in range(4)]
+    out = comm.reduce_scatter(matrix)
+    # rank dst receives sum over src of matrix[src][dst]
+    assert out == [60.0, 64.0, 68.0, 72.0]
+    assert comm.stats.calls["reduce_scatter"] == 1
+    assert max(c.now for c in clocks) > 0.0
+
+
+def test_reduce_scatter_custom_op_and_shape_check():
+    comm, _ = _comm(2)
+    assert comm.reduce_scatter([[3.0, 1.0], [2.0, 4.0]], op=min) == [2.0, 1.0]
+    with pytest.raises(MpiError):
+        comm.reduce_scatter([[1.0], [2.0]])  # row shorter than n_ranks
+    with pytest.raises(MpiError):
+        comm.reduce_scatter([[1.0, 2.0]])  # missing a contributor
+
+
+def test_reduce_scatter_costs_more_than_allreduce():
+    comm_a, clocks_a = _comm(4)
+    comm_b, clocks_b = _comm(4)
+    comm_a.allreduce([1.0] * 4)
+    comm_b.reduce_scatter([[1.0] * 4] * 4)
+    assert max(c.now for c in clocks_b) > max(c.now for c in clocks_a)
+
+
+def test_alltoall_stats_accounting():
+    comm, _ = _comm(3)
+    comm.alltoall([[b"x" * 10] * 3 for _ in range(3)])
+    assert comm.stats.calls["alltoall"] == 1
+    assert comm.stats.bytes_moved > 0
+
+
+def test_per_rank_wait_accounting():
+    comm, clocks = _comm(3)
+    clocks[0].advance(2.0)
+    comm.barrier()
+    waits = comm.stats.rank_wait_s
+    assert len(waits) == 3
+    assert waits[0] == 0.0  # the late rank never waits
+    assert waits[1] == pytest.approx(2.0)
+    assert waits[2] == pytest.approx(2.0)
+    assert comm.stats.sync_wait_s == pytest.approx(sum(waits))
+
+
+def test_stats_state_roundtrip_keeps_rank_waits():
+    comm, clocks = _comm(2)
+    clocks[1].advance(1.0)
+    comm.barrier()
+    state = comm.stats.state_dict()
+    comm2, _ = _comm(2)
+    comm2.stats.restore_state(state)
+    assert comm2.stats.rank_wait_s == comm.stats.rank_wait_s
+    # Old checkpoints predate per-rank waits: restore must tolerate it.
+    del state["rank_wait_s"]
+    comm2.stats.restore_state(state)
+    assert comm2.stats.rank_wait_s == []
+
+
+def test_make_backend_selects_and_rejects():
+    assert isinstance(make_backend("local", 2), LocalBackend)
+    backend = make_backend("process", 2)
+    assert backend.name == "process" and backend.parallel
+    with pytest.raises(MpiError):
+        make_backend("threads", 2)
+
+
+def test_local_backend_paces_serially():
+    backend = LocalBackend()
+    assert not backend.parallel
+    wall = backend.pace([0.0, 0.0, 0.0])
+    assert wall >= 0.0
+    backend.shutdown()  # no-op, must not raise
 
 
 @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=8))

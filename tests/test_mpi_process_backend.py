@@ -1,0 +1,180 @@
+"""Process backend: equivalence with local, parallel reduce, rank death.
+
+The contract under test is the one the campaign layer relies on:
+virtual-time results are **bit-identical** between the ``local`` and
+``process`` backends (and at any ``pace_scale``), shared-memory array
+reductions reproduce the serial fold to the last bit, and a killed rank
+worker surfaces promptly as a transient :class:`RankDied` instead of a
+hang.
+"""
+
+import functools
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.campaign.worker import classify_error
+from repro.hardware import VirtualClock
+from repro.mpi import RankDied, SimComm, make_backend
+from repro.sph import NumericProblem, Simulation
+from repro.sph.init import SedovConfig, make_sedov, make_sedov_eos
+from repro.systems import Cluster, mini_hpc
+
+N_RANKS = 8
+NSIDE = 6
+STEPS = 2
+
+
+def _run_sedov(
+    comm_backend,
+    pace_scale=0.0,
+    steps=STEPS,
+    checkpoint_every=0,
+    checkpoint_path=None,
+    restore_from=None,
+):
+    """One seeded Sedov run; returns its complete virtual-state snapshot."""
+    cfg = SedovConfig(nside=NSIDE, blast_energy=1.0, seed=11)
+    particles = make_sedov(cfg)
+    cluster = Cluster(mini_hpc(), N_RANKS, comm_backend=comm_backend)
+    try:
+        problem = NumericProblem(
+            particles=particles,
+            n_ranks=N_RANKS,
+            eos=make_sedov_eos(cfg),
+            box_size=cfg.box_size,
+            skin=0.0,
+        )
+        sim = Simulation(
+            cluster,
+            "SedovBlast",
+            n_particles_per_rank=particles.n / N_RANKS,
+            numeric=problem,
+            pace_scale=pace_scale,
+        )
+        result = sim.run(
+            steps,
+            checkpoint_every=checkpoint_every,
+            checkpoint_path=checkpoint_path,
+            restore_from=restore_from,
+        )
+        return {
+            "clocks": [c.now for c in cluster.clocks],
+            "dt_history": list(sim.dt_history),
+            "gpu_energy_j": result.gpu_energy_j,
+            "report": result.report.to_dict(),
+        }
+    finally:
+        cluster.detach_management_library()
+
+
+def test_backends_bit_identical_and_pacing_invariant():
+    local = _run_sedov("local")
+    process = _run_sedov("process")
+    paced = _run_sedov("process", pace_scale=0.05)
+    # Not approx-equal: the backends share every virtual-time code path,
+    # so the runs must agree to the last bit, pacing included.
+    assert process == local
+    assert paced == local
+
+
+def test_shared_memory_reduce_is_bit_exact():
+    rng = np.random.default_rng(7)
+    arrays = [rng.standard_normal(1500) * 1e3 for _ in range(4)]
+    expected = functools.reduce(np.add, [a.copy() for a in arrays])
+    backend = make_backend("process", 4)
+    try:
+        assert backend.can_reduce(arrays)
+        out = backend.reduce_arrays([a.copy() for a in arrays])
+        assert out.tobytes() == expected.tobytes()
+    finally:
+        backend.shutdown()
+
+
+def test_simcomm_allreduce_matches_across_backends():
+    rng = np.random.default_rng(3)
+    arrays = [rng.standard_normal(600) for _ in range(4)]
+
+    def reduce_with(name):
+        clocks = [VirtualClock() for _ in range(4)]
+        comm = SimComm(clocks, backend=make_backend(name, 4))
+        try:
+            return comm.allreduce([a.copy() for a in arrays])
+        finally:
+            comm.backend.shutdown()
+
+    assert reduce_with("process").tobytes() == reduce_with("local").tobytes()
+
+
+def test_killed_rank_raises_rank_died_not_hang():
+    backend = make_backend("process", 2)
+    try:
+        backend.start()
+        os.kill(backend.worker_pids()[0], signal.SIGKILL)
+        t0 = time.perf_counter()
+        with pytest.raises(RankDied) as excinfo:
+            backend.pace([0.01, 0.01])
+        assert time.perf_counter() - t0 < 30.0
+        assert excinfo.value.rank == 0
+        assert classify_error(excinfo.value) == "transient"
+    finally:
+        backend.shutdown()
+
+
+def test_shutdown_idempotent_and_lazy_respawn():
+    backend = make_backend("process", 2)
+    backend.start()
+    assert backend.started
+    backend.shutdown()
+    backend.shutdown()  # second teardown must be a no-op
+    assert not backend.started
+    # Lazy respawn: the next paced round brings a fresh team up.
+    backend.pace([0.0, 0.0])
+    assert backend.started
+    backend.shutdown()
+
+
+def test_checkpoint_roundtrip_across_backends(tmp_path):
+    path = str(tmp_path / "sedov.ckpt")
+    uninterrupted = _run_sedov("local", steps=3)
+    # Write a checkpoint at step 2 under the process backend...
+    _run_sedov("process", steps=3, checkpoint_every=2, checkpoint_path=path)
+    # ...and finish the remaining step under the local backend: the
+    # snapshot format is backend-independent, so the resumed run must
+    # reproduce the uninterrupted one exactly.
+    resumed = _run_sedov("local", steps=3, restore_from=path)
+    assert resumed == uninterrupted
+
+
+def test_state_dict_refuses_snapshot_with_dead_rank():
+    cfg = SedovConfig(nside=NSIDE, blast_energy=1.0, seed=11)
+    particles = make_sedov(cfg)
+    cluster = Cluster(mini_hpc(), N_RANKS, comm_backend="process")
+    try:
+        problem = NumericProblem(
+            particles=particles,
+            n_ranks=N_RANKS,
+            eos=make_sedov_eos(cfg),
+            box_size=cfg.box_size,
+            skin=0.0,
+        )
+        sim = Simulation(
+            cluster,
+            "SedovBlast",
+            n_particles_per_rank=particles.n / N_RANKS,
+            numeric=problem,
+            pace_scale=0.01,
+        )
+        sim.initialize()
+        sim.profiler.open_window()
+        sim._run_step()
+        backend = cluster.comm.backend
+        assert backend.started
+        os.kill(backend.worker_pids()[-1], signal.SIGKILL)
+        with pytest.raises(RankDied):
+            sim.state_dict(n_steps=2, steps_done=1)
+    finally:
+        cluster.detach_management_library()
