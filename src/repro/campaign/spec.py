@@ -22,6 +22,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from ..catalog import is_path_ref, resolve_system
 from ..faults import scenario_names
 from ..sph.workload import resolve_workload
 from ..systems import all_system_names
@@ -195,7 +196,12 @@ class CampaignSpec:
         Clock sweep for unpinned ``static`` policy entries — the Figs.
         6-8 frequency axis.
     systems:
-        Table-I system preset names.
+        System references: catalog entry names (shipped or from
+        ``REPRO_CATALOG_PATH``), legacy Table-I preset names, or
+        ``path:<spec-file>`` references (a bare ``.yaml``/``.json``
+        path also works). A path reference enters run keys as the
+        literal string, so keep it stable (relative to the campaign
+        working directory) if cached results should survive.
     particles:
         Per-rank particle counts (the Fig. 6 problem-size axis).
     seeds:
@@ -271,8 +277,16 @@ class CampaignSpec:
         for c in self.clocks_mhz:
             if c <= 0:
                 raise ValueError("clocks must be positive")
+        # all_system_names() is the single known-systems source shared
+        # with repro.systems.by_name, so catalog-only entries appear in
+        # both error messages. File references are resolved eagerly —
+        # a broken spec file fails at campaign load, not mid-drain in
+        # a worker process.
         known_systems = set(all_system_names())
         for system in self.systems:
+            if is_path_ref(system):
+                resolve_system(system)
+                continue
             if system not in known_systems:
                 raise ValueError(
                     f"unknown system {system!r} "

@@ -1,0 +1,56 @@
+"""Declarative hardware catalog: spec files, loader, calibration.
+
+``repro.catalog`` lets a system be described in a versioned YAML/JSON
+file instead of a Python preset: the loader builds the exact same
+``GpuSpec``/``CpuSpec``/``SystemConfig`` dataclasses, so campaigns,
+the CLI and the service sweep new hardware with zero code changes.
+``repro.catalog.fit`` closes the loop — it fits the power/perf model
+parameters from a measured trace and emits a catalog spec file
+(``repro calibrate``). See ``docs/catalog.md``.
+"""
+
+from .loader import (
+    CATALOG_PATH_ENV,
+    PATH_PREFIX,
+    CatalogEntry,
+    available_entries,
+    build_gpu_spec,
+    build_system,
+    catalog_search_path,
+    is_path_ref,
+    known_system_names,
+    load_payload,
+    load_system,
+    resolve_system,
+    shipped_catalog_dir,
+    spec_payload_from_system,
+    validate_shipped_catalog,
+    write_spec_file,
+)
+from .schema import (
+    CATALOG_SCHEMA_VERSION,
+    SchemaError,
+    validate_system_payload,
+)
+
+__all__ = [
+    "CATALOG_PATH_ENV",
+    "CATALOG_SCHEMA_VERSION",
+    "PATH_PREFIX",
+    "CatalogEntry",
+    "SchemaError",
+    "available_entries",
+    "build_gpu_spec",
+    "build_system",
+    "catalog_search_path",
+    "is_path_ref",
+    "known_system_names",
+    "load_payload",
+    "load_system",
+    "resolve_system",
+    "shipped_catalog_dir",
+    "spec_payload_from_system",
+    "validate_shipped_catalog",
+    "validate_system_payload",
+    "write_spec_file",
+]

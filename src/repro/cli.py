@@ -120,10 +120,47 @@ def _run_once(args, policy: FrequencyPolicy, telemetry=None):
 
 
 def cmd_systems(args) -> int:
+    from .catalog import available_entries, validate_shipped_catalog
+
+    if getattr(args, "validate", False):
+        entries = validate_shipped_catalog()
+        for entry in entries:
+            print(f"OK {entry.name}: {entry.path}")
+        print(f"{len(entries)} shipped spec(s) valid")
+        return 0
+    entries = available_entries()
+    if getattr(args, "json", False):
+        systems = []
+        for name in all_system_names():
+            if name in entries:
+                systems.append(entries[name].to_dict())
+            else:  # preset without a catalog file (defensive)
+                system = by_name(name)
+                gpu = system.gpu_spec()
+                systems.append({
+                    "name": name,
+                    "source": None,
+                    "schema": None,
+                    "vendor": gpu.vendor,
+                    "gpu": gpu.name,
+                    "clock_mhz": [to_mhz(gpu.min_clock_hz),
+                                  to_mhz(gpu.max_clock_hz)],
+                    "ranks_per_node": system.ranks_per_node,
+                    "pmt_backend": system.pmt_backend,
+                    "slurm_energy_plugin": system.slurm_energy_plugin,
+                    "description": "",
+                    "origin": "builtin",
+                })
+        print(json.dumps(
+            {"schema": 1, "kind": "system-catalog", "systems": systems},
+            indent=1, sort_keys=True,
+        ))
+        return 0
     rows = []
     for name in all_system_names():
         system = by_name(name)
         gpu = system.gpu_spec()
+        entry = entries.get(name)
         rows.append(
             [
                 name,
@@ -132,17 +169,163 @@ def cmd_systems(args) -> int:
                 system.pmt_backend,
                 system.slurm_energy_plugin,
                 "yes" if system.allow_user_freq_control else "no",
+                entry.origin if entry else "builtin",
             ]
         )
     print(
         render_table(
             ["system", "GPUs per node", "max clock [MHz]", "PMT backend",
-             "Slurm energy plugin", "user clock control"],
+             "Slurm energy plugin", "user clock control", "catalog"],
             rows,
-            title="available Table-I systems",
+            title="available systems (Table I presets + catalog)",
         )
     )
     return 0
+
+
+def cmd_calibrate_sweep(args) -> int:
+    from .catalog.fit import run_calibration_sweep
+
+    system = by_name(args.system)
+    clocks = None
+    if args.clocks:
+        clocks = [float(c) for c in args.clocks.split(",") if c.strip()]
+    result = run_calibration_sweep(
+        system,
+        args.out_dir,
+        clocks_mhz=clocks,
+        period_s=args.period,
+        window_s=args.window,
+    )
+    print(
+        f"swept {result.system}: {result.n_probes} probe windows across "
+        f"{len(result.clocks_mhz)} clocks "
+        f"({', '.join(f'{c:.0f}' for c in result.clocks_mhz)} MHz), "
+        f"{result.elapsed_s:.2f} simulated s"
+    )
+    print(f"trace    : {result.trace_path}")
+    print(f"pmt dump : {result.dump_path}")
+    print(f"schedule : {result.schedule_path}")
+    return 0
+
+
+def cmd_calibrate_fit(args) -> int:
+    from .catalog import write_spec_file
+    from .catalog.fit import (
+        fit_from_dump,
+        fit_from_trace,
+        fit_to_spec_payload,
+    )
+
+    if args.trace:
+        fit = fit_from_trace(args.trace)
+    elif args.dump:
+        if not args.schedule:
+            raise SystemExit("--dump requires --schedule (the sweep sidecar)")
+        fit = fit_from_dump(args.dump, args.schedule)
+    else:
+        raise SystemExit("provide --trace, or --dump with --schedule")
+    if args.json:
+        print(json.dumps(
+            {"schema": 1, "kind": "calibration-fit", **fit.to_dict()},
+            indent=1, sort_keys=True,
+        ))
+    else:
+        rows = [
+            ["P_idle [W]", f"{fit.idle_power_w:.2f}"],
+            ["P_dyn [W]", f"{fit.dynamic_power_w:.2f}"],
+            ["alpha", f"{fit.power_exponent:.4f}"],
+            ["FP64 peak [GFLOP/s]", f"{fit.fp_throughput / 1e9:.1f}"],
+            ["mem BW [GB/s]", f"{fit.mem_bandwidth / 1e9:.1f}"],
+        ]
+        for k in fit.kernels:
+            rows.append([
+                f"{k.name} eff / kappa",
+                f"{k.efficiency:.3f} / {k.compute_fraction_max:.3f}",
+            ])
+        print(render_table(
+            ["parameter", "fitted value"], rows,
+            title=f"calibration fit: {fit.gpu_name or fit.system} "
+                  f"({fit.n_windows} windows, "
+                  f"{len(fit.clocks_mhz)} clocks)",
+        ))
+    if args.out:
+        base = by_name(args.base_system) if args.base_system else None
+        if base is None:
+            raise SystemExit(
+                "--out requires --base-system (CPU/node/measurement "
+                "sections are inherited from it)"
+            )
+        payload = fit_to_spec_payload(fit, base, name=args.name)
+        write_spec_file(args.out, payload)
+        print(f"spec written: {args.out}")
+    return 0
+
+
+def _calibrate_smoke(args) -> int:
+    """Sweep + fit round-trip against ground truth; exit 1 on drift."""
+    import tempfile
+
+    from .catalog.fit import (
+        fit_from_dump,
+        fit_from_trace,
+        run_calibration_sweep,
+        verify_fit,
+    )
+
+    power_tol, roofline_tol = 0.02, 0.05
+    system = by_name(args.system)
+    spec = system.gpu_spec()
+    failures = []
+    with tempfile.TemporaryDirectory(prefix="repro-calibrate-") as tmp:
+        result = run_calibration_sweep(system, tmp)
+        fits = {
+            "trace": fit_from_trace(result.trace_path),
+            "dump": fit_from_dump(result.dump_path, result.schedule_path),
+        }
+        for label, fit in fits.items():
+            errors = verify_fit(fit, spec)
+            checks = {
+                "idle_power_w": (errors["idle_power_w"], power_tol),
+                "dynamic_power_w": (errors["dynamic_power_w"], power_tol),
+                "power_exponent": (errors["power_exponent"], power_tol),
+                "fp_throughput": (errors["fp_throughput"], power_tol),
+                "mem_bandwidth": (errors.get("mem_bandwidth", 0.0),
+                                  power_tol),
+            }
+            for name, kerrs in errors.get("kernels", {}).items():
+                for key, err in kerrs.items():
+                    checks[f"{name}.{key}"] = (err, roofline_tol)
+            for key, (err, tol) in checks.items():
+                status = "PASS" if err <= tol else "FAIL"
+                if err > tol:
+                    failures.append(f"{label}:{key}")
+                print(f"{status} {label:5s} {key:40s} "
+                      f"err={err:.2e} tol={tol:.0%}")
+    if failures:
+        print(f"calibration smoke FAILED on {system.name}: "
+              f"{', '.join(failures)}")
+        return 1
+    print(f"calibration smoke passed on {system.name} "
+          f"(power within {power_tol:.0%}, roofline within "
+          f"{roofline_tol:.0%})")
+    return 0
+
+
+CALIBRATE_COMMANDS = {
+    "sweep": cmd_calibrate_sweep,
+    "fit": cmd_calibrate_fit,
+}
+
+
+def cmd_calibrate(args) -> int:
+    if args.smoke:
+        return _calibrate_smoke(args)
+    if not args.calibrate_command:
+        raise SystemExit(
+            "choose a calibrate subcommand (sweep | fit) or pass --smoke"
+        )
+    return CALIBRATE_COMMANDS[args.calibrate_command](args)
 
 
 def cmd_run(args) -> int:
@@ -1036,7 +1219,68 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("systems", help="list the Table-I system presets")
+    systems_p = sub.add_parser(
+        "systems",
+        help="list the known systems (Table-I presets + catalog specs)",
+    )
+    systems_p.add_argument("--json", action="store_true",
+                           help="print a stable machine-readable listing "
+                                "(name, vendor, clocks, source file, "
+                                "schema version)")
+    systems_p.add_argument("--validate", action="store_true",
+                           help="validate every shipped catalog spec file "
+                                "and exit")
+
+    cal_p = sub.add_parser(
+        "calibrate",
+        help="fit model parameters from a measured trace (repro.catalog)",
+    )
+    cal_p.add_argument("--smoke", action="store_true",
+                       help="sweep a simulated device and check the fit "
+                            "recovers its spec (CI gate)")
+    cal_p.add_argument("--system", default="miniHPC",
+                       help="system to smoke-test (with --smoke)")
+    cal_sub = cal_p.add_subparsers(dest="calibrate_command", required=False)
+
+    csweep_p = cal_sub.add_parser(
+        "sweep",
+        help="drive a simulated device through the probe schedule and "
+             "record trace + PMT dump + schedule sidecar",
+    )
+    csweep_p.add_argument("--system", default="miniHPC",
+                          help="system to sweep (see `systems`)")
+    csweep_p.add_argument("--out-dir", required=True,
+                          help="directory for the sweep artifacts")
+    csweep_p.add_argument("--clocks", default=None,
+                          help="comma-separated probe clocks [MHz] "
+                               "(default: 6 bins spanning the clock range)")
+    csweep_p.add_argument("--period", type=float, default=0.01,
+                          help="power sampling period [simulated s]")
+    csweep_p.add_argument("--window", type=float, default=0.2,
+                          help="probe window length [simulated s]; must be "
+                               "a multiple of --period")
+
+    cfit_p = cal_sub.add_parser(
+        "fit",
+        help="fit P_idle/P_dyn/alpha and roofline fractions from sweep "
+             "artifacts; optionally emit a catalog spec file",
+    )
+    cfit_p.add_argument("--trace", default=None,
+                        help="telemetry JSONL trace (self-contained)")
+    cfit_p.add_argument("--dump", default=None,
+                        help="PMT dump file (pairs with --schedule)")
+    cfit_p.add_argument("--schedule", default=None,
+                        help="schedule sidecar JSON from the sweep")
+    cfit_p.add_argument("--json", action="store_true",
+                        help="print the fit as a stable JSON document")
+    cfit_p.add_argument("--out", default=None,
+                        help="write a catalog spec file here "
+                             "(.yaml or .json; requires --base-system)")
+    cfit_p.add_argument("--base-system", default=None,
+                        help="system whose CPU/node/measurement sections "
+                             "the emitted spec inherits")
+    cfit_p.add_argument("--name", default=None,
+                        help="system name of the emitted spec")
 
     def common(p):
         p.add_argument("--system", default="miniHPC",
@@ -1335,6 +1579,7 @@ def build_parser() -> argparse.ArgumentParser:
 
 COMMANDS = {
     "systems": cmd_systems,
+    "calibrate": cmd_calibrate,
     "report": cmd_report,
     "diff": cmd_diff,
     "run": cmd_run,

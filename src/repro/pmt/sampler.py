@@ -114,6 +114,20 @@ class PmtSampler:
         """Is the sampler currently bridging failed reads?"""
         return self._gap_start is not None
 
+    @property
+    def next_tick_s(self) -> float:
+        """Timestamp of the next grid tick the sampler will record.
+
+        The sampling grid accumulates ``period_s`` from the start
+        time, so consumers that want a measurement window to begin
+        exactly on a recorded sample (e.g. the calibration sweep of
+        :mod:`repro.catalog.fit`) should idle the clock up to this
+        instant rather than recompute the grid themselves.
+        """
+        if self._last is None:
+            raise RuntimeError("sampler is not running")
+        return self._last.timestamp_s + self.period_s
+
     def start(self) -> None:
         """Begin sampling (takes an immediate first reading).
 

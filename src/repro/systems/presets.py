@@ -126,14 +126,28 @@ _PRESETS = {
 
 
 def by_name(name: str) -> SystemConfig:
-    """Look up a Table-I system preset by name."""
-    try:
-        return _PRESETS[name]()
-    except KeyError:
-        known = ", ".join(sorted(_PRESETS))
-        raise ValueError(f"unknown system {name!r} (known: {known})") from None
+    """Resolve a system by catalog name, preset name, or spec-file ref.
+
+    Since the hardware catalog landed this is a thin resolver over
+    :func:`repro.catalog.resolve_system`: shipped and user spec files
+    (including ``path:<file>`` references) resolve here, and the four
+    Table-I names return objects field-for-field equal to the Python
+    presets above, so run keys and cached results are unaffected. The
+    catalog import is lazy to keep ``repro.systems`` importable from
+    ``repro.catalog`` without a cycle.
+    """
+    from ..catalog import resolve_system
+
+    return resolve_system(name)
 
 
 def all_system_names() -> tuple:
-    """Names of all Table-I systems."""
-    return tuple(sorted(_PRESETS))
+    """Names of every resolvable system (catalog entries + presets).
+
+    The single source for "known systems" lists in error messages —
+    campaign spec validation and the resolver's unknown-name error
+    both quote this, so catalog-only systems appear in both.
+    """
+    from ..catalog import known_system_names
+
+    return known_system_names()

@@ -1,0 +1,238 @@
+"""Catalog loader and resolver: preset equivalence, stable run keys.
+
+The contract that matters most here is *byte stability*: moving the
+four Table-I presets into catalog files must not change a single
+content-addressed run key, or every previously stored campaign unit
+would be orphaned. The pinned hashes below were computed when the
+presets were still pure Python — they must never change.
+"""
+
+import dataclasses
+import json
+import os
+
+import pytest
+
+from repro.campaign import CampaignSpec, run_campaign
+from repro.catalog import (
+    available_entries,
+    build_system,
+    is_path_ref,
+    known_system_names,
+    load_payload,
+    load_system,
+    resolve_system,
+    shipped_catalog_dir,
+    spec_payload_from_system,
+    validate_shipped_catalog,
+    write_spec_file,
+)
+from repro.systems import all_system_names, by_name
+from repro.systems.presets import _PRESETS
+
+LEGACY_NAMES = ("LUMI-G", "CSCS-A100", "miniHPC", "Aurora-PVC")
+CATALOG_ONLY_NAMES = ("H100-SXM", "GH200-Superchip")
+
+#: Run keys of a fixed two-unit campaign per system, pinned forever.
+PINNED_RUN_KEYS = {
+    "LUMI-G": ("5fc30f57b8ee4950", "10c54cdee7edb74e"),
+    "CSCS-A100": ("a1c680564c3f315f", "e03966e12acef0e4"),
+    "miniHPC": ("e1cd6f7560c70e92", "5b7c60f3f937ad76"),
+    "Aurora-PVC": ("9cde70d2379b147a", "f0777e0c4aa56965"),
+    "H100-SXM": ("1a7e99b9a9a12bf7", "90517669b8408785"),
+    "GH200-Superchip": ("8733b46b66b79261", "49c5c672862de937"),
+}
+
+
+def _stability_spec(system):
+    return CampaignSpec(
+        name="catalog-stability",
+        workloads=("sedov",),
+        policies=({"kind": "baseline"}, {"kind": "static"}),
+        clocks_mhz=(1005.0,),
+        systems=(system,),
+        particles=(30_000.0,),
+        steps=2,
+        seeds=(0,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# preset equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES)
+def test_catalog_file_equals_python_preset(name):
+    preset = _PRESETS[name]()
+    path = os.path.join(shipped_catalog_dir(), f"{name.lower()}.yaml")
+    loaded = load_system(path)
+    assert loaded.gpu_spec() == preset.gpu_spec()
+    for field in dataclasses.fields(type(preset)):
+        if field.name == "gpu_spec_factory":
+            continue
+        assert getattr(loaded, field.name) == getattr(preset, field.name), (
+            f"{name}.{field.name} differs between catalog file and preset"
+        )
+
+
+def test_shipped_catalog_validates_and_constructs():
+    entries = validate_shipped_catalog()
+    names = {e.name for e in entries}
+    assert set(LEGACY_NAMES) <= names
+    assert set(CATALOG_ONLY_NAMES) <= names
+
+
+@pytest.mark.parametrize("name", LEGACY_NAMES + CATALOG_ONLY_NAMES)
+def test_spec_payload_round_trips(name, tmp_path):
+    system = by_name(name)
+    payload = spec_payload_from_system(system)
+    rebuilt = build_system(payload, source=f"<{name}>")
+    assert rebuilt.gpu_spec() == system.gpu_spec()
+    path = str(tmp_path / "spec.yaml")
+    write_spec_file(path, payload)
+    assert load_system(path).gpu_spec() == system.gpu_spec()
+
+
+# ---------------------------------------------------------------------------
+# run-key stability
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("name", sorted(PINNED_RUN_KEYS))
+def test_run_keys_are_pinned(name):
+    units = _stability_spec(name).expand()
+    assert tuple(u.key for u in units) == PINNED_RUN_KEYS[name]
+
+
+# ---------------------------------------------------------------------------
+# resolver
+# ---------------------------------------------------------------------------
+
+
+def test_by_name_resolves_catalog_only_system():
+    system = by_name("H100-SXM")
+    assert system.gpu_spec().name == "NVIDIA H100-SXM5-80GB"
+    assert "H100-SXM" in all_system_names()
+
+
+def test_unknown_name_error_lists_catalog_entries():
+    with pytest.raises(ValueError) as excinfo:
+        by_name("Frontier")
+    message = str(excinfo.value)
+    assert "unknown system 'Frontier'" in message
+    for name in LEGACY_NAMES + CATALOG_ONLY_NAMES:
+        assert name in message
+
+
+def test_path_refs_resolve(tmp_path):
+    payload = spec_payload_from_system(by_name("miniHPC"))
+    payload["name"] = "minihpc-copy"
+    path = str(tmp_path / "copy.yaml")
+    write_spec_file(path, payload)
+    assert is_path_ref(path)
+    assert is_path_ref(f"path:{path}")
+    assert not is_path_ref("miniHPC")
+    assert resolve_system(path).name == "minihpc-copy"
+    assert resolve_system(f"path:{path}").name == "minihpc-copy"
+
+
+def test_user_catalog_dir_shadows_shipped(tmp_path, monkeypatch):
+    payload = spec_payload_from_system(by_name("miniHPC"))
+    payload["description"] = "user override"
+    write_spec_file(str(tmp_path / "minihpc.yaml"), payload)
+    monkeypatch.setenv("REPRO_CATALOG_PATH", str(tmp_path))
+    entries = available_entries()
+    assert entries["miniHPC"].origin == "user"
+    assert entries["miniHPC"].description == "user override"
+    assert "H100-SXM" in entries  # shipped entries still visible
+
+
+def test_known_system_names_is_sorted_union():
+    names = known_system_names()
+    assert list(names) == sorted(names)
+    assert set(LEGACY_NAMES) | set(CATALOG_ONLY_NAMES) <= set(names)
+
+
+# ---------------------------------------------------------------------------
+# campaign integration
+# ---------------------------------------------------------------------------
+
+
+def test_campaign_spec_accepts_catalog_name_and_path_ref(tmp_path):
+    payload = spec_payload_from_system(by_name("miniHPC"))
+    path = str(tmp_path / "site.yaml")
+    write_spec_file(path, payload)
+    spec = _stability_spec("H100-SXM")
+    assert spec.systems == ("H100-SXM",)
+    via_path = _stability_spec(path)
+    assert via_path.systems == (path,)
+
+
+def test_campaign_spec_rejects_unknown_system_with_catalog_list():
+    with pytest.raises(ValueError, match="H100-SXM"):
+        _stability_spec("Frontier")
+
+
+def test_campaign_runs_end_to_end_on_catalog_only_system(tmp_path):
+    from repro.campaign import build_summary
+
+    spec = _stability_spec("H100-SXM")
+    status, store = run_campaign(spec, str(tmp_path / "camp"))
+    assert status.failed == 0
+    assert status.executed == 2
+    assert store.completed_keys() == set(PINNED_RUN_KEYS["H100-SXM"])
+    summary = build_summary(store)
+    assert summary["n_runs"] == 2
+    assert {g["system"] for g in summary["groups"]} == {"H100-SXM"}
+
+
+def test_campaign_runs_via_path_ref(tmp_path):
+    payload = spec_payload_from_system(by_name("miniHPC"))
+    payload["name"] = "site-box"
+    path = str(tmp_path / "site-box.yaml")
+    write_spec_file(path, payload)
+    spec = _stability_spec(path)
+    status, store = run_campaign(spec, str(tmp_path / "camp"))
+    assert status.failed == 0
+    assert status.executed == 2
+
+
+def test_service_runs_catalog_only_campaign(tmp_path):
+    """The control plane accepts and drains a catalog-only system."""
+    import asyncio
+
+    from repro.service import CampaignService, ServiceConfig
+
+    spec_doc = {
+        "schema": 1,
+        "kind": "campaign-spec",
+        "name": "catalog-svc",
+        "systems": ["H100-SXM"],
+        "workloads": ["sedov"],
+        "particles": [30_000.0],
+        "steps": 2,
+        "seeds": [0],
+        "policies": [{"kind": "baseline"}],
+        "clocks_mhz": [1005.0],
+    }
+
+    async def main():
+        service = CampaignService(
+            ServiceConfig(root=str(tmp_path / "service-root"))
+        )
+        await service.start()
+        try:
+            job, created = service.submit("acme", spec_doc)
+            assert created
+            deadline = asyncio.get_running_loop().time() + 60.0
+            while job.state not in ("done", "failed", "cancelled"):
+                assert asyncio.get_running_loop().time() < deadline
+                await asyncio.sleep(0.02)
+            assert job.state == "done"
+            report = service.report(job)
+            assert {g["system"] for g in report["groups"]} == {"H100-SXM"}
+        finally:
+            await service.close()
+
+    asyncio.run(main())

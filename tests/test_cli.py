@@ -262,3 +262,60 @@ def test_faults_run_unknown_scenario_fails_loud():
 def test_help_lists_faults():
     with pytest.raises(SystemExit):
         main(["--help"])
+
+
+# ---------------------------------------------------------------------------
+# catalog: systems listings and calibrate
+# ---------------------------------------------------------------------------
+
+
+def test_systems_json_is_machine_readable(capsys):
+    assert main(["systems", "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == 1
+    assert doc["kind"] == "system-catalog"
+    by_name = {s["name"]: s for s in doc["systems"]}
+    assert "H100-SXM" in by_name
+    entry = by_name["miniHPC"]
+    assert entry["vendor"] == "nvidia"
+    assert entry["clock_mhz"] == [210.0, 1410.0]
+    assert entry["source"].endswith("minihpc.yaml")
+    assert entry["schema"] == 1
+
+
+def test_systems_validate_checks_shipped_catalog(capsys):
+    assert main(["systems", "--validate"]) == 0
+    out = capsys.readouterr().out
+    assert "OK miniHPC" in out
+    assert "spec(s) valid" in out
+
+
+def test_calibrate_sweep_and_fit(tmp_path, capsys):
+    out_dir = str(tmp_path / "sweep")
+    assert main(["calibrate", "sweep", "--system", "miniHPC",
+                 "--out-dir", out_dir]) == 0
+    capsys.readouterr()
+    trace = f"{out_dir}/calibration.trace.jsonl"
+    spec_out = str(tmp_path / "refit.yaml")
+    assert main(["calibrate", "fit", "--trace", trace, "--json",
+                 "--out", spec_out, "--base-system", "miniHPC",
+                 "--name", "minihpc-refit"]) == 0
+    out = capsys.readouterr().out
+    doc = json.loads(out[:out.index("spec written")])
+    assert doc["kind"] == "calibration-fit"
+    assert abs(doc["idle_power_w"] - 45.0) < 1.0
+    from repro.catalog import load_system
+
+    assert load_system(spec_out).name == "minihpc-refit"
+
+
+def test_calibrate_smoke_passes(capsys):
+    assert main(["calibrate", "--smoke"]) == 0
+    out = capsys.readouterr().out
+    assert "calibration smoke passed" in out
+    assert "FAIL" not in out
+
+
+def test_calibrate_without_subcommand_fails_loud():
+    with pytest.raises(SystemExit, match="sweep | fit"):
+        main(["calibrate"])
