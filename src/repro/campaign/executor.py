@@ -204,6 +204,7 @@ class CampaignExecutor:
         should_stop: Optional[Callable[[], bool]] = None,
         inflight: Optional[InFlightRegistry] = None,
         checkpoint_every: int = 0,
+        trace_context: Optional[Any] = None,
     ) -> None:
         if checkpoint_every < 0:
             raise ValueError("checkpoint_every must be >= 0")
@@ -216,6 +217,15 @@ class CampaignExecutor:
         self.inflight = inflight
         #: Worker-side simulation checkpoint cadence (0 = disabled).
         self.checkpoint_every = int(checkpoint_every)
+        #: The campaign's TraceContext. Explicit, or inherited from the
+        #: collector (the service configures tracing on its collector);
+        #: when set, every dispatched unit gets a deterministic child
+        #: context and records per-process trace shards.
+        self.trace_context = (
+            trace_context
+            if trace_context is not None
+            else getattr(telemetry, "context", None)
+        )
         self._t0 = 0.0
         self._heartbeats: Dict[str, Dict[str, Any]] = {}
         self._claimed: Set[str] = set()
@@ -300,6 +310,20 @@ class CampaignExecutor:
     def _beat_path(self, lane: int) -> str:
         return str(self.store.lane_beat_path(lane))
 
+    def _trace_for(self, unit: RunUnit):
+        """(trace dict, shard dir) for one unit — or ``(None, None)``.
+
+        The child context derives from the campaign context by the
+        unit's content-addressed key, so a resubmitted or resumed unit
+        reattaches to the same trace identity deterministically. The
+        context travels as a *call argument*, never inside the unit
+        config, keeping run keys byte-stable.
+        """
+        if self.trace_context is None:
+            return None, None
+        child = self.trace_context.child(f"unit:{unit.key}")
+        return child.to_dict(), str(self.store.unit_trace_dir(unit.key))
+
     # -- outcome handling ----------------------------------------------------
 
     def _handle_outcome(
@@ -369,12 +393,15 @@ class CampaignExecutor:
                     t_start = self._now()
                     self._beat(0, "running", unit=unit.label)
                     self._notify("unit-start", unit, attempts=attempts)
+                    trace, trace_dir = self._trace_for(unit)
                     outcome = run_unit_safe(
                         unit.config(),
                         self.min_unit_wall_s,
                         checkpoint_path=self._checkpoint_path(unit),
                         checkpoint_every=self.checkpoint_every,
                         beat_path=self._beat_path(0),
+                        trace=trace,
+                        trace_dir=trace_dir,
                     )
                     verdict = self._handle_outcome(
                         unit, outcome, attempts, status
@@ -469,6 +496,7 @@ class CampaignExecutor:
                     next_lane += 1
                     self._beat(lane, "running", unit=unit.label)
                     self._notify("unit-start", unit, attempts=attempts)
+                    trace, trace_dir = self._trace_for(unit)
                     future = pool.submit(
                         run_unit_safe,
                         unit.config(),
@@ -476,6 +504,8 @@ class CampaignExecutor:
                         self._checkpoint_path(unit),
                         self.checkpoint_every,
                         self._beat_path(lane),
+                        trace,
+                        trace_dir,
                     )
                     in_flight[future] = (
                         unit, attempts, self._now(), lane, time.time()
@@ -753,5 +783,9 @@ def run_campaign(
     if telemetry is not None:
         from ..telemetry import write_trace_jsonl
 
-        write_trace_jsonl(str(store.trace_path), telemetry.events)
+        context = getattr(telemetry, "context", None)
+        extra = (
+            {"trace_id": context.trace_id} if context is not None else {}
+        )
+        write_trace_jsonl(str(store.trace_path), telemetry.events, **extra)
     return status, store

@@ -44,6 +44,7 @@ HEARTBEATS_NAME = "heartbeats.json"
 RUNS_DIR = "runs"
 CHECKPOINTS_DIR = "checkpoints"
 LANES_DIR = "lanes"
+TRACES_DIR = "traces"
 
 
 class RunStore:
@@ -81,6 +82,34 @@ class RunStore:
     @property
     def heartbeats_path(self) -> Path:
         return self.root / HEARTBEATS_NAME
+
+    # -- distributed traces ----------------------------------------------------
+
+    def unit_trace_dir(self, key: str) -> Path:
+        """Where a unit's per-process trace shards (and merge) live.
+
+        Created lazily, like checkpoints, so untraced campaigns leave
+        the store layout untouched.
+        """
+        directory = self.root / TRACES_DIR
+        directory.mkdir(exist_ok=True)
+        unit_dir = directory / key
+        unit_dir.mkdir(exist_ok=True)
+        return unit_dir
+
+    def has_unit_trace(self, key: str) -> bool:
+        from ..telemetry.profile import MERGED_TRACE_NAME
+
+        return (
+            self.root / TRACES_DIR / key / MERGED_TRACE_NAME
+        ).exists()
+
+    def unit_trace_keys(self) -> Set[str]:
+        """Keys with any trace shard or merge on disk."""
+        directory = self.root / TRACES_DIR
+        if not directory.is_dir():
+            return set()
+        return {p.name for p in directory.iterdir() if p.is_dir()}
 
     # -- checkpoints -----------------------------------------------------------
 

@@ -39,6 +39,12 @@ from ..pmt.base import PowerReadError
 from ..rocm.smi import RocmSmiError
 from ..sph import run_instrumented
 from ..systems import Cluster, by_name
+from ..telemetry import TraceCollector, TraceContext
+from ..telemetry.profile import (
+    merge_shards,
+    merged_trace_path,
+    write_merged_trace,
+)
 from ..units import to_mhz
 from .spec import run_key
 
@@ -166,6 +172,8 @@ def execute_unit(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
     on_step: Optional[Callable[[int], None]] = None,
+    trace: Optional[Mapping[str, Any]] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one campaign unit to completion; raises on failure.
 
@@ -182,6 +190,17 @@ def execute_unit(
     :class:`JobPreempted` — its state *is* durable at the checkpoint,
     so the executor's transient-retry path finishes the remaining
     steps rather than recording a truncated result.
+
+    With ``trace`` (a :class:`~repro.telemetry.TraceContext` dict — the
+    context travels in the *call*, never inside ``config``, so the
+    unit's content-addressed run key is unaffected) the run executes
+    under a :class:`~repro.telemetry.TraceCollector`: per-process
+    shards land in ``trace_dir`` as the run ends and are merged into
+    one clock-aligned ``merged.jsonl`` here; the payload's ``trace``
+    field records the trace id and merged event count. A checkpointed
+    restore keeps the checkpoint's trace identity (same trace id, new
+    span lineage), so a resumed unit stays correlated to the request
+    that first launched it.
     """
     system = by_name(config["system"])
     cluster = Cluster(
@@ -204,6 +223,12 @@ def execute_unit(
                 pass
         else:
             restore_from = checkpoint_path
+    trace_ctx: Optional[TraceContext] = None
+    telemetry: Optional[TraceCollector] = None
+    if trace is not None:
+        trace_ctx = TraceContext.from_dict(trace)
+        telemetry = TraceCollector.for_cluster(cluster)
+        telemetry.configure_tracing(trace_ctx, shard_dir=trace_dir)
     try:
         max_mhz = to_mhz(system.gpu_spec().max_clock_hz)
         policy = build_policy(config["policy"], max_mhz, cluster=cluster)
@@ -222,6 +247,7 @@ def execute_unit(
             float(config["particles"]),
             int(config["steps"]),
             policy=policy,
+            telemetry=telemetry,
             resilience=resilience,
             faults=injector,
             checkpoint_every=checkpoint_every,
@@ -246,6 +272,28 @@ def execute_unit(
         payload["checkpoint"] = "hit" if restore_from is not None else "miss"
     if injector is not None:
         payload["faults"] = injector.summary()
+    if trace_ctx is not None and trace_dir is not None:
+        # Parent-side collection: merge the per-process shards the run
+        # just flushed into one clock-aligned trace. A failed merge
+        # loses the artifact, never the unit's result.
+        try:
+            merged_id, merged_events = merge_shards(trace_dir)
+            write_merged_trace(
+                merged_trace_path(trace_dir),
+                merged_events,
+                trace_id=merged_id,
+            )
+            payload["trace"] = {
+                "trace_id": merged_id or trace_ctx.trace_id,
+                "span_id": trace_ctx.span_id,
+                "events": len(merged_events),
+            }
+        except (OSError, ValueError):
+            payload["trace"] = {
+                "trace_id": trace_ctx.trace_id,
+                "span_id": trace_ctx.span_id,
+                "events": 0,
+            }
     return payload
 
 
@@ -255,6 +303,8 @@ def run_unit_safe(
     checkpoint_path: Optional[str] = None,
     checkpoint_every: int = 0,
     beat_path: Optional[str] = None,
+    trace: Optional[Mapping[str, Any]] = None,
+    trace_dir: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Pool entry point: execute one unit, never raise.
 
@@ -264,7 +314,8 @@ def run_unit_safe(
     ``checkpoint_path``/``checkpoint_every`` enable crash-tolerant
     execution (see :func:`execute_unit`); ``beat_path`` names the lane
     beat file this worker refreshes after every simulation step so the
-    executor's supervision can tell slow from dead.
+    executor's supervision can tell slow from dead. ``trace``/
+    ``trace_dir`` enable distributed tracing (see :func:`execute_unit`).
     """
     t0 = time.perf_counter()
     if checkpoint_path is not None:
@@ -290,6 +341,8 @@ def run_unit_safe(
             checkpoint_path=checkpoint_path,
             checkpoint_every=checkpoint_every,
             on_step=on_step,
+            trace=trace,
+            trace_dir=trace_dir,
         )
     except BaseException as exc:  # noqa: BLE001 - classified, not hidden
         return {

@@ -18,6 +18,10 @@ Gives downstream users the paper's workflow without writing Python::
     python -m repro monitor report --workload sedov --steps 4 \
         --scenario flaky-clocks --out report.html
     python -m repro monitor watch --dir campaigns/fig7
+    python -m repro profile record --spec examples/campaign_fig7.json \
+        --dir campaigns/fig7 --workers 2
+    python -m repro profile critical-path --trace campaigns/fig7/traces/<key>
+    python -m repro profile diff trace_a.jsonl trace_b.jsonl
 
 Every subcommand prints the same report tables the benchmarks use;
 ``trace`` records a structured run trace (Chrome ``trace_event`` JSON
@@ -1203,6 +1207,287 @@ def cmd_monitor(args) -> int:
     return MONITOR_COMMANDS[args.monitor_command](args)
 
 
+def _profile_trace_path(path: str) -> str:
+    """Resolve a trace argument: a merged JSONL file, or a unit trace
+    directory holding one (``traces/<key>/`` of a recorded campaign)."""
+    import os.path
+
+    from .telemetry import merged_trace_path
+
+    if os.path.isdir(path):
+        return str(merged_trace_path(path))
+    return path
+
+
+def cmd_profile_record(args) -> int:
+    """Drain a campaign under one root trace context.
+
+    Every unit derives a child context from the root, every rank
+    process a grandchild; the per-process shards merge into one
+    clock-aligned ``merged.jsonl`` per unit under ``<dir>/traces/``.
+    """
+    if args.smoke:
+        return _profile_smoke(args)
+    if not args.spec or not args.dir:
+        raise SystemExit("--spec and --dir are required (or pass --smoke)")
+
+    from .campaign import CampaignSpec, ExecutorConfig, run_campaign
+    from .telemetry import TraceCollector, mint_context
+
+    spec = CampaignSpec.load(args.spec)
+    config = ExecutorConfig(
+        workers=args.workers,
+        timeout_s=args.timeout,
+        max_retries=args.max_retries,
+        max_units=args.max_units,
+    )
+    collector = TraceCollector(max_events=100_000)
+    context = mint_context(seed=args.seed)
+    collector.configure_tracing(context)
+    status, store = run_campaign(
+        spec, args.dir, config=config, telemetry=collector
+    )
+    print(f"campaign {spec.name!r} traced as {context.trace_id}")
+    print(f"traceparent: {context.to_traceparent()}")
+    print(status.describe())
+    for key in sorted(store.unit_trace_keys()):
+        state = "merged" if store.has_unit_trace(key) else "shards only"
+        print(f"  {key}: {store.unit_trace_dir(key)} ({state})")
+    print(f"campaign trace: {store.trace_path}")
+    return 1 if status.failed else 0
+
+
+def _profile_smoke(args) -> int:
+    """Traced 2-rank x 2-lane campaign + correlation checks; exit 1 on
+    any break in the request-to-rank-process timeline."""
+    import tempfile
+
+    from .campaign import CampaignSpec, ExecutorConfig, run_campaign
+    from .telemetry import (
+        TraceCollector,
+        critical_path,
+        gating_consistent_with_waits,
+        mint_context,
+        read_trace_jsonl,
+    )
+    from .telemetry.profile import RANK_PROCESS_SPAN, merged_trace_path
+
+    spec = CampaignSpec(
+        name="profile-smoke",
+        workloads=("SedovBlast",),
+        particles=(1.0e4,),
+        steps=2,
+        ranks=2,
+        seeds=(0, 1),
+        comm_backend="process",
+    )
+    collector = TraceCollector(max_events=100_000)
+    context = mint_context(seed="profile-smoke")
+    collector.configure_tracing(context)
+    checks: List[tuple] = []
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        status, store = run_campaign(
+            spec, tmp, config=ExecutorConfig(workers=2), telemetry=collector
+        )
+        checks.append(("campaign-clean", status.failed == 0))
+        for unit in spec.expand():
+            key = unit.key
+            merged = store.has_unit_trace(key)
+            checks.append((f"merged-trace:{key}", merged))
+            if not merged:
+                continue
+            events = read_trace_jsonl(
+                str(merged_trace_path(str(store.unit_trace_dir(key))))
+            )
+            ids = {
+                e.args["trace_id"]
+                for e in events
+                if getattr(e, "args", None) and "trace_id" in e.args
+            }
+            checks.append(
+                (f"one-trace-id:{key}", ids == {context.trace_id})
+            )
+            rank_spans = [
+                e for e in events
+                if getattr(e, "name", None) == RANK_PROCESS_SPAN
+            ]
+            checks.append(
+                (
+                    f"rank-process-spans:{key}",
+                    len(rank_spans) == spec.ranks
+                    and all(
+                        s.args.get("parent_span_id") for s in rank_spans
+                    ),
+                )
+            )
+            steps = critical_path(events)
+            checks.append(
+                (f"critical-path:{key}", len(steps) == spec.steps)
+            )
+            payload = store.load_result(key)
+            waits = (
+                payload.get("result", {})
+                .get("report", {})
+                .get("comm", {})
+                or {}
+            ).get("rank_wait_s", [])
+            checks.append(
+                (
+                    f"gating-vs-waits:{key}",
+                    gating_consistent_with_waits(steps, waits),
+                )
+            )
+        failures = []
+        for name, ok in checks:
+            print(f"{'PASS' if ok else 'FAIL'} {name}")
+            if not ok:
+                failures.append(name)
+    if failures:
+        print(f"tracing smoke FAILED: {', '.join(failures)}")
+        return 1
+    print(
+        f"tracing smoke passed ({spec.ranks} ranks x 2 lanes, "
+        f"trace {context.trace_id})"
+    )
+    return 0
+
+
+def cmd_profile_critical_path(args) -> int:
+    """Per-step gating rank of a merged trace."""
+    from .telemetry import critical_path, read_trace_jsonl
+
+    path = _profile_trace_path(args.trace)
+    steps = critical_path(read_trace_jsonl(path))
+    if not steps:
+        raise SystemExit(f"no step-annotated kernel spans in {path}")
+    if args.json:
+        payload = {
+            "schema": 1,
+            "kind": "critical-path",
+            "trace": path,
+            "steps": [
+                {
+                    "step": s.step,
+                    "gating_rank": s.gating_rank,
+                    "arrival_s": s.arrival_s,
+                    "busy_s": s.busy_s,
+                    "slack_s": s.slack_s,
+                }
+                for s in steps
+            ],
+        }
+        print(json.dumps(payload, indent=1, sort_keys=True))
+        return 0
+    rows = [
+        [
+            str(s.step),
+            str(s.gating_rank),
+            f"{max(s.arrival_s.values()):.6g}",
+            f"{max(s.slack_s.values()):.3g}",
+        ]
+        for s in steps
+    ]
+    print(
+        render_table(
+            ["step", "gating rank", "arrival [s]", "max slack [s]"],
+            rows,
+            title=f"critical path of {path}",
+        )
+    )
+    counts: Dict[int, int] = {}
+    for s in steps:
+        counts[s.gating_rank] = counts.get(s.gating_rank, 0) + 1
+    dominant = min(counts, key=lambda r: (-counts[r], r))
+    print(f"\nrank {dominant} gates {counts[dominant]} of {len(steps)} steps")
+    return 0
+
+
+def cmd_profile_flame(args) -> int:
+    """Collapsed-stack flamegraph export of a merged trace."""
+    from .telemetry import (
+        atomic_write_lines,
+        collapsed_stacks,
+        read_trace_jsonl,
+    )
+
+    path = _profile_trace_path(args.trace)
+    lines = collapsed_stacks(read_trace_jsonl(path))
+    if not lines:
+        raise SystemExit(f"no kernel spans in {path}")
+    if args.out:
+        atomic_write_lines(args.out, lines)
+        print(
+            f"{len(lines)} collapsed stacks written to {args.out} "
+            "(feed to flamegraph.pl or speedscope)"
+        )
+        return 0
+    for line in lines:
+        print(line)
+    return 0
+
+
+def cmd_profile_diff(args) -> int:
+    """Per-function regression diff of two merged traces (B vs A)."""
+    from .telemetry import diff_traces, read_trace_jsonl
+
+    a_events = read_trace_jsonl(_profile_trace_path(args.baseline))
+    b_events = read_trace_jsonl(_profile_trace_path(args.candidate))
+    result = diff_traces(a_events, b_events, threshold=args.threshold)
+    if args.json:
+        print(
+            json.dumps(
+                {"schema": 1, "kind": "trace-diff", **result},
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        rows = []
+        for row in result["functions"]:
+            delta = row["delta_frac"]
+            rows.append(
+                [
+                    row["function"],
+                    f"{row['time_a_s']:.6g}",
+                    f"{row['time_b_s']:.6g}",
+                    "new" if delta == float("inf") else f"{100 * delta:+.1f}%",
+                    "REGRESSED" if row["regressed"] else "",
+                ]
+            )
+        print(
+            render_table(
+                ["function", "A [s]", "B [s]", "delta", ""],
+                rows,
+                title="per-function trace diff (B vs A)",
+            )
+        )
+        total = result["total_delta_frac"]
+        total_txt = (
+            "new" if total == float("inf") else f"{100 * total:+.2f}%"
+        )
+        print(
+            f"\ntotal: {result['total_a_s']:.6g} s -> "
+            f"{result['total_b_s']:.6g} s ({total_txt}, "
+            f"threshold {result['threshold']:.0%})"
+        )
+    if result["regressions"]:
+        print(f"REGRESSIONS: {', '.join(result['regressions'])}")
+        return 1
+    return 0
+
+
+PROFILE_COMMANDS = {
+    "record": cmd_profile_record,
+    "critical-path": cmd_profile_critical_path,
+    "flame": cmd_profile_flame,
+    "diff": cmd_profile_diff,
+}
+
+
+def cmd_profile(args) -> int:
+    return PROFILE_COMMANDS[args.profile_command](args)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -1574,6 +1859,67 @@ def build_parser() -> argparse.ArgumentParser:
     mwatch_p.add_argument("--stall-after", type=float, default=120.0,
                           help="heartbeat age that counts as a stall [s]")
 
+    prof_p = sub.add_parser(
+        "profile",
+        help="distributed tracing & profiling: merged per-unit traces, "
+             "critical path, flamegraphs, regression diffs "
+             "(repro.telemetry.profile)",
+    )
+    prof_sub = prof_p.add_subparsers(dest="profile_command", required=True)
+
+    prec_p = prof_sub.add_parser(
+        "record",
+        help="drain a campaign under one root trace context; one merged "
+             "clock-aligned trace per unit under <dir>/traces/",
+    )
+    prec_p.add_argument("--spec", default=None,
+                        help="campaign spec JSON (see docs/campaigns.md)")
+    prec_p.add_argument("--dir", default=None,
+                        help="campaign directory (run store)")
+    prec_p.add_argument("--workers", type=int, default=1,
+                        help="parallel worker processes (1 = serial)")
+    prec_p.add_argument("--timeout", type=float, default=None,
+                        help="per-unit wall-clock timeout [s]")
+    prec_p.add_argument("--max-retries", type=int, default=2,
+                        help="retries per unit after transient failures")
+    prec_p.add_argument("--max-units", type=int, default=None,
+                        help="execute at most N missing units (smoke tests)")
+    prec_p.add_argument("--seed", default=None,
+                        help="trace-context seed (same seed = same trace "
+                             "id; default: random)")
+    prec_p.add_argument("--smoke", action="store_true",
+                        help="self-contained 2-rank x 2-lane traced "
+                             "campaign + correlation checks (CI gate)")
+
+    pcp_p = prof_sub.add_parser(
+        "critical-path",
+        help="per-step gating rank of a merged trace",
+    )
+    pcp_p.add_argument("--trace", required=True,
+                       help="merged trace JSONL (or a unit trace directory)")
+    pcp_p.add_argument("--json", action="store_true",
+                       help="print a stable machine-readable JSON document")
+
+    pfl_p = prof_sub.add_parser(
+        "flame",
+        help="collapsed-stack flamegraph export of a merged trace",
+    )
+    pfl_p.add_argument("--trace", required=True,
+                       help="merged trace JSONL (or a unit trace directory)")
+    pfl_p.add_argument("--out", default=None,
+                       help="write collapsed stacks here (default: stdout)")
+
+    pdf_p = prof_sub.add_parser(
+        "diff",
+        help="per-function regression diff of two merged traces",
+    )
+    pdf_p.add_argument("baseline", help="baseline merged trace (A)")
+    pdf_p.add_argument("candidate", help="candidate merged trace (B)")
+    pdf_p.add_argument("--threshold", type=float, default=0.02,
+                       help="relative slowdown that counts as a regression")
+    pdf_p.add_argument("--json", action="store_true",
+                       help="print a stable machine-readable JSON document")
+
     return parser
 
 
@@ -1591,6 +1937,7 @@ COMMANDS = {
     "campaign": cmd_campaign,
     "serve": cmd_serve,
     "monitor": cmd_monitor,
+    "profile": cmd_profile,
 }
 
 

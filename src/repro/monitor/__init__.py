@@ -29,6 +29,7 @@ from .alerts import (
 from .exposition import (
     PROM_CONTENT_TYPE,
     MetricsServer,
+    comm_gauges,
     parse_prometheus_text,
     render_prometheus,
     write_prom_file,
@@ -71,6 +72,7 @@ __all__ = [
     "TimeSeries",
     "WindowDelta",
     "build_report",
+    "comm_gauges",
     "default_rules",
     "parse_prometheus_text",
     "render_html",

@@ -188,6 +188,14 @@ class AlertEngine:
                 if transition == "fired"
                 else alert.t_resolved_s
             )
+            # Exemplar-style correlation: when the collector runs under
+            # a trace context, the alert instant and the fired counter
+            # both carry the trace id, so a scrape that shows an alert
+            # leads straight to the exact merged trace of that run.
+            context = getattr(self.telemetry, "context", None)
+            extra: Dict[str, object] = {}
+            if context is not None:
+                extra["trace_id"] = context.trace_id
             self.telemetry.emit_instant(
                 f"alert-{transition}",
                 alert.rank,
@@ -196,10 +204,14 @@ class AlertEngine:
                 rule=alert.rule.name,
                 severity=alert.rule.severity,
                 value=alert.value,
+                **extra,
             )
             if transition == "fired":
+                labels = {"rule": alert.rule.name}
+                if context is not None:
+                    labels["trace_id"] = context.trace_id
                 self.telemetry.metrics.counter(
-                    "alerts_fired", rule=alert.rule.name
+                    "alerts_fired", **labels
                 ).inc()
         if self.on_alert is not None:
             self.on_alert(alert, transition)

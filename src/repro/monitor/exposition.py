@@ -64,7 +64,43 @@ HELP_TEXTS: Dict[str, str] = {
     "fault_retries": "Transient-error retries performed.",
     "ranks_degraded": "Ranks handed to their DVFS governor.",
     "power_read_gaps": "Bridged power-sampling gaps.",
+    "comm_rank_wait_seconds": (
+        "Per-rank idle time waiting at collectives (simulated seconds)."
+    ),
+    "comm_collective_calls": "Collective operations issued, by op.",
+    "comm_sync_wait_seconds": (
+        "Total synchronization wait summed over ranks (simulated seconds)."
+    ),
+    "comm_time_seconds": "Time spent moving bytes (simulated seconds).",
+    "comm_bytes_moved": "Bytes moved through the communicator.",
 }
+
+
+def comm_gauges(stats) -> Dict[str, List[Tuple[Dict[str, str], float]]]:
+    """Extra gauge samples for one :class:`~repro.mpi.comm.CommStats`.
+
+    The communicator's counters are plain Python state, not registry
+    gauges, so the monitor folds them into the exposition through
+    :func:`render_prometheus`'s ``extra_gauges`` hook. The per-rank
+    wait series is the scrape-side view of the load imbalance the
+    critical-path profiler attributes per step — same numbers, so an
+    operator watching ``comm_rank_wait_seconds`` and an engineer
+    reading ``repro profile critical-path`` agree on the gating rank.
+    """
+    gauges: Dict[str, List[Tuple[Dict[str, str], float]]] = {
+        "comm_sync_wait_seconds": [({}, float(stats.sync_wait_s))],
+        "comm_time_seconds": [({}, float(stats.comm_time_s))],
+        "comm_bytes_moved": [({}, float(stats.bytes_moved))],
+        "comm_rank_wait_seconds": [
+            ({"rank": str(rank)}, float(wait))
+            for rank, wait in enumerate(stats.rank_wait_s)
+        ],
+        "comm_collective_calls": [
+            ({"op": op}, float(count))
+            for op, count in sorted(stats.calls.items())
+        ],
+    }
+    return {name: samples for name, samples in gauges.items() if samples}
 
 
 def sanitize_metric_name(name: str) -> str:

@@ -30,7 +30,12 @@ from .alerts import (
     AlertRule,
     default_rules,
 )
-from .exposition import MetricsServer, render_prometheus, write_prom_file
+from .exposition import (
+    MetricsServer,
+    comm_gauges,
+    render_prometheus,
+    write_prom_file,
+)
 from .report import build_report, write_html_report, write_json_snapshot
 from .sampler import DeviceSampler
 from .series import DEFAULT_CAPACITY
@@ -79,6 +84,7 @@ class Monitor:
         self.sampler: Optional[DeviceSampler] = None
         self.engine: Optional[AlertEngine] = None
         self._server: Optional[MetricsServer] = None
+        self._cluster = None
 
     # -- wiring ------------------------------------------------------------
 
@@ -91,6 +97,9 @@ class Monitor:
         """
         if self.sampler is not None:
             raise RuntimeError("monitor is already bound to a cluster")
+        # Kept for the exposition/report paths: the communicator's
+        # per-rank wait counters live on the cluster, not the sampler.
+        self._cluster = cluster
         cfg = self.config
         spec = cluster.gpus[0].spec if cluster.gpus else None
         rules = default_rules(
@@ -157,6 +166,10 @@ class Monitor:
             raise RuntimeError("monitor is not bound to a cluster")
         return self.sampler
 
+    def _comm_stats(self):
+        """The bound cluster's communicator counters, if any."""
+        return getattr(getattr(self._cluster, "comm", None), "stats", None)
+
     def snapshot(
         self,
         collector=None,
@@ -172,11 +185,17 @@ class Monitor:
             report=report,
             title=title,
             meta=meta,
+            comm=self._comm_stats(),
         )
 
     def prometheus(self) -> str:
         """Current registry + live series as Prometheus text."""
-        return render_prometheus(self._require_sampler().metrics)
+        sampler = self._require_sampler()
+        comm = self._comm_stats()
+        return render_prometheus(
+            sampler.metrics,
+            extra_gauges=comm_gauges(comm) if comm is not None else None,
+        )
 
     def write_prom(self, path: str) -> None:
         write_prom_file(path, self.prometheus())

@@ -75,13 +75,16 @@ def build_report(
     report=None,
     title: str = "repro monitored run",
     meta: Optional[Mapping[str, object]] = None,
+    comm=None,
 ) -> Dict[str, object]:
     """Assemble the JSON-able report payload from monitor components.
 
     ``sampler`` is a :class:`~repro.monitor.sampler.DeviceSampler`;
     ``engine`` the optional alert engine, ``collector`` the trace
     collector (for the metrics snapshot and reconciliation), ``report``
-    an optional gathered :class:`EnergyReport`.
+    an optional gathered :class:`EnergyReport`, ``comm`` the optional
+    communicator :class:`~repro.mpi.comm.CommStats` (or its dict form)
+    for the per-rank collective-wait section.
     """
     series: List[Dict[str, object]] = []
     t_min: Optional[float] = None
@@ -170,6 +173,12 @@ def build_report(
             row.update(drift_by_fn.get(name, {}))
             functions.append(row)
 
+    comm_doc: Dict[str, object] = {}
+    if comm is not None:
+        comm_doc = dict(
+            comm.state_dict() if hasattr(comm, "state_dict") else comm
+        )
+
     return {
         "schema": 1,
         "kind": "monitor-report",
@@ -186,6 +195,7 @@ def build_report(
         "gaps": gaps,
         "functions": functions,
         "reconciliation": reconciliation,
+        "comm": comm_doc,
         "metrics": sampler.metrics.snapshot(),
     }
 
@@ -459,6 +469,46 @@ def render_html(data: Mapping[str, object]) -> str:
                 f'<p class="{cls}">max trace-vs-report drift '
                 f"{_fmt(rec['max_drift_s'], 2)} s "
                 f"(tolerance {_fmt(rec['tolerance_s'], 2)} s)</p>"
+            )
+
+    comm = data.get("comm") or {}
+    if comm:
+        out.append("<h2>Communication</h2>")
+        out.append(
+            '<p class="meta">'
+            f"{_fmt(comm.get('bytes_moved'))} bytes moved · "
+            f"transfer {_fmt(comm.get('comm_time_s'))} s · "
+            f"synchronization wait {_fmt(comm.get('sync_wait_s'))} s</p>"
+        )
+        rank_waits = comm.get("rank_wait_s") or []
+        if rank_waits:
+            total_wait = sum(rank_waits) or 1.0
+            # The least-waiting rank is the gating one: everyone else
+            # idles at the collective waiting for it to arrive.
+            gating = min(
+                range(len(rank_waits)), key=lambda r: rank_waits[r]
+            )
+            rows = "".join(
+                "<tr>"
+                f"<td>rank {rank}</td><td>{_fmt(wait)}</td>"
+                f"<td>{100.0 * wait / total_wait:.1f}%</td>"
+                f"<td>{'gating' if rank == gating else ''}</td>"
+                "</tr>"
+                for rank, wait in enumerate(rank_waits)
+            )
+            out.append(
+                "<table><tr><th>rank</th><th>wait [s]</th>"
+                f"<th>share</th><th></th></tr>{rows}</table>"
+            )
+        calls = comm.get("calls") or {}
+        if calls:
+            rows = "".join(
+                f"<tr><td>{_esc(op)}</td><td>{count}</td></tr>"
+                for op, count in sorted(calls.items())
+            )
+            out.append(
+                "<table><tr><th>collective</th><th>calls</th></tr>"
+                f"{rows}</table>"
             )
 
     metrics = data.get("metrics") or {}

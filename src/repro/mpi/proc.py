@@ -86,6 +86,26 @@ def _worker_main(rank: int, conn, arena: mmap.mmap) -> None:
                 acc += buf[k * count + lo:k * count + hi]
             buf[n_contribs * count + lo:n_contribs * count + hi] = acc
             conn.send(("ok", rank))
+        elif cmd == "shard":
+            # Durably persist this rank's trace shard: the parent
+            # computed the lines (shard content is backend-independent)
+            # but the write happens here, in the rank's own process.
+            # Atomic temp-file + replace, so a SIGKILL mid-write never
+            # leaves a torn shard.
+            _, path, lines = msg
+            try:
+                tmp = f"{path}.tmp.{rank}"
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    for line in lines:
+                        fh.write(line)
+                        fh.write("\n")
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, path)
+            except OSError as exc:
+                conn.send(("error", rank, f"shard write failed: {exc}"))
+            else:
+                conn.send(("ok", rank))
         elif cmd == "ping":
             conn.send(("ok", rank))
         elif cmd == "stop":
@@ -206,6 +226,17 @@ class ProcessTeam:
         out = np.copy(self.view[n_contribs * count:needed])
         return out.reshape(shape)
 
+    def write_shard(
+        self, rank: int, path: str, lines: Sequence[str]
+    ) -> None:
+        """Have ``rank``'s worker durably write its trace shard."""
+        self._send(rank, ("shard", str(path), list(lines)))
+        reply = self._recv(rank)
+        if reply[0] != "ok":
+            raise MpiError(
+                f"rank {rank} shard write failed: {reply[2]}"
+            )
+
     def pids(self) -> List[int]:
         return [proc.pid for proc in self._procs]
 
@@ -289,6 +320,12 @@ class ProcessBackend(CommBackend):
 
     def worker_pids(self) -> List[int]:
         return self.team.pids()
+
+    def write_shard(
+        self, rank: int, path: str, lines: Sequence[str]
+    ) -> None:
+        """Route a shard write to the owning rank's worker process."""
+        self.team.write_shard(rank, path, lines)
 
     def can_reduce(self, values: Sequence) -> bool:
         """True when a payload qualifies for the shared-arena sum path."""

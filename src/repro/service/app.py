@@ -105,6 +105,8 @@ class ServiceApp:
             "id": job.id,
             "tenant": job.tenant,
             "state": job.state,
+            "trace_id": job.trace_id,
+            "traceparent": job.trace_context.to_traceparent(),
             "created": created,
             "submissions": job.submissions,
             "units": len(job.grid_keys),

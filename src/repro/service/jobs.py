@@ -36,6 +36,7 @@ from ..campaign.executor import (
     PROVENANCE_FAILED,
 )
 from ..campaign.store import RunStore
+from ..telemetry import TraceCollector, TraceContext, write_trace_jsonl
 from .events import EventBus
 
 #: Job lifecycle states.
@@ -60,6 +61,19 @@ def campaign_id(tenant: str, spec: CampaignSpec) -> str:
     return f"c-{digest[:12]}"
 
 
+def trace_context_for(tenant: str, job_id: str) -> TraceContext:
+    """The root :class:`TraceContext` of one service submission.
+
+    Seeded with the content-addressed job id, so resubmitting the same
+    spec (or replaying the WAL after a crash) re-derives the *same*
+    trace identity — the merged traces on disk stay addressable by the
+    id every response returned.
+    """
+    from ..telemetry import mint_context
+
+    return mint_context(seed=f"{tenant}:{job_id}")
+
+
 class CampaignJob:
     """One admitted campaign: spec, store, progress stream, outcome."""
 
@@ -71,12 +85,21 @@ class CampaignJob:
         store: RunStore,
         bus: EventBus,
         on_transition: Optional[Callable[["CampaignJob"], None]] = None,
+        trace_context: Optional[TraceContext] = None,
     ) -> None:
         self.id = job_id
         self.tenant = tenant
         self.spec = spec
         self.store = store
         self.bus = bus
+        #: Root trace context of the originating request; derived
+        #: deterministically from (tenant, job id) — see
+        #: :func:`trace_context_for` — so recovery re-mints it.
+        self.trace_context = (
+            trace_context
+            if trace_context is not None
+            else trace_context_for(tenant, job_id)
+        )
         self.state = QUEUED
         self.submissions = 1
         self.error: Optional[str] = None
@@ -96,6 +119,11 @@ class CampaignJob:
         # status poll instead of re-walking the cross product.
         self.units = spec.expand()
         self.grid_keys = [unit.key for unit in self.units]
+
+    @property
+    def trace_id(self) -> str:
+        """The trace id every response hands back for correlation."""
+        return self.trace_context.trace_id
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -159,9 +187,15 @@ class CampaignJob:
                     self.bus.publish(
                         {"event": "unit-shared-cache-hit", "key": key}
                     )
+            # Campaign-level telemetry runs under the request's trace
+            # context: executor spans/instants carry the trace id, and
+            # every dispatched unit derives its child context from it.
+            telemetry = TraceCollector()
+            telemetry.configure_tracing(self.trace_context)
             executor = CampaignExecutor(
                 self.store,
                 config=executor_config,
+                telemetry=telemetry,
                 min_unit_wall_s=self.spec.min_unit_wall_s,
                 on_event=self.bus.publish,
                 should_stop=lambda: self._cancel,
@@ -169,6 +203,14 @@ class CampaignJob:
                 checkpoint_every=self.spec.checkpoint_every,
             )
             self.status = executor.run(self.units)
+            try:
+                write_trace_jsonl(
+                    str(self.store.trace_path),
+                    telemetry.events,
+                    trace_id=self.trace_id,
+                )
+            except OSError:  # pragma: no cover - disk-full / perms only
+                pass
             if publish is not None:
                 publish(self.store, self.grid_keys)
             if self.status.interrupted and self._cancel:
@@ -240,6 +282,8 @@ class CampaignJob:
             "id": self.id,
             "tenant": self.tenant,
             "state": self.state,
+            "trace_id": self.trace_id,
+            "traceparent": self.trace_context.to_traceparent(),
             "submissions": self.submissions,
             "created_s": self.created_s,
             "started_s": self.started_s,

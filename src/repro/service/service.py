@@ -263,8 +263,12 @@ class CampaignService:
             raise
         # Write-ahead: the submission is on disk before the caller gets
         # its 202 — a crash after this point can only *delay* the
-        # campaign, never lose it.
-        self.wal_for(tenant).record_submit(job_id, tenant, spec.to_dict())
+        # campaign, never lose it. The trace id rides along so offline
+        # tooling can correlate WAL entries with merged traces (the
+        # context itself re-derives from the job id on recovery).
+        self.wal_for(tenant).record_submit(
+            job_id, tenant, spec.to_dict(), trace_id=job.trace_id
+        )
         self.jobs[job_id] = job
         self._count("service_submissions")
         return job, True

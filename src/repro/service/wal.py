@@ -58,6 +58,10 @@ class WalJob:
     submissions: int = 1
     #: Every state this job passed through, in log order.
     history: List[str] = field(default_factory=list)
+    #: Trace id minted at submission (None for pre-tracing WALs). The
+    #: context itself is re-derived deterministically from the job id,
+    #: so this is a cross-check and a lookup key, not the source.
+    trace_id: Optional[str] = None
 
 
 class JobWal:
@@ -89,12 +93,19 @@ class JobWal:
                 os.fsync(fh.fileno())
 
     def record_submit(
-        self, job_id: str, tenant: str, spec: Mapping[str, Any]
+        self,
+        job_id: str,
+        tenant: str,
+        spec: Mapping[str, Any],
+        trace_id: Optional[str] = None,
     ) -> None:
-        self.append(
-            {"op": "submit", "id": job_id, "tenant": tenant,
-             "spec": dict(spec)}
-        )
+        record: Dict[str, Any] = {
+            "op": "submit", "id": job_id, "tenant": tenant,
+            "spec": dict(spec),
+        }
+        if trace_id is not None:
+            record["trace_id"] = trace_id
+        self.append(record)
 
     def record_state(
         self, job_id: str, state: str, error: Optional[str] = None
@@ -185,6 +196,7 @@ def replay_wal(records: List[Mapping[str, Any]]) -> Dict[str, WalJob]:
                 submitted_s=t_s,
                 updated_s=t_s,
                 history=["queued"],
+                trace_id=record.get("trace_id"),
             )
         elif op == "state":
             job = jobs.get(job_id)

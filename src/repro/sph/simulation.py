@@ -293,9 +293,31 @@ class Simulation:
                 on_step=on_step,
             )
         finally:
+            self._flush_trace_shards()
             # Rank worker processes never outlive the run (they respawn
             # lazily if the same simulation runs again).
             self.cluster.comm.backend.shutdown()
+
+    def _flush_trace_shards(self) -> None:
+        """Persist per-process trace shards while workers are alive.
+
+        Runs before the comm backend shuts down so that, under the
+        ``process`` backend, each rank worker writes its own shard
+        over its duplex pipe. Observability must never take down a
+        run, so failures are swallowed (the run's numbers stand; only
+        the trace artifact is lost).
+        """
+        telemetry = self.telemetry
+        if telemetry is None:
+            return
+        if getattr(telemetry, "context", None) is None:
+            return
+        if getattr(telemetry, "shard_dir", None) is None:
+            return
+        try:
+            telemetry.flush_shards(backend=self.cluster.comm.backend)
+        except Exception:
+            pass
 
     def shutdown(self) -> None:
         """Tear down the comm backend's rank workers (idempotent).

@@ -18,7 +18,14 @@ those point measurements into analyzable runs, Score-P-style:
   ``trace_event`` JSON (Perfetto / ``chrome://tracing``) and compact
   JSONL for programmatic diffing;
 * :mod:`~repro.telemetry.summary` — roll-ups and the
-  trace-vs-:class:`EnergyReport` reconciliation check.
+  trace-vs-:class:`EnergyReport` reconciliation check;
+* :mod:`~repro.telemetry.context` — W3C-traceparent-style
+  :class:`TraceContext` correlating spans across process boundaries
+  (service request → campaign lane → rank worker), deterministically
+  derived so traces stay bit-stable;
+* :mod:`~repro.telemetry.profile` — per-process trace shards, the
+  merged clock-aligned trace, and the analysis layer (critical path,
+  per-kernel × per-rank attribution, flamegraph export, run diffs).
 
 Telemetry is strictly opt-in: without a collector no extra hooks are
 registered and a run's reported numbers are bit-for-bit unchanged.
@@ -38,12 +45,14 @@ Quickstart::
 """
 
 from .chrome_trace import (
+    atomic_write_lines,
     read_trace_jsonl,
     to_chrome_trace,
     write_chrome_trace,
     write_trace_jsonl,
 )
 from .collector import DEFAULT_MAX_EVENTS, TraceCollector
+from .context import TraceContext, mint_context
 from .events import (
     SCHEMA_VERSION,
     TRACK_CLOCKS,
@@ -62,6 +71,22 @@ from .events import (
     to_record,
 )
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .profile import (
+    MERGED_TRACE_NAME,
+    SHARD_KIND,
+    StepCritical,
+    attribution_table,
+    collapsed_stacks,
+    collect_trace,
+    critical_path,
+    diff_traces,
+    gating_consistent_with_waits,
+    merge_shards,
+    merged_trace_path,
+    read_trace_shard,
+    render_attribution,
+    write_merged_trace,
+)
 from .summary import (
     RECONCILE_TOL_S,
     FunctionTraceSummary,
@@ -98,6 +123,23 @@ __all__ = [
     "write_chrome_trace",
     "write_trace_jsonl",
     "read_trace_jsonl",
+    "atomic_write_lines",
+    "TraceContext",
+    "mint_context",
+    "SHARD_KIND",
+    "MERGED_TRACE_NAME",
+    "StepCritical",
+    "read_trace_shard",
+    "merge_shards",
+    "merged_trace_path",
+    "collect_trace",
+    "write_merged_trace",
+    "critical_path",
+    "gating_consistent_with_waits",
+    "attribution_table",
+    "render_attribution",
+    "collapsed_stacks",
+    "diff_traces",
     "FunctionTraceSummary",
     "ReconciliationRow",
     "RECONCILE_TOL_S",

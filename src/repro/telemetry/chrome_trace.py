@@ -17,9 +17,10 @@ diff line-by-line.
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
-from ..reporting.export import write_jsonl
 from .events import (
     TRACKS,
     CounterEvent,
@@ -143,14 +144,48 @@ def write_chrome_trace(
         json.dump(to_chrome_trace(events, label=label), fh, indent=1)
 
 
-def write_trace_jsonl(path: str, events: Iterable[TraceEvent]) -> None:
-    """Write the compact JSONL export (schema header + one line/event)."""
-    ordered = sorted(events, key=event_sort_key)
-    write_jsonl(
-        path,
-        (to_record(e) for e in ordered),
-        header=schema_header("trace", events=len(ordered)),
+def atomic_write_lines(path: str, lines: Sequence[str]) -> None:
+    """Write text lines atomically: temp file + fsync + ``os.replace``.
+
+    Same idiom as the ``metrics.prom`` writer — a reader (or a process
+    killed mid-write) sees either the previous complete file or the new
+    complete file, never a torn one.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
     )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            for line in lines:
+                fh.write(line)
+                fh.write("\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def write_trace_jsonl(
+    path: str, events: Iterable[TraceEvent], **extra: Any
+) -> None:
+    """Atomically write the compact JSONL export (schema header + one
+    line per event). Keyword extras (e.g. ``trace_id``) land in the
+    header; readers tolerate the additional keys."""
+    ordered = sorted(events, key=event_sort_key)
+    lines = [
+        json.dumps(
+            schema_header("trace", events=len(ordered), **extra),
+            sort_keys=True,
+        )
+    ]
+    lines.extend(json.dumps(to_record(e), sort_keys=True) for e in ordered)
+    atomic_write_lines(path, lines)
 
 
 def read_trace_jsonl(path: str) -> List[TraceEvent]:

@@ -24,9 +24,12 @@ long run degrades to a trailing window instead of unbounded memory.
 
 from __future__ import annotations
 
+import os
 from collections import deque
+from dataclasses import replace
 from typing import Any, Deque, Dict, List, Mapping, Optional, Tuple
 
+from .context import TraceContext
 from .events import (
     TRACK_CLOCKS,
     TRACK_COUNTERS,
@@ -37,8 +40,16 @@ from .events import (
     InstantEvent,
     SpanEvent,
     TraceEvent,
+    event_sort_key,
 )
 from .metrics import MetricsRegistry
+from .profile import (
+    MAIN_SHARD,
+    partition_events,
+    rank_process_span,
+    shard_lines,
+    write_shard,
+)
 
 #: Default ring capacity: comfortably holds the repo's benchmark runs.
 DEFAULT_MAX_EVENTS = 100_000
@@ -86,6 +97,9 @@ class TraceCollector:
         self.dropped = 0
         self._open: Dict[int, Tuple[str, float, float]] = {}
         self._step = 0
+        self._context: Optional[TraceContext] = None
+        self._shard_dir: Optional[str] = None
+        self._seq = 0
 
     # -- construction helpers --------------------------------------------------
 
@@ -115,6 +129,88 @@ class TraceCollector:
     def bound(self) -> bool:
         return self._clocks is not None
 
+    # -- distributed tracing ---------------------------------------------------
+
+    def configure_tracing(
+        self,
+        context: TraceContext,
+        shard_dir: Optional[str] = None,
+    ) -> None:
+        """Attach a :class:`TraceContext`: subsequent span/instant
+        events get ``trace_id``/``span_id`` args, and (with a
+        ``shard_dir``) :meth:`flush_shards` persists per-process
+        shards at the end of the run."""
+        self._context = context
+        if shard_dir is not None:
+            self._shard_dir = shard_dir
+
+    @property
+    def context(self) -> Optional[TraceContext]:
+        """The attached trace context, if tracing is configured."""
+        return self._context
+
+    @property
+    def shard_dir(self) -> Optional[str]:
+        return self._shard_dir
+
+    def flush_shards(
+        self,
+        shard_dir: Optional[str] = None,
+        backend: Optional[Any] = None,
+    ) -> List[str]:
+        """Partition the ring into per-rank shards and persist them.
+
+        Shard *content* is computed here, in the parent, under every
+        comm backend — rank partitioning depends only on each event's
+        rank, so the bytes are backend-independent. What varies is who
+        performs the durable write: given a started parallel
+        ``backend`` with a ``write_shard`` pipe command, each rank's
+        own worker process writes its shard ("each child records its
+        own spans"); otherwise the parent writes all of them. Either
+        way every write is atomic. Returns the shard paths.
+        """
+        if self._context is None:
+            raise RuntimeError(
+                "configure_tracing() before flush_shards()"
+            )
+        directory = shard_dir if shard_dir is not None else self._shard_dir
+        if directory is None:
+            raise RuntimeError(
+                "flush_shards() needs a shard directory (configure_tracing"
+                "(..., shard_dir=...) or pass one explicitly)"
+            )
+        os.makedirs(directory, exist_ok=True)
+        shards = partition_events(self._events)
+        use_workers = (
+            backend is not None
+            and getattr(backend, "parallel", False)
+            and hasattr(backend, "write_shard")
+        )
+        written: List[str] = []
+        for name in sorted(shards):
+            events = shards[name]
+            if name == MAIN_SHARD:
+                shard_ctx = self._context
+                rank = None
+            else:
+                rank = int(name.split("-", 1)[1])
+                shard_ctx = self._context.child(name)
+                lifetime = rank_process_span(
+                    self._context, shard_ctx, rank, events
+                )
+                if lifetime is not None:
+                    events = sorted(
+                        events + [lifetime], key=event_sort_key
+                    )
+            path = os.path.join(directory, f"{name}.jsonl")
+            lines = shard_lines(shard_ctx, name, events)
+            if use_workers and rank is not None:
+                backend.write_shard(rank, path, lines)
+            else:
+                write_shard(path, lines)
+            written.append(path)
+        return written
+
     # -- checkpoint ------------------------------------------------------------
 
     def state_dict(self) -> Dict[str, Any]:
@@ -128,6 +224,9 @@ class TraceCollector:
             "step": self._step,
             "dropped": self.dropped,
             "metrics": self.metrics.state_dict(),
+            "context": (
+                self._context.to_dict() if self._context is not None else None
+            ),
         }
 
     def restore_state(self, state: Dict[str, Any]) -> None:
@@ -136,6 +235,16 @@ class TraceCollector:
         self.metrics.restore_state(state["metrics"])
         self._events.clear()
         self._open = {}
+        self._seq = 0
+        saved = state.get("context")
+        if saved is not None:
+            # Same trace, new span lineage: the restored process is a
+            # distinct span parented on the checkpointed one, so a
+            # resumed unit stays correlated to the original request
+            # while its post-restore events are distinguishable.
+            self._context = TraceContext.from_dict(saved).restarted(
+                self._step
+            )
 
     def now(self, rank: int) -> float:
         """Rank-local simulated time."""
@@ -180,6 +289,17 @@ class TraceCollector:
         ]
 
     def _append(self, event: TraceEvent) -> None:
+        context = self._context
+        if context is not None and isinstance(
+            event, (SpanEvent, InstantEvent)
+        ):
+            args = dict(event.args)
+            args.setdefault("trace_id", context.trace_id)
+            args.setdefault(
+                "span_id", context.event_span_id(self._seq)
+            )
+            self._seq += 1
+            event = replace(event, args=args)
         if len(self._events) >= self.max_events:
             self._events.popleft()
             self.dropped += 1

@@ -1,0 +1,152 @@
+"""TraceContext: minting, derivation, event stamping, durable writes."""
+
+import os
+
+import pytest
+
+from repro.hardware import VirtualClock
+from repro.telemetry import (
+    InstantEvent,
+    SpanEvent,
+    TraceCollector,
+    TraceContext,
+    atomic_write_lines,
+    mint_context,
+)
+
+
+# ---------------------------------------------------------------------------
+# minting and derivation
+# ---------------------------------------------------------------------------
+
+
+def test_mint_is_deterministic_per_seed():
+    a = mint_context(seed="tenant:c-abc")
+    b = mint_context(seed="tenant:c-abc")
+    c = mint_context(seed="tenant:c-def")
+    assert a == b
+    assert a.trace_id != c.trace_id
+    assert len(a.trace_id) == 32
+    assert len(a.span_id) == 16
+
+
+def test_mint_without_seed_is_unique():
+    assert mint_context().trace_id != mint_context().trace_id
+
+
+def test_traceparent_round_trip():
+    ctx = mint_context(seed="rt")
+    parsed = TraceContext.from_traceparent(ctx.to_traceparent())
+    assert parsed.trace_id == ctx.trace_id
+    assert parsed.span_id == ctx.span_id
+
+
+def test_traceparent_rejects_malformed():
+    with pytest.raises(ValueError):
+        TraceContext.from_traceparent("not-a-traceparent")
+
+
+def test_dict_round_trip_preserves_parent():
+    child = mint_context(seed="p").child("unit:k")
+    assert TraceContext.from_dict(child.to_dict()) == child
+
+
+def test_child_derivation_is_deterministic_and_linked():
+    root = mint_context(seed="root")
+    a = root.child("unit:k1")
+    b = root.child("unit:k1")
+    c = root.child("unit:k2")
+    assert a == b
+    assert a.span_id != c.span_id
+    assert a.trace_id == root.trace_id
+    assert a.parent_span_id == root.span_id
+
+
+def test_restarted_keeps_trace_id_with_new_lineage():
+    root = mint_context(seed="root")
+    restarted = root.restarted(3)
+    assert restarted.trace_id == root.trace_id
+    assert restarted.span_id != root.span_id
+    assert restarted.parent_span_id == root.span_id
+    # Generation-sensitive: a second restart derives differently.
+    assert root.restarted(4).span_id != restarted.span_id
+
+
+# ---------------------------------------------------------------------------
+# collector stamping
+# ---------------------------------------------------------------------------
+
+
+def test_collector_stamps_span_and_instant_events():
+    clk = VirtualClock()
+    collector = TraceCollector(clocks=[clk])
+    ctx = mint_context(seed="stamp")
+    collector.configure_tracing(ctx)
+
+    collector.before_function("XMass", 0)
+    clk.advance(0.1)
+    collector.after_function("XMass", 0)
+    collector.emit_instant("tick", 0, ts=0.2)
+
+    stamped = [
+        e for e in collector.events
+        if isinstance(e, (SpanEvent, InstantEvent))
+    ]
+    assert stamped
+    assert all(e.args["trace_id"] == ctx.trace_id for e in stamped)
+    span_ids = [e.args["span_id"] for e in stamped]
+    assert len(set(span_ids)) == len(span_ids)  # unique per event
+
+
+def test_collector_without_context_leaves_events_unstamped():
+    clk = VirtualClock()
+    collector = TraceCollector(clocks=[clk])
+    collector.before_function("XMass", 0)
+    clk.advance(0.1)
+    collector.after_function("XMass", 0)
+    (span,) = collector.spans()
+    assert "trace_id" not in span.args
+
+
+def test_explicit_trace_args_win_over_injection():
+    collector = TraceCollector()
+    collector.configure_tracing(mint_context(seed="x"))
+    collector.emit_instant("hop", 0, ts=0.0, trace_id="feedface" * 4)
+    (event,) = collector.events
+    assert event.args["trace_id"] == "feedface" * 4
+
+
+def test_checkpoint_restore_keeps_trace_id_new_lineage():
+    collector = TraceCollector(clocks=[VirtualClock()])
+    ctx = mint_context(seed="ckpt")
+    collector.configure_tracing(ctx)
+    state = collector.state_dict()
+
+    resumed = TraceCollector(clocks=[VirtualClock()])
+    resumed.restore_state(state)
+    assert resumed.context is not None
+    assert resumed.context.trace_id == ctx.trace_id
+    assert resumed.context.span_id != ctx.span_id
+    assert resumed.context.parent_span_id == ctx.span_id
+
+
+def test_restore_without_context_stays_untraced():
+    collector = TraceCollector(clocks=[VirtualClock()])
+    state = collector.state_dict()
+    resumed = TraceCollector(clocks=[VirtualClock()])
+    resumed.restore_state(state)
+    assert resumed.context is None
+
+
+# ---------------------------------------------------------------------------
+# atomic writes
+# ---------------------------------------------------------------------------
+
+
+def test_atomic_write_lines_writes_and_replaces(tmp_path):
+    path = tmp_path / "out.jsonl"
+    atomic_write_lines(str(path), ["a", "b"])
+    assert path.read_text() == "a\nb\n"
+    atomic_write_lines(str(path), ["c"])
+    assert path.read_text() == "c\n"
+    assert os.listdir(tmp_path) == ["out.jsonl"]  # no tmp leftovers
